@@ -1,0 +1,68 @@
+"""Ablation — does the symmetry reduction matter? (§4.2/§5.2 design choice)
+
+The paper argues that rotations, translations and same-type permutations must
+be factored out before estimating multi-information: without the reduction the
+estimate mixes genuine shape organization with the (irrelevant and noisy)
+orientation of each sample, and the samples are much sparser in configuration
+space.  This ablation measures the final-state multi-information of the same
+ensemble three ways — full reduction, centring only, and raw coordinates —
+and checks that the full reduction yields the strongest, cleanest signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alignment import align_snapshot, center_configurations
+from repro.core.experiments import fig5_single_type_f1
+from repro.infotheory import ksg_multi_information
+from repro.particles.ensemble import EnsembleSimulator
+from repro.viz import save_json
+
+from bench_common import announce
+
+
+def _run_ablation(full_scale: bool):
+    spec = fig5_single_type_f1(full=full_scale)
+    ensemble = EnsembleSimulator(spec.simulation, spec.n_samples, seed=spec.seed).run()
+    first = ensemble.snapshot(0)
+    last = ensemble.snapshot(ensemble.n_steps - 1)
+    types = ensemble.types
+
+    def measure(snapshot, mode):
+        if mode == "reduced":
+            observers = align_snapshot(snapshot, types).reduced
+        elif mode == "centered":
+            observers = center_configurations(snapshot)
+        else:
+            observers = snapshot
+        return float(ksg_multi_information(observers, k=4))
+
+    results = {}
+    for mode in ("reduced", "centered", "raw"):
+        results[mode] = {
+            "initial_bits": measure(first, mode),
+            "final_bits": measure(last, mode),
+        }
+        results[mode]["delta_bits"] = results[mode]["final_bits"] - results[mode]["initial_bits"]
+    return results
+
+
+def test_ablation_symmetry_reduction(benchmark, output_dir, full_scale):
+    results = benchmark.pedantic(_run_ablation, args=(full_scale,), rounds=1, iterations=1)
+
+    save_json(output_dir / "ablation_alignment.json", results)
+    body = []
+    for mode, row in results.items():
+        body.append(
+            f"  {mode:9s}: initial {row['initial_bits']:7.2f}  final {row['final_bits']:7.2f}  "
+            f"delta {row['delta_bits']:+7.2f} bits"
+        )
+    announce("Ablation — effect of the symmetry reduction (single-type F1 ensemble)", "\n".join(body))
+    benchmark.extra_info.update({mode: round(row["delta_bits"], 3) for mode, row in results.items()})
+
+    # The reduced representation detects the organization most clearly: its
+    # increase dominates the raw-coordinate measurement, where every sample's
+    # arbitrary orientation masks the common shape.
+    assert results["reduced"]["delta_bits"] > results["raw"]["delta_bits"]
+    assert results["reduced"]["delta_bits"] > 0.5

@@ -1,0 +1,42 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark module regenerates one figure of the paper: it runs the
+corresponding experiment spec (at reduced, laptop-friendly scale by default —
+set ``REPRO_FULL=1`` for the paper's scale), prints the series the figure
+plots, writes them to ``benchmarks/output/`` as CSV/JSON, and records the
+headline numbers in ``benchmark.extra_info`` so they appear in the
+pytest-benchmark report.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def run_spec(spec, *, keep_ensemble: bool = False):
+    """Run one experiment spec through the standard pipeline."""
+    from repro.core.pipeline import run_experiment
+
+    return run_experiment(
+        spec.simulation,
+        spec.n_samples,
+        analysis_config=spec.analysis,
+        seed=spec.seed,
+        keep_ensemble=keep_ensemble,
+    )
+
+
+def announce(title: str, body: str) -> None:
+    """Print a clearly delimited block (visible with ``pytest -s`` and in CI logs)."""
+    line = "=" * 78
+    sys.stdout.write(f"\n{line}\n{title}\n{line}\n{body}\n")
+
+
+def mean_by_key(values: dict, selector) -> dict:
+    """Group scalar values by ``selector(key)`` and average them."""
+    grouped: dict = {}
+    for key, value in values.items():
+        grouped.setdefault(selector(key), []).append(value)
+    return {key: float(np.mean(vals)) for key, vals in grouped.items()}

@@ -1,0 +1,48 @@
+"""Figure 2 — the two force-scaling functions F1 (Eq. 7) and F2 (Eq. 8).
+
+Regenerates the curves of both scaling functions against inter-particle
+distance, marks the preferred distance r_αβ, and checks the qualitative shape
+the figure shows: repulsion below the preferred distance, attraction beyond
+it, and a cut-off / decay at long range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.experiments import fig2_force_curves
+from repro.particles.forces import FORCE_SCALINGS
+from repro.viz import line_plot, save_series_csv
+
+from bench_common import announce
+
+
+def test_fig02_force_scaling_curves(benchmark, output_dir):
+    curves = benchmark.pedantic(fig2_force_curves, rounds=1, iterations=1)
+
+    save_series_csv(
+        output_dir / "fig02_force_scaling.csv",
+        {"distance": curves["distance"], "F1": curves["F1"], "F2": curves["F2"]},
+    )
+    announce(
+        "Fig. 2 — force-scaling functions",
+        line_plot(
+            {"F1": curves["F1"], "F2": curves["F2"]},
+            x=curves["distance"],
+            title=f"Force scaling vs distance (preferred distance r = {curves['r'][0]:.1f})",
+        ),
+    )
+
+    r = float(curves["r"][0])
+    benchmark.extra_info["preferred_distance"] = r
+    for name in ("F1", "F2"):
+        values = curves[name]
+        distance = curves["distance"]
+        # Repulsive (negative) below r, attractive (positive) somewhere beyond r.
+        assert values[distance < 0.8 * r].max() < 0
+        assert values[distance > r].max() > 0
+
+    # F1's zero crossing is exactly at r; F2 decays to zero at long range.
+    f1_zero = FORCE_SCALINGS["F1"].preferred_distance(1.0, r, 2.0, 1.0)
+    assert abs(f1_zero - r) < 0.05
+    assert abs(curves["F2"][-1]) < 0.05 * np.abs(curves["F2"]).max()

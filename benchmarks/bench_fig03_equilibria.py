@@ -1,0 +1,70 @@
+"""Figure 3 — equilibrium states of collectives with 1, 2 and 3 types.
+
+The paper shows example equilibrium configurations: a single-type F2
+collective settles into a regular disc-shaped arrangement, while multi-type
+collectives form structured, type-sorted shapes.  The benchmark simulates the
+three cases, prints one final configuration each, and records regularity
+(coefficient of variation of nearest-neighbour distances) and type
+segregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import nearest_neighbor_distances, type_segregation_index
+from repro.core.experiments import fig3_equilibria
+from repro.viz import save_json, scatter_plot
+
+from bench_common import announce, run_spec
+
+
+def _simulate_all(full_scale: bool):
+    results = {}
+    for n_types in (1, 2, 3):
+        spec = fig3_equilibria(n_types, full=full_scale)
+        results[n_types] = run_spec(spec, keep_ensemble=True)
+    return results
+
+
+def test_fig03_equilibrium_states(benchmark, output_dir, full_scale):
+    results = benchmark.pedantic(_simulate_all, args=(full_scale,), rounds=1, iterations=1)
+
+    summary = {}
+    blocks = []
+    for n_types, result in results.items():
+        ensemble = result.ensemble
+        final = ensemble.positions[-1, 0]
+        nn = nearest_neighbor_distances(final)
+        regularity_cv = float(nn.std() / nn.mean())
+        entry = {
+            "n_types": n_types,
+            "nn_distance_cv": regularity_cv,
+            "mean_force_norm_final": float(result.mean_force_norm[-1]),
+            "delta_multi_information": result.delta_multi_information,
+        }
+        if n_types > 1:
+            entry["segregation_index"] = float(
+                np.mean(
+                    [
+                        type_segregation_index(ensemble.positions[-1, m], ensemble.types)
+                        for m in range(min(8, ensemble.n_samples))
+                    ]
+                )
+            )
+        summary[f"l={n_types}"] = entry
+        blocks.append(
+            scatter_plot(final, ensemble.types, title=f"Equilibrium state, {n_types} type(s)")
+        )
+
+    save_json(output_dir / "fig03_equilibria.json", summary)
+    announce("Fig. 3 — equilibrium states", "\n\n".join(blocks))
+    benchmark.extra_info.update(
+        {key: round(entry["nn_distance_cv"], 3) for key, entry in summary.items()}
+    )
+
+    # Shape checks: the single-type collective is the most regular arrangement,
+    # and the multi-type collectives sort by type well above the random-mixture level.
+    assert summary["l=1"]["nn_distance_cv"] < 0.6
+    assert summary["l=2"]["segregation_index"] > 0.6
+    assert summary["l=3"]["segregation_index"] > 0.5

@@ -1,0 +1,55 @@
+"""Figure 7 — overlay of all aligned samples of the single-type F1 experiment.
+
+The paper overlays every sample's particle positions (after alignment) at
+t = 250 and observes that the outer ring aligns tightly across samples —
+dense clusters of points — while the inner ring does not, because its
+rotation relative to the outer ring is a residual degree of freedom.  The
+benchmark reproduces the aligned overlay and compares the across-sample
+dispersion of outer-ring and inner-ring particle slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alignment import align_snapshot
+from repro.analysis import per_particle_dispersion
+from repro.core.experiments import fig7_ring_alignment
+from repro.viz import save_series_csv, scatter_plot
+
+from bench_common import announce, run_spec
+
+
+def test_fig07_ring_alignment_dispersion(benchmark, output_dir, full_scale):
+    spec = fig7_ring_alignment(full=full_scale)
+    result = benchmark.pedantic(
+        run_spec, args=(spec,), kwargs={"keep_ensemble": True}, rounds=1, iterations=1
+    )
+    ensemble = result.ensemble
+    assert ensemble is not None
+
+    aligned = align_snapshot(ensemble.snapshot(ensemble.n_steps - 1), ensemble.types)
+    dispersion = per_particle_dispersion(aligned.reduced)
+    mean_positions = aligned.reduced.mean(axis=0)
+    radii = np.linalg.norm(mean_positions, axis=1)
+    outer_mask = radii > np.median(radii)
+    outer = float(dispersion[outer_mask].mean())
+    inner = float(dispersion[~outer_mask].mean())
+
+    save_series_csv(
+        output_dir / "fig07_ring_alignment.csv",
+        {"slot_radius": radii, "across_sample_dispersion": dispersion},
+    )
+    overlay = aligned.reduced[: min(16, ensemble.n_samples)].reshape(-1, 2)
+    announce(
+        "Fig. 7 — aligned overlay of samples (single-type F1)",
+        scatter_plot(overlay, title="All aligned samples overlaid (subset)")
+        + f"\n\nouter-ring dispersion: {outer:.3f}   inner-ring dispersion: {inner:.3f}",
+    )
+    benchmark.extra_info.update(
+        {"outer_dispersion": round(outer, 3), "inner_dispersion": round(inner, 3)}
+    )
+
+    # Shape check (Fig. 7): the outer ring aligns at least as tightly as the
+    # inner ring, whose orientation is a residual degree of freedom.
+    assert outer <= inner * 1.1

@@ -1,0 +1,60 @@
+"""Figure 10 — interplay of the number of types and the cut-off radius.
+
+The paper compares, for the same 20-particle F1 collective, l = 20 types
+against l = 5 types at cut-off radii r_c ∈ {10, 15, ∞}.  The observation that
+motivates §7.2: when interactions are local (finite r_c), the collective with
+*fewer* types self-organises more — homogeneous same-type clusters act as
+larger units and restore effective long-range interactions — whereas with
+unconstrained interactions the many-type collective is at least as organised.
+The benchmark regenerates the six curves and checks the local-interaction
+ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.experiments import fig10_types_and_radius
+from repro.viz import line_plot, save_series_csv
+
+from bench_common import announce, run_spec
+
+REDUCED_CUTOFFS: tuple[float | None, ...] = (10.0, None)
+FULL_CUTOFFS: tuple[float | None, ...] = (10.0, 15.0, None)
+
+
+def _label(n_types: int, cutoff: float | None) -> str:
+    return f"l={n_types},rc={'inf' if cutoff is None else f'{cutoff:g}'}"
+
+
+def _run_sweep(full_scale: bool):
+    cutoffs = FULL_CUTOFFS if full_scale else REDUCED_CUTOFFS
+    curves: dict[str, list[np.ndarray]] = {}
+    steps = None
+    for spec in fig10_types_and_radius(full=full_scale, cutoffs=cutoffs):
+        result = run_spec(spec)
+        label = _label(spec.simulation.n_types, spec.simulation.cutoff)
+        curves.setdefault(label, []).append(result.measurement.multi_information)
+        steps = result.measurement.steps
+    averaged = {label: np.mean(np.stack(series), axis=0) for label, series in curves.items()}
+    return steps, averaged
+
+
+def test_fig10_types_and_radius_interplay(benchmark, output_dir, full_scale):
+    steps, averaged = benchmark.pedantic(_run_sweep, args=(full_scale,), rounds=1, iterations=1)
+
+    save_series_csv(
+        output_dir / "fig10_types_vs_radius.csv",
+        {"step": steps, **{label.replace(",", "_").replace("=", ""): series for label, series in averaged.items()}},
+    )
+    announce(
+        "Fig. 10 — multi-information vs time for l ∈ {5, 20} and different r_c",
+        line_plot(averaged, x=steps, y_label="bits"),
+    )
+    deltas = {label: float(series[-1] - series[0]) for label, series in averaged.items()}
+    benchmark.extra_info.update({label: round(v, 3) for label, v in deltas.items()})
+
+    # Shape check (the paper's key comparison): with local interactions
+    # (r_c = 10) the 5-type collective gains more multi-information than the
+    # 20-type collective.
+    assert deltas[_label(5, 10.0)] > deltas[_label(20, 10.0)]

@@ -1,0 +1,23 @@
+"""Pytest fixtures for the figure-reproduction benchmarks."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Directory where the regenerated figure series are written."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """Whether the benchmarks run at the paper's full scale (REPRO_FULL=1)."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")

@@ -1,0 +1,95 @@
+"""Interaction range vs self-organization: a miniature of the paper's Figs. 9 & 10.
+
+The paper's central empirical finding is that the amount of self-organization
+a particle collective can reach is controlled by how far information can
+spread through it:
+
+* with a *large* cut-off radius (long-range interactions) even a collective
+  where every particle has its own type organises strongly, and
+* with a *small* cut-off radius organization is limited — unless the number
+  of types is reduced, in which case homogeneous same-type clusters act as
+  larger-scale units and restore long-range structural interactions.
+
+This example sweeps the cut-off radius for a many-type and a few-type
+collective (sharing the same random preferred distances) and prints the
+increase of multi-information ΔI for each combination.
+
+Run with ``python examples/cutoff_radius_study.py`` (about a minute).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AnalysisConfig, SimulationConfig, run_experiment
+from repro.core.experiments import random_preferred_distance_params
+from repro.viz import bar_chart, series_table
+
+
+N_PARTICLES = 16
+CUTOFFS: tuple[float | None, ...] = (2.5, 7.5, None)
+TYPE_COUNTS = (4, 16)  # few types vs one type per particle
+
+
+def run_sweep(seed: int = 0) -> dict[tuple[int, float | None], float]:
+    """Return ΔI for every (number of types, cut-off radius) combination."""
+    results: dict[tuple[int, float | None], float] = {}
+    analysis = AnalysisConfig(step_stride=10, k_neighbors=4)
+    for n_types in TYPE_COUNTS:
+        params = random_preferred_distance_params(
+            n_types, force="F1", r_range=(2.0, 6.0), k_value=1.0, rng=seed
+        )
+        counts = tuple(
+            N_PARTICLES // n_types + (1 if i < N_PARTICLES % n_types else 0)
+            for i in range(n_types)
+        )
+        for cutoff in CUTOFFS:
+            config = SimulationConfig(
+                type_counts=counts,
+                params=params,
+                force="F1",
+                cutoff=cutoff,
+                dt=0.02,
+                substeps=5,
+                n_steps=50,
+                init_radius=3.5,
+            )
+            result = run_experiment(config, n_samples=64, analysis_config=analysis, seed=seed)
+            results[(n_types, cutoff)] = result.delta_multi_information
+    return results
+
+
+def main() -> None:
+    results = run_sweep()
+
+    labels = {None: "inf"}
+    rows = {
+        "cutoff": np.asarray([labels.get(c, c) for c in CUTOFFS], dtype=object),
+    }
+    for n_types in TYPE_COUNTS:
+        rows[f"dI (l={n_types})"] = np.asarray([results[(n_types, c)] for c in CUTOFFS])
+    print("Increase of multi-information (bits) between t = 0 and the end of the run:")
+    print(series_table(rows, float_format="{:+.2f}"))
+    print()
+    print(
+        bar_chart(
+            {
+                f"l={n_types}, r_c={labels.get(c, c)}": results[(n_types, c)]
+                for n_types in TYPE_COUNTS
+                for c in CUTOFFS
+            },
+            title="Delta multi-information by interaction range and number of types",
+        )
+    )
+    print()
+    unconstrained = np.mean([results[(l, None)] for l in TYPE_COUNTS])
+    local = np.mean([results[(l, CUTOFFS[0])] for l in TYPE_COUNTS])
+    print(
+        f"average dI with unconstrained interactions: {unconstrained:+.2f} bits; "
+        f"with r_c = {CUTOFFS[0]}: {local:+.2f} bits"
+    )
+    print("Long-range interactions consistently allow more self-organization (cf. paper Fig. 9).")
+
+
+if __name__ == "__main__":
+    main()

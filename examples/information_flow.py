@@ -1,0 +1,89 @@
+"""Information transfer between particles (the paper's §7.3 future-work programme).
+
+The paper closes by proposing to measure the information *dynamics* between
+individual particles over time — which particles act as information sources
+and which as sinks while the collective organises.  This example runs that
+analysis on a deliberately asymmetric collective: a single "anchor" type with
+strong interactions surrounded by weakly coupled particles.  Transfer entropy
+is estimated from the raw (identity-preserving) trajectories, as §5.2 notes
+must be the case for any statistic that tracks particles over time.
+
+Run with ``python examples/information_flow.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import InteractionParams, SimulationConfig, simulate_ensemble
+from repro.analysis import net_information_flow, pairwise_transfer_entropy
+from repro.viz import series_table
+
+
+def main() -> None:
+    # Type 0 (2 particles) interacts strongly with everything; type 1
+    # particles barely interact with each other.  The asymmetric coupling
+    # produces an asymmetric information flow between the two groups.
+    k = np.array(
+        [
+            [3.0, 3.0],
+            [3.0, 0.2],
+        ]
+    )
+    r = np.array(
+        [
+            [1.5, 2.0],
+            [2.0, 3.0],
+        ]
+    )
+    params = InteractionParams.from_matrices(k=k, r=r)
+    config = SimulationConfig(
+        type_counts=(2, 6),
+        params=params,
+        force="F1",
+        dt=0.02,
+        substeps=2,
+        n_steps=40,
+        init_radius=3.0,
+    )
+    ensemble = simulate_ensemble(config, n_samples=48, seed=11)
+
+    particles = list(range(ensemble.n_particles))
+    transfer = pairwise_transfer_entropy(ensemble, particles, history=1, k=4, step_stride=2)
+    flow = net_information_flow(transfer)
+
+    print("Directed transfer entropy T_{j -> i} (bits), rows = receiver i, columns = source j:")
+    header = "      " + "".join(f"  j={j:<4d}" for j in particles)
+    print(header)
+    for i in particles:
+        row = "".join(f"  {transfer[i, j]:6.3f}" for j in particles)
+        print(f"i={i:<4d}{row}")
+    print()
+
+    print("Net information flow per particle (outgoing - incoming transfer):")
+    print(
+        series_table(
+            {
+                "particle": np.asarray(particles),
+                "type": ensemble.types,
+                "net_flow_bits": flow,
+            },
+            float_format="{:+.3f}",
+        )
+    )
+    print()
+    anchors = flow[ensemble.types == 0].mean()
+    others = flow[ensemble.types == 1].mean()
+    print(
+        f"mean net flow — strongly coupled anchor particles: {anchors:+.3f} bits, "
+        f"weakly coupled particles: {others:+.3f} bits"
+    )
+    print(
+        "The strongly coupled particles are net information *sinks*: because they respond to\n"
+        "everyone, their next step is predictable from the others' positions, so transfer\n"
+        "entropy flows into them — the weakly coupled particles act as net sources."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: simulate a small adhesion-driven collective and measure its self-organization.
+
+This is the 60-second tour of the library:
+
+1. define type-dependent interaction parameters (same-type particles prefer to
+   sit closer together than different-type particles — the differential
+   adhesion regime),
+2. simulate an ensemble of independent runs of the resulting particle model,
+3. measure the multi-information between the symmetry-reduced particle
+   observers over time — the paper's definition of self-organization.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AnalysisConfig, InteractionParams, SimulationConfig, run_experiment
+from repro.viz import line_plot, scatter_plot
+
+
+def main() -> None:
+    # 1. Two particle types; same-type pairs prefer distance 1.0, cross-type
+    #    pairs prefer 2.5 — the classic cell-sorting setup.
+    params = InteractionParams.clustering(2, self_distance=1.0, cross_distance=2.5, k=2.0)
+
+    # 2. The particle model: 10 + 10 particles, F1 force scaling (Eq. 7),
+    #    Euler-Maruyama dynamics with the paper's noise level, 40 recorded
+    #    time steps of 3 integration sub-steps each.
+    config = SimulationConfig(
+        type_counts=(10, 10),
+        params=params,
+        force="F1",
+        cutoff=None,
+        dt=0.02,
+        substeps=3,
+        n_steps=40,
+        init_radius=3.0,
+    )
+
+    # 3. Simulate 64 independent runs and measure the multi-information of the
+    #    aligned per-particle observers every 5 steps.
+    result = run_experiment(
+        config,
+        n_samples=64,
+        analysis_config=AnalysisConfig(step_stride=5, k_neighbors=4, compute_entropies=True),
+        seed=0,
+        keep_ensemble=True,
+    )
+
+    measurement = result.measurement
+    print(
+        line_plot(
+            {"I(W_1,...,W_n)": measurement.multi_information},
+            x=measurement.steps,
+            title="Multi-information between particle observers (bits) vs time step",
+            y_label="bits",
+        )
+    )
+    print()
+    print(
+        f"initial I = {measurement.initial_multi_information:6.2f} bits   "
+        f"final I = {measurement.final_multi_information:6.2f} bits   "
+        f"delta = {measurement.delta_multi_information:+6.2f} bits"
+    )
+    print(f"self-organizing (delta > 0): {measurement.is_self_organizing()}")
+    print()
+
+    # Show one final configuration so the organization is visible by eye too.
+    ensemble = result.ensemble
+    assert ensemble is not None
+    final = ensemble.positions[-1, 0]
+    print(scatter_plot(final, ensemble.types, title="Final configuration of one sample"))
+    print()
+    print(f"simulation time   : {result.wall_time_seconds['simulation']:.2f} s")
+    print(f"measurement time  : {result.wall_time_seconds['measurement']:.2f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Uniform collectives: regular grids vs concentric rings (paper §6, §7.1, Figs. 3/5/7).
+
+A collective with a single particle type is the paper's control case:
+
+* under the Gaussian force ``F2`` it relaxes to an (almost) unique regular
+  grid — very little measurable self-organization, because there is no shape
+  variety left once the symmetries are factored out;
+* under the linear-adhesion force ``F1`` with a long interaction range, 20
+  particles settle into two concentric regular polygons whose relative
+  rotation is a residual degree of freedom — and that degree of freedom shows
+  up as a clearly positive multi-information signal (Fig. 5) and as a large
+  per-particle dispersion of the inner ring after alignment (Fig. 7).
+
+Run with ``python examples/single_type_crystal.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AnalysisConfig, InteractionParams, SimulationConfig, run_experiment
+from repro.analysis import detect_concentric_rings, hexatic_order, per_particle_dispersion
+from repro.alignment import align_snapshot
+from repro.viz import line_plot, scatter_plot
+
+
+def run_case(force: str, *, seed: int, noise_variance: float = 0.05):
+    params = InteractionParams.single_type(k=1.0, r=2.5, tau=4.0)
+    config = SimulationConfig(
+        type_counts=(20,),
+        params=params,
+        force=force,
+        cutoff=None,
+        dt=0.02,
+        substeps=5,
+        n_steps=60,
+        init_radius=3.0,
+        noise_variance=noise_variance,
+    )
+    return run_experiment(
+        config,
+        n_samples=96,
+        analysis_config=AnalysisConfig(step_stride=10, k_neighbors=4),
+        seed=seed,
+        keep_ensemble=True,
+    )
+
+
+def main() -> None:
+    f1 = run_case("F1", seed=5)
+    f2 = run_case("F2", seed=6)
+
+    print(
+        line_plot(
+            {
+                "F1 (rings)": f1.measurement.multi_information,
+                "F2 (grid)": f2.measurement.multi_information,
+            },
+            x=f1.measurement.steps,
+            title="Single-type collectives: multi-information over time",
+            y_label="bits",
+        )
+    )
+    print()
+    print(
+        f"delta I  —  F1: {f1.delta_multi_information:+.2f} bits, "
+        f"F2: {f2.delta_multi_information:+.2f} bits"
+    )
+    print()
+
+    # Geometry of the final states.
+    f1_final = f1.ensemble.positions[-1, 0]
+    f2_final = f2.ensemble.positions[-1, 0]
+    rings = detect_concentric_rings(f1_final)
+    print(
+        f"F1 final state: {rings.n_rings} concentric rings with radii "
+        f"{tuple(round(r, 2) for r in rings.ring_radii)} and sizes {rings.ring_sizes}"
+    )
+    print(f"F2 final state: hexatic order parameter = {hexatic_order(f2_final):.2f}")
+    print()
+
+    # Fig. 7: dispersion of aligned samples — the outer ring locks, the inner
+    # ring keeps its rotational degree of freedom.
+    aligned = align_snapshot(f1.ensemble.snapshot(f1.ensemble.n_steps - 1), f1.ensemble.types)
+    dispersion = per_particle_dispersion(aligned.reduced)
+    radii = np.linalg.norm(aligned.reduced.mean(axis=0), axis=1)
+    outer = dispersion[radii > np.median(radii)].mean()
+    inner = dispersion[radii <= np.median(radii)].mean()
+    print(
+        "across-sample dispersion after alignment  —  "
+        f"outer-ring particles: {outer:.2f},  inner-ring particles: {inner:.2f}"
+    )
+    print()
+    print(scatter_plot(f1_final, title="F1: two concentric polygons (one sample)"))
+    print()
+    print(scatter_plot(f2_final, title="F2: regular disc-shaped arrangement (one sample)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Shape-symmetry reduction: translation, rotation and permutation removal.
+
+Implements §4.2/§5.2 of Harder & Polani (2012): particle configurations are
+mapped to representatives of their orbit under ``F = ISO+(2) × S*_n`` so that
+multi-information is measured between *shape* observers rather than raw
+coordinates.
+"""
+
+from repro.alignment.procrustes import RigidTransform, alignment_error, apply_rigid, kabsch_2d
+from repro.alignment.correspondences import (
+    assignment_correspondence,
+    correspondence_distances,
+    is_type_preserving_permutation,
+    nearest_neighbor_correspondence,
+)
+from repro.alignment.icp import ICPResult, TypeAwareICP, lift_with_types
+from repro.alignment.symmetry import (
+    ReducedEnsemble,
+    SnapshotAlignment,
+    align_snapshot,
+    center_configurations,
+    reduce_ensemble,
+    select_reference,
+)
+
+__all__ = [
+    "RigidTransform",
+    "kabsch_2d",
+    "apply_rigid",
+    "alignment_error",
+    "nearest_neighbor_correspondence",
+    "assignment_correspondence",
+    "is_type_preserving_permutation",
+    "correspondence_distances",
+    "TypeAwareICP",
+    "ICPResult",
+    "lift_with_types",
+    "center_configurations",
+    "select_reference",
+    "align_snapshot",
+    "SnapshotAlignment",
+    "reduce_ensemble",
+    "ReducedEnsemble",
+]

@@ -1,0 +1,106 @@
+"""Type-restricted correspondence search between particle configurations.
+
+Two flavours are used by the alignment stack:
+
+* **Nearest-neighbour** matching (possibly many-to-one) drives the inner ICP
+  iterations, mirroring the paper's use of a point-cloud-library ICP with the
+  particle type lifted to a scaled third coordinate so that matches never
+  cross type boundaries.
+* **Assignment** (one-to-one, Hungarian algorithm within each type) produces
+  the final permutation that reorders a sample's particles to the reference
+  ordering — a true element of the permutation group ``S*_n`` that only
+  permutes particles of the same type (§4.2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+from scipy.spatial import cKDTree
+
+__all__ = [
+    "nearest_neighbor_correspondence",
+    "assignment_correspondence",
+    "is_type_preserving_permutation",
+    "correspondence_distances",
+]
+
+
+def _check_inputs(source: np.ndarray, target: np.ndarray, types: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    source = np.asarray(source, dtype=float)
+    target = np.asarray(target, dtype=float)
+    types = np.asarray(types, dtype=int)
+    if source.ndim != 2 or source.shape[1] != 2:
+        raise ValueError("source must have shape (n, 2)")
+    if target.shape != source.shape:
+        raise ValueError("target must have the same shape as source")
+    if types.shape != (source.shape[0],):
+        raise ValueError("types must have shape (n,)")
+    return source, target, types
+
+
+def nearest_neighbor_correspondence(
+    source: np.ndarray,
+    target: np.ndarray,
+    types: np.ndarray,
+) -> np.ndarray:
+    """For every source particle, the index of the nearest target particle of the same type.
+
+    The returned array ``corr`` satisfies ``types[corr[i]] == types[i]`` but is
+    generally *not* a permutation (several source particles may share a target).
+    """
+    source, target, types = _check_inputs(source, target, types)
+    corr = np.empty(source.shape[0], dtype=int)
+    for type_id in np.unique(types):
+        idx = np.nonzero(types == type_id)[0]
+        tree = cKDTree(target[idx])
+        _dist, local = tree.query(source[idx], k=1)
+        corr[idx] = idx[np.atleast_1d(local)]
+    return corr
+
+
+def assignment_correspondence(
+    source: np.ndarray,
+    target: np.ndarray,
+    types: np.ndarray,
+) -> np.ndarray:
+    """One-to-one, type-preserving correspondence minimising total squared distance.
+
+    Solves a linear assignment problem independently within each type class;
+    the result is a permutation of ``range(n)`` with ``types[perm[i]] ==
+    types[i]``, i.e. an element of the paper's symmetry subgroup ``S*_n``.
+    ``perm[i]`` is the target index matched to source particle ``i``.
+    """
+    source, target, types = _check_inputs(source, target, types)
+    perm = np.empty(source.shape[0], dtype=int)
+    for type_id in np.unique(types):
+        idx = np.nonzero(types == type_id)[0]
+        delta = source[idx][:, None, :] - target[idx][None, :, :]
+        cost = np.einsum("ijk,ijk->ij", delta, delta)
+        rows, cols = linear_sum_assignment(cost)
+        perm[idx[rows]] = idx[cols]
+    return perm
+
+
+def is_type_preserving_permutation(perm: np.ndarray, types: np.ndarray) -> bool:
+    """Check that ``perm`` is a permutation that never maps across type classes."""
+    perm = np.asarray(perm, dtype=int)
+    types = np.asarray(types, dtype=int)
+    if perm.shape != types.shape:
+        return False
+    if sorted(perm.tolist()) != list(range(perm.size)):
+        return False
+    return bool(np.all(types[perm] == types))
+
+
+def correspondence_distances(
+    source: np.ndarray,
+    target: np.ndarray,
+    correspondence: np.ndarray,
+) -> np.ndarray:
+    """Euclidean distance between each source particle and its matched target."""
+    source = np.asarray(source, dtype=float)
+    target = np.asarray(target, dtype=float)
+    correspondence = np.asarray(correspondence, dtype=int)
+    delta = source - target[correspondence]
+    return np.sqrt(np.einsum("ij,ij->i", delta, delta))

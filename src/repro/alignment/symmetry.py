@@ -1,0 +1,237 @@
+"""Factoring out the shape symmetries of a particle ensemble.
+
+The observable shape of a configuration is invariant under the group
+``F = ISO+(2) × S*_n`` of planar rotations, translations and permutations of
+same-type particles (§4.2).  To measure multi-information between observer
+variables, every ensemble snapshot is mapped to a symmetry-reduced
+representative ``w`` (§5.2):
+
+1. **translation** — express every sample relative to its centroid,
+2. **rotation** — align every sample to a common reference sample with the
+   type-aware ICP,
+3. **permutation** — reorder each sample's particles so that index ``i``
+   refers to "the same" particle across samples, via the one-to-one
+   type-preserving correspondence found by the ICP.
+
+The correspondence is established *across samples at a fixed time step*;
+identity of a particle across time is deliberately lost (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alignment.icp import TypeAwareICP
+from repro.particles.trajectory import EnsembleTrajectory
+
+__all__ = [
+    "center_configurations",
+    "select_reference",
+    "align_snapshot",
+    "SnapshotAlignment",
+    "reduce_ensemble",
+    "ReducedEnsemble",
+]
+
+
+def center_configurations(positions: np.ndarray) -> np.ndarray:
+    """Subtract the centroid of each configuration.
+
+    Accepts a single configuration ``(n, 2)`` or any batch ``(..., n, 2)``;
+    the centroid is taken over the particle axis.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim < 2 or positions.shape[-1] != 2:
+        raise ValueError("positions must have shape (..., n, 2)")
+    return positions - positions.mean(axis=-2, keepdims=True)
+
+
+def select_reference(snapshot: np.ndarray, strategy: str = "medoid") -> int:
+    """Choose the reference sample all others are aligned to.
+
+    Strategies
+    ----------
+    ``"first"``
+        Sample 0 (cheapest; what a streaming implementation would do).
+    ``"medoid"``
+        The sample whose centred configuration minimises the summed distance
+        of its sorted radial profile to all other samples' profiles — a cheap
+        rotation/permutation-insensitive proxy for "the most typical shape",
+        which makes the subsequent ICP alignments smaller on average.
+    """
+    snapshot = np.asarray(snapshot, dtype=float)
+    if snapshot.ndim != 3 or snapshot.shape[-1] != 2:
+        raise ValueError("snapshot must have shape (n_samples, n_particles, 2)")
+    if strategy == "first":
+        return 0
+    if strategy != "medoid":
+        raise ValueError(f"unknown reference strategy {strategy!r}")
+    centered = center_configurations(snapshot)
+    radii = np.sort(np.sqrt(np.einsum("mik,mik->mi", centered, centered)), axis=1)
+    pairwise = np.abs(radii[:, None, :] - radii[None, :, :]).sum(axis=-1)
+    return int(pairwise.sum(axis=1).argmin())
+
+
+@dataclass(frozen=True)
+class SnapshotAlignment:
+    """Symmetry-reduced ensemble snapshot at one time step.
+
+    Attributes
+    ----------
+    reduced:
+        ``(n_samples, n_particles, 2)`` aligned, permutation-reduced
+        coordinates (the ``w`` samples of the paper).
+    reference_index:
+        Which sample served as the alignment reference.
+    rmse:
+        Per-sample ICP residual against the reference.
+    """
+
+    reduced: np.ndarray
+    reference_index: int
+    rmse: np.ndarray
+
+
+def align_snapshot(
+    snapshot: np.ndarray,
+    types: np.ndarray,
+    *,
+    icp: TypeAwareICP | None = None,
+    reference: int | np.ndarray | None = None,
+    reference_strategy: str = "medoid",
+) -> SnapshotAlignment:
+    """Reduce one ensemble snapshot to its symmetry-factored representation.
+
+    Parameters
+    ----------
+    snapshot:
+        ``(n_samples, n_particles, 2)`` raw simulation output at one step.
+    types:
+        ``(n_particles,)`` shared type assignment.
+    icp:
+        Registration engine (defaults to :class:`TypeAwareICP` defaults).
+    reference:
+        Either the index of the reference sample, an explicit reference
+        configuration of shape ``(n_particles, 2)``, or ``None`` to pick one
+        with ``reference_strategy``.
+    """
+    snapshot = np.asarray(snapshot, dtype=float)
+    types = np.asarray(types, dtype=int)
+    if snapshot.ndim != 3 or snapshot.shape[-1] != 2:
+        raise ValueError("snapshot must have shape (n_samples, n_particles, 2)")
+    if types.shape != (snapshot.shape[1],):
+        raise ValueError("types must have shape (n_particles,)")
+    icp = icp or TypeAwareICP()
+
+    centered = center_configurations(snapshot)
+    if reference is None:
+        reference_index = select_reference(centered, reference_strategy)
+        reference_config = centered[reference_index]
+    elif isinstance(reference, (int, np.integer)):
+        reference_index = int(reference)
+        reference_config = centered[reference_index]
+    else:
+        reference_index = -1
+        reference_config = center_configurations(np.asarray(reference, dtype=float))
+
+    n_samples = snapshot.shape[0]
+    reduced = np.empty_like(centered)
+    rmse = np.empty(n_samples)
+    for m in range(n_samples):
+        if m == reference_index:
+            reduced[m] = reference_config
+            rmse[m] = 0.0
+            continue
+        result = icp.align(centered[m], reference_config, types)
+        # Reorder so that slot i of every reduced sample corresponds to
+        # reference particle i: particle j of the aligned sample is stored at
+        # slot correspondence[j].
+        reordered = np.empty_like(result.aligned)
+        reordered[result.correspondence] = result.aligned
+        reduced[m] = reordered
+        rmse[m] = result.rmse
+    return SnapshotAlignment(reduced=reduced, reference_index=reference_index, rmse=rmse)
+
+
+@dataclass(frozen=True)
+class ReducedEnsemble:
+    """Symmetry-reduced ensemble trajectory: the ``w^{(t)}`` samples of the paper.
+
+    Attributes
+    ----------
+    positions:
+        ``(n_steps, n_samples, n_particles, 2)`` reduced coordinates.
+    types:
+        Shared type assignment (the reduced slot ``i`` has type ``types[i]``).
+    reference_indices:
+        Reference sample chosen at each time step.
+    rmse:
+        ``(n_steps, n_samples)`` ICP residuals.
+    """
+
+    positions: np.ndarray
+    types: np.ndarray
+    reference_indices: np.ndarray
+    rmse: np.ndarray
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.positions.shape[1])
+
+    @property
+    def n_particles(self) -> int:
+        return int(self.positions.shape[2])
+
+    def snapshot(self, step: int) -> np.ndarray:
+        """Reduced snapshot ``(n_samples, n_particles, 2)`` at the given step."""
+        return self.positions[step]
+
+    def observer_matrix(self, step: int) -> np.ndarray:
+        """Snapshot flattened to ``(n_samples, n_particles * 2)`` for estimators."""
+        snap = self.positions[step]
+        return snap.reshape(snap.shape[0], -1)
+
+
+def reduce_ensemble(
+    ensemble: EnsembleTrajectory,
+    *,
+    icp: TypeAwareICP | None = None,
+    reference_strategy: str = "medoid",
+    steps: np.ndarray | list[int] | None = None,
+) -> ReducedEnsemble:
+    """Symmetry-reduce every (or selected) time step of an ensemble trajectory.
+
+    ``steps`` restricts the reduction to a subset of frames (e.g. every 10th
+    step) — the estimation cost is dominated by the per-step alignment, so
+    thinning here is the main lever for large experiments.
+    """
+    icp = icp or TypeAwareICP()
+    if steps is None:
+        step_indices = np.arange(ensemble.n_steps)
+    else:
+        step_indices = np.asarray(steps, dtype=int)
+    reduced = np.empty((step_indices.size, ensemble.n_samples, ensemble.n_particles, 2))
+    references = np.empty(step_indices.size, dtype=int)
+    rmse = np.empty((step_indices.size, ensemble.n_samples))
+    for out_index, step in enumerate(step_indices):
+        alignment = align_snapshot(
+            ensemble.snapshot(int(step)),
+            ensemble.types,
+            icp=icp,
+            reference_strategy=reference_strategy,
+        )
+        reduced[out_index] = alignment.reduced
+        references[out_index] = alignment.reference_index
+        rmse[out_index] = alignment.rmse
+    return ReducedEnsemble(
+        positions=reduced,
+        types=ensemble.types.copy(),
+        reference_indices=references,
+        rmse=rmse,
+    )

@@ -1,0 +1,116 @@
+"""Per-particle information dynamics over time (the paper's §7.3 programme).
+
+The paper's future work proposes measuring information *transfer* between
+individual particles during the organization process.  This module implements
+that analysis on top of :mod:`repro.infotheory.transfer`:
+
+* :func:`particle_series` extracts a single particle's trajectory across all
+  ensemble samples in the form the estimators expect — note that this uses
+  the **raw** ensemble (identity of a particle preserved over time), not the
+  permutation-reduced representation, exactly as §5.2 cautions.
+* :func:`pairwise_transfer_entropy` estimates the directed transfer-entropy
+  matrix between a set of particles.
+* :func:`net_information_flow` summarises directedness (outgoing minus
+  incoming transfer) per particle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.infotheory.transfer import time_lagged_mutual_information, transfer_entropy
+from repro.particles.trajectory import EnsembleTrajectory
+
+__all__ = [
+    "particle_series",
+    "pairwise_transfer_entropy",
+    "pairwise_lagged_mutual_information",
+    "net_information_flow",
+]
+
+
+def particle_series(ensemble: EnsembleTrajectory, particle: int) -> np.ndarray:
+    """Trajectories of one particle across samples, shape ``(n_samples, n_steps, 2)``.
+
+    The ensemble axis plays the role of independent realisations for the
+    transfer-entropy estimators.
+    """
+    if not 0 <= particle < ensemble.n_particles:
+        raise ValueError(f"particle index {particle} out of range [0, {ensemble.n_particles})")
+    # positions are stored as (n_steps, n_samples, n_particles, 2)
+    return np.ascontiguousarray(ensemble.positions[:, :, particle, :].transpose(1, 0, 2))
+
+
+def pairwise_transfer_entropy(
+    ensemble: EnsembleTrajectory,
+    particles: list[int] | np.ndarray | None = None,
+    *,
+    history: int = 1,
+    k: int = 4,
+    step_stride: int = 1,
+) -> np.ndarray:
+    """Directed transfer-entropy matrix between the selected particles (bits).
+
+    Entry ``[i, j]`` is ``T_{particle_j → particle_i}`` (information the past
+    of ``j`` adds about the next step of ``i`` beyond ``i``'s own past).  The
+    diagonal is zero by convention.  ``step_stride`` thins the trajectories to
+    control cost.
+    """
+    if particles is None:
+        particles = np.arange(ensemble.n_particles)
+    particles = np.asarray(particles, dtype=int)
+    series = {int(p): particle_series(ensemble, int(p))[:, ::step_stride, :] for p in particles}
+    n = particles.size
+    matrix = np.zeros((n, n))
+    for i_index, i in enumerate(particles):
+        for j_index, j in enumerate(particles):
+            if i == j:
+                continue
+            matrix[i_index, j_index] = transfer_entropy(
+                series[int(j)], series[int(i)], history=history, k=k
+            )
+    return matrix
+
+
+def pairwise_lagged_mutual_information(
+    ensemble: EnsembleTrajectory,
+    particles: list[int] | np.ndarray | None = None,
+    *,
+    lag: int = 1,
+    k: int = 4,
+    step_stride: int = 1,
+) -> np.ndarray:
+    """Symmetric-in-construction matrix of lagged mutual informations (bits).
+
+    Entry ``[i, j]`` is ``I(particle_j at t ; particle_i at t + lag)`` — the
+    unconditioned precursor of the transfer entropy, useful as a cheaper
+    screening quantity.
+    """
+    if particles is None:
+        particles = np.arange(ensemble.n_particles)
+    particles = np.asarray(particles, dtype=int)
+    series = {int(p): particle_series(ensemble, int(p))[:, ::step_stride, :] for p in particles}
+    n = particles.size
+    matrix = np.zeros((n, n))
+    for i_index, i in enumerate(particles):
+        for j_index, j in enumerate(particles):
+            if i == j:
+                continue
+            matrix[i_index, j_index] = time_lagged_mutual_information(
+                series[int(j)], series[int(i)], lag=lag, k=k
+            )
+    return matrix
+
+
+def net_information_flow(transfer_matrix: np.ndarray) -> np.ndarray:
+    """Outgoing minus incoming transfer entropy per particle.
+
+    Positive values mark particles that act predominantly as information
+    sources during the organization process, negative values mark sinks.
+    """
+    transfer_matrix = np.asarray(transfer_matrix, dtype=float)
+    if transfer_matrix.ndim != 2 or transfer_matrix.shape[0] != transfer_matrix.shape[1]:
+        raise ValueError("transfer_matrix must be square")
+    outgoing = transfer_matrix.sum(axis=0)  # column j: j -> others
+    incoming = transfer_matrix.sum(axis=1)  # row i: others -> i
+    return outgoing - incoming

@@ -1,0 +1,161 @@
+"""Command-line interface for running the paper's experiments.
+
+The CLI exposes the experiment registry so the figures can be regenerated
+without writing Python::
+
+    python -m repro.cli list                       # show every figure experiment
+    python -m repro.cli run fig5                   # run one figure's experiment(s)
+    python -m repro.cli run fig9 --full --output results/
+    python -m repro.cli curves                     # Fig. 2 force-scaling curves
+
+``run`` prints the multi-information series as an ASCII plot and writes the
+measurement JSON (plus a CSV of the series) into the output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.experiments import ExperimentSpec, all_figure_specs, fig2_force_curves
+from repro.core.pipeline import run_experiment
+from repro.io.storage import save_measurement
+from repro.viz import line_plot, save_series_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Harder & Polani (2012), 'Self-organizing particle systems'.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list the available figure experiments")
+    list_parser.add_argument("--full", action="store_true", help="show the full-scale parameters")
+
+    run_parser = subparsers.add_parser("run", help="run the experiment(s) behind one figure")
+    run_parser.add_argument("figure", help="figure id, e.g. fig4, fig5, fig9")
+    run_parser.add_argument("--full", action="store_true", help="use the paper's scale (m=500, t_max=250)")
+    run_parser.add_argument("--output", type=Path, default=Path("results"), help="output directory")
+    run_parser.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    run_parser.add_argument(
+        "--max-specs", type=int, default=None,
+        help="run at most this many specs of a sweep figure (default: all)",
+    )
+    run_parser.add_argument("--n-jobs", type=int, default=None, help="process-pool width for the simulation")
+    run_parser.add_argument("--quiet", action="store_true", help="suppress the ASCII plot")
+
+    curves_parser = subparsers.add_parser("curves", help="print the Fig. 2 force-scaling curves")
+    curves_parser.add_argument("--output", type=Path, default=None, help="optional CSV output path")
+
+    return parser
+
+
+def _command_list(args: argparse.Namespace, stream) -> int:
+    specs = all_figure_specs(full=args.full)
+    stream.write(f"{'figure':8s} {'specs':>5s}  {'n':>4s} {'l':>3s} {'force':>5s} {'r_c':>6s}  description\n")
+    for figure, entries in specs.items():
+        first = entries[0]
+        cutoff = "inf" if first.simulation.cutoff is None else f"{first.simulation.cutoff:g}"
+        stream.write(
+            f"{figure:8s} {len(entries):5d}  {first.simulation.n_particles:4d} "
+            f"{first.simulation.n_types:3d} {first.simulation.force:>5s} {cutoff:>6s}  "
+            f"{first.description}\n"
+        )
+    return 0
+
+
+def _run_spec(spec: ExperimentSpec, args: argparse.Namespace, stream) -> dict:
+    seed = spec.seed if args.seed is None else args.seed
+    result = run_experiment(
+        spec.simulation,
+        spec.n_samples,
+        analysis_config=spec.analysis,
+        seed=seed,
+        n_jobs=args.n_jobs,
+    )
+    measurement = result.measurement
+    output_dir: Path = args.output
+    save_measurement(output_dir / f"{spec.name}.json", measurement)
+    save_series_csv(
+        output_dir / f"{spec.name}.csv",
+        {"step": measurement.steps, "multi_information_bits": measurement.multi_information},
+    )
+    if not args.quiet:
+        stream.write(
+            line_plot(
+                {"I(W_1,...,W_n)": measurement.multi_information},
+                x=measurement.steps,
+                title=f"{spec.name}: multi-information (bits) vs time step",
+            )
+            + "\n"
+        )
+    stream.write(
+        f"{spec.name}: delta I = {measurement.delta_multi_information:+.3f} bits "
+        f"(initial {measurement.initial_multi_information:.3f}, "
+        f"final {measurement.final_multi_information:.3f}); "
+        f"results written to {output_dir}/{spec.name}.json\n"
+    )
+    return {"name": spec.name, "delta": measurement.delta_multi_information}
+
+
+def _command_run(args: argparse.Namespace, stream) -> int:
+    registry = all_figure_specs(full=args.full)
+    figure = args.figure.lower()
+    if figure == "fig2":
+        stream.write("fig2 is analytic; use the 'curves' command instead.\n")
+        return 2
+    if figure not in registry:
+        stream.write(f"unknown figure {args.figure!r}; available: {', '.join(registry)} (and fig2 via 'curves')\n")
+        return 2
+    specs = registry[figure]
+    if args.max_specs is not None:
+        specs = specs[: max(1, args.max_specs)]
+    summaries = [_run_spec(spec, args, stream) for spec in specs]
+    if len(summaries) > 1:
+        mean_delta = float(np.mean([s["delta"] for s in summaries]))
+        stream.write(f"{figure}: mean delta I over {len(summaries)} specs = {mean_delta:+.3f} bits\n")
+    return 0
+
+
+def _command_curves(args: argparse.Namespace, stream) -> int:
+    curves = fig2_force_curves()
+    stream.write(
+        line_plot(
+            {"F1": curves["F1"], "F2": curves["F2"]},
+            x=curves["distance"],
+            title="Fig. 2 — force-scaling functions",
+        )
+        + "\n"
+    )
+    if args.output is not None:
+        path = save_series_csv(
+            args.output, {"distance": curves["distance"], "F1": curves["F1"], "F2": curves["F2"]}
+        )
+        stream.write(f"series written to {path}\n")
+    return 0
+
+
+def main(argv: list[str] | None = None, stream=None) -> int:
+    """Entry point; returns the process exit code."""
+    stream = stream or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list(args, stream)
+    if args.command == "run":
+        return _command_run(args, stream)
+    if args.command == "curves":
+        return _command_curves(args, stream)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Clustering substrate: k-means and the cluster-mean observer reduction (§5.3.1)."""
+
+from repro.cluster.kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
+from repro.cluster.coarse_grain import (
+    CoarseGrainedObservers,
+    clusters_per_type,
+    coarse_grain_snapshot,
+)
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "CoarseGrainedObservers",
+    "coarse_grain_snapshot",
+    "clusters_per_type",
+]

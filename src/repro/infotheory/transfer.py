@@ -1,0 +1,175 @@
+"""Conditional mutual information and transfer entropy (the §7.3 extension).
+
+The paper's future-work section reports attempts to measure the information
+*dynamics* between individual particles over time (local information
+transfer, Lizier et al.).  This module provides the estimators needed for
+that programme:
+
+* :func:`conditional_mutual_information` — the Frenzel–Pompe k-nearest-
+  neighbour estimator of ``I(A; B | C)``, the conditional counterpart of the
+  KSG construction used for the multi-information.
+* :func:`transfer_entropy` — ``T_{source → target} = I(target_{t+1};
+  source_t | target_t^{(history)})`` evaluated by pooling realisations (and
+  optionally time points) of an ensemble of trajectories.
+
+Transfer entropy requires identifiable particles over time, so it operates on
+the **raw** (unpermuted) trajectories — exactly the caveat §5.2 raises about
+the permutation-reduced representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import digamma
+
+from repro.infotheory.knn import chebyshev_over_variables, k_nearest_neighbor_indices, per_variable_distances
+
+__all__ = [
+    "conditional_mutual_information",
+    "time_lagged_mutual_information",
+    "transfer_entropy",
+    "embed_history",
+]
+
+_LN2 = float(np.log(2.0))
+
+
+def _counts_within(per_var_block: np.ndarray, epsilon: np.ndarray) -> np.ndarray:
+    """Count, per sample, the points strictly inside ``epsilon`` for a block metric."""
+    inside = per_var_block < epsilon[:, None]
+    np.fill_diagonal(inside, False)
+    return inside.sum(axis=1)
+
+
+def _as_samples(x: np.ndarray) -> np.ndarray:
+    """Coerce a 1-D series or a 2-D sample matrix to shape ``(m, d)``."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        return x.reshape(-1, 1)
+    if x.ndim == 2:
+        return x
+    raise ValueError("samples must be 1-D or 2-D")
+
+
+def conditional_mutual_information(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    k: int = 4,
+) -> float:
+    """Frenzel–Pompe kNN estimate of ``I(A; B | C)`` in bits.
+
+    ``a``, ``b`` and ``c`` are ``(m, d_*)`` sample matrices (1-D inputs are
+    treated as single columns).  The estimator finds the k-th neighbour in the
+    joint (A, B, C) max-norm space and counts neighbours inside that radius in
+    the (A, C), (B, C) and (C) subspaces:
+
+    ``I(A; B | C) ≈ ψ(k) - ⟨ψ(n_{AC} + 1) + ψ(n_{BC} + 1) - ψ(n_C + 1)⟩``.
+    """
+    a = _as_samples(a)
+    b = _as_samples(b)
+    c = _as_samples(c)
+    m = a.shape[0]
+    if b.shape[0] != m or c.shape[0] != m:
+        raise ValueError("a, b, c must have the same number of samples")
+    if not 1 <= k <= m - 1:
+        raise ValueError(f"k must satisfy 1 <= k <= m-1 (m={m}), got {k}")
+
+    per_var = per_variable_distances([a, b, c])  # (3, m, m)
+    d_a, d_b, d_c = per_var[0], per_var[1], per_var[2]
+    joint = chebyshev_over_variables(per_var)
+    kth_idx = k_nearest_neighbor_indices(joint, k)[:, -1]
+    epsilon = joint[np.arange(m), kth_idx]
+
+    d_ac = np.maximum(d_a, d_c)
+    d_bc = np.maximum(d_b, d_c)
+    n_ac = _counts_within(d_ac, epsilon)
+    n_bc = _counts_within(d_bc, epsilon)
+    n_c = _counts_within(d_c, epsilon)
+
+    value_nats = float(
+        digamma(k) - np.mean(digamma(n_ac + 1) + digamma(n_bc + 1) - digamma(n_c + 1))
+    )
+    return value_nats / _LN2
+
+
+def embed_history(series: np.ndarray, history: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build (future, present-history, shifted-source-ready) views of a trajectory set.
+
+    ``series`` has shape ``(n_realizations, n_steps, d)``.  Returns
+
+    * ``future``  — ``(n_realizations, n_steps - history, d)``: the value at ``t + history``…
+    * ``past``    — ``(n_realizations, n_steps - history, history * d)``: the
+      ``history`` preceding values, most recent last,
+    * ``aligned`` — the same window of the raw series (useful to embed a
+      different source series with identical alignment).
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 3:
+        raise ValueError("series must have shape (n_realizations, n_steps, d)")
+    if history < 1:
+        raise ValueError("history must be >= 1")
+    n_real, n_steps, d = series.shape
+    if n_steps <= history:
+        raise ValueError("need more time steps than the history length")
+    future = series[:, history:, :]
+    past_blocks = [series[:, lag : n_steps - history + lag, :] for lag in range(history)]
+    past = np.concatenate(past_blocks, axis=2)
+    aligned = series[:, history - 1 : n_steps - 1, :]
+    return future, past, aligned
+
+
+def time_lagged_mutual_information(
+    source: np.ndarray,
+    target: np.ndarray,
+    *,
+    lag: int = 1,
+    k: int = 4,
+) -> float:
+    """``I(source_t ; target_{t+lag})`` pooled over realisations and time, in bits.
+
+    Both inputs have shape ``(n_realizations, n_steps, d)``.  This is the
+    (unconditioned) precursor of the transfer entropy; it does not remove the
+    target's own history.
+    """
+    from repro.infotheory.ksg import ksg_multi_information
+
+    source = np.asarray(source, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if source.shape != target.shape or source.ndim != 3:
+        raise ValueError("source and target must both have shape (n_realizations, n_steps, d)")
+    if lag < 0:
+        raise ValueError("lag must be non-negative")
+    n_steps = source.shape[1]
+    if n_steps <= lag:
+        raise ValueError("need more time steps than the lag")
+    past = source[:, : n_steps - lag, :].reshape(-1, source.shape[2])
+    future = target[:, lag:, :].reshape(-1, target.shape[2])
+    return ksg_multi_information([past, future], k=k, variant="ksg1")
+
+
+def transfer_entropy(
+    source: np.ndarray,
+    target: np.ndarray,
+    *,
+    history: int = 1,
+    k: int = 4,
+) -> float:
+    """Transfer entropy ``T_{source → target}`` in bits.
+
+    ``T = I(target_{t+1} ; source_t | target_t^{(history)})`` with samples
+    pooled over realisations and time steps.  ``source`` and ``target`` have
+    shape ``(n_realizations, n_steps, d)`` and must use the *raw* particle
+    trajectories (identity preserved over time).
+    """
+    source = np.asarray(source, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if source.shape != target.shape or source.ndim != 3:
+        raise ValueError("source and target must both have shape (n_realizations, n_steps, d)")
+    future, target_past, _ = embed_history(target, history)
+    _, _, source_aligned = embed_history(source, history)
+    d = source.shape[2]
+    a = future.reshape(-1, d)
+    b = source_aligned.reshape(-1, d)
+    c = target_past.reshape(-1, history * d)
+    return conditional_mutual_information(a, b, c, k=k)

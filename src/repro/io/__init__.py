@@ -1,0 +1,5 @@
+"""Result persistence (JSON summaries; ensembles use npz via their own save/load)."""
+
+from repro.io.storage import load_measurement, save_experiment_summary, save_measurement
+
+__all__ = ["save_measurement", "load_measurement", "save_experiment_summary"]

@@ -1,0 +1,76 @@
+"""Persistence of experiment results.
+
+Ensembles are stored as compressed ``.npz`` (see
+:meth:`repro.particles.trajectory.EnsembleTrajectory.save`); the experiment
+summaries and measurement series produced by the pipeline are stored as JSON
+documents so they remain human-readable and diff-able.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.pipeline import ExperimentResult
+from repro.core.self_organization import SelfOrganizationResult
+
+__all__ = ["save_measurement", "load_measurement", "save_experiment_summary"]
+
+
+def save_measurement(path: str | Path, result: SelfOrganizationResult) -> Path:
+    """Write a measurement time series to JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return path
+
+
+def load_measurement(path: str | Path) -> SelfOrganizationResult:
+    """Load a measurement written by :func:`save_measurement`.
+
+    Only the array series and metadata are restored (decomposition objects
+    are flattened on save and come back as plain series in ``metadata``).
+    """
+    payload: dict[str, Any] = json.loads(Path(path).read_text())
+    metadata = dict(payload.get("metadata", {}))
+    if "decomposition" in payload:
+        metadata["decomposition"] = payload["decomposition"]
+    return SelfOrganizationResult(
+        steps=np.asarray(payload["steps"], dtype=int),
+        times=np.asarray(payload["times"], dtype=float),
+        multi_information=np.asarray(payload["multi_information"], dtype=float),
+        marginal_entropy_sum=(
+            np.asarray(payload["marginal_entropy_sum"], dtype=float)
+            if "marginal_entropy_sum" in payload
+            else None
+        ),
+        joint_entropy=(
+            np.asarray(payload["joint_entropy"], dtype=float) if "joint_entropy" in payload else None
+        ),
+        decompositions=None,
+        alignment_rmse=(
+            np.asarray(payload["alignment_rmse"], dtype=float)
+            if "alignment_rmse" in payload
+            else None
+        ),
+        observer_mode=payload.get("observer_mode", "particles"),
+        n_observers=int(payload.get("n_observers", 0)),
+        metadata=metadata,
+    )
+
+
+def save_experiment_summary(path: str | Path, result: ExperimentResult) -> Path:
+    """Write the compact experiment summary (config echo + headline numbers) to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "summary": result.summary(),
+        "simulation_config": result.simulation_config.to_dict(),
+        "measurement": result.measurement.to_dict(),
+        "mean_force_norm": result.mean_force_norm.tolist(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,23 @@
+"""Parallel and reproducible-randomness utilities.
+
+The heavy numerical work in :mod:`repro` is vectorised over the ensemble axis
+(first optimisation lever, per the scientific-Python guidance: vectorise
+before you parallelise).  The helpers in this subpackage cover the second
+lever: independent random streams for ensemble members and a chunked
+process-pool map for embarrassingly parallel sweeps (parameter scans, repeated
+experiments).
+"""
+
+from repro.parallel.rng import seed_streams, spawn_generator, derive_seed
+from repro.parallel.pool import parallel_map, chunk_indices
+from repro.parallel.batch import batch_slices, split_batches
+
+__all__ = [
+    "seed_streams",
+    "spawn_generator",
+    "derive_seed",
+    "parallel_map",
+    "chunk_indices",
+    "batch_slices",
+    "split_batches",
+]

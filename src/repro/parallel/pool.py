@@ -1,0 +1,76 @@
+"""Chunked process-pool map for embarrassingly parallel sweeps.
+
+The particle ensembles themselves are vectorised with NumPy (see
+:mod:`repro.particles.ensemble`); the pool here is for the *outer* loops of
+the evaluation harness — independent parameter draws, radius sweeps, repeated
+experiments — where each task is seconds of work and the pickling overhead is
+negligible.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["parallel_map", "chunk_indices", "effective_n_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def effective_n_jobs(n_jobs: int | None) -> int:
+    """Resolve an ``n_jobs`` request against the available CPU count.
+
+    ``None`` or ``1`` → serial execution (1).  ``-1`` → all cores.  Positive
+    values are clipped to the number of available cores.
+    """
+    cpus = os.cpu_count() or 1
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return cpus
+    if n_jobs <= 0:
+        raise ValueError(f"n_jobs must be positive, -1, or None; got {n_jobs}")
+    return min(n_jobs, cpus)
+
+
+def chunk_indices(n_items: int, n_chunks: int) -> list[range]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` contiguous ranges.
+
+    Chunks differ in length by at most one element, and empty chunks are
+    never returned.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if n_chunks <= 0:
+        raise ValueError("n_chunks must be positive")
+    n_chunks = min(n_chunks, n_items) if n_items > 0 else 0
+    ranges: list[range] = []
+    start = 0
+    for i in range(n_chunks):
+        size = n_items // n_chunks + (1 if i < n_items % n_chunks else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    *,
+    n_jobs: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Map ``func`` over ``items``, optionally across a process pool.
+
+    Serial execution (``n_jobs in (None, 1)``) avoids the pool entirely so the
+    function also works with non-picklable closures during interactive use and
+    inside tests.
+    """
+    items = list(items)
+    jobs = effective_n_jobs(n_jobs)
+    if jobs == 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(func, items, chunksize=max(1, chunksize)))

@@ -1,0 +1,196 @@
+"""Ensemble simulation: many independent runs of the same experiment.
+
+The paper's statistics are taken *across samples*: each experiment runs the
+same particle model ``m = 500–1000`` times from independent initial discs and
+noise realisations, and the multi-information at time ``t`` is estimated from
+the ``m`` configurations observed at that step (§5.1).
+
+Two execution strategies are provided and produce identical results for the
+same seed:
+
+* the default **vectorised** path advances all samples simultaneously with
+  batched NumPy kernels of shape ``(m, n, 2)`` (optionally split into batches
+  bounded by a memory budget), and
+* an optional **process-parallel** path (``n_jobs``) that distributes sample
+  batches over a pool — useful on many-core machines when ``m`` is large and
+  the per-batch work is substantial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.batch import batch_slices, max_batch_for_budget
+from repro.parallel.pool import effective_n_jobs, parallel_map
+from repro.parallel.rng import seed_streams
+from repro.particles.forces import drift_batch, get_force_scaling, net_force_norms
+from repro.particles.init_conditions import uniform_disc_ensemble
+from repro.particles.integrators import get_integrator
+from repro.particles.model import SimulationConfig, _clip_drift
+from repro.particles.trajectory import EnsembleTrajectory
+
+__all__ = ["EnsembleSimulator", "simulate_ensemble", "EnsembleRunStats"]
+
+
+@dataclass(frozen=True)
+class EnsembleRunStats:
+    """Diagnostics accumulated during an ensemble run.
+
+    Attributes
+    ----------
+    mean_force_norm:
+        Mean (over samples) of the summed per-particle force norms at every
+        recorded step — the quantity the equilibrium criterion thresholds.
+    fraction_at_equilibrium:
+        Fraction of samples whose force norm was below the configured
+        threshold at the final recorded step.
+    """
+
+    mean_force_norm: np.ndarray
+    fraction_at_equilibrium: float
+
+
+class EnsembleSimulator:
+    """Run ``n_samples`` independent realisations of a :class:`SimulationConfig`."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        n_samples: int,
+        *,
+        seed: int | None = None,
+        bytes_budget: int = 256 * 1024 * 1024,
+    ) -> None:
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        self.config = config
+        self.n_samples = int(n_samples)
+        self.seed = seed
+        self.bytes_budget = int(bytes_budget)
+        self.types = config.types
+        self._pair = config.params.pair_matrices(self.types)
+        self._scaling = get_force_scaling(config.force)
+        self._last_stats: EnsembleRunStats | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def last_stats(self) -> EnsembleRunStats | None:
+        """Diagnostics of the most recent :meth:`run` call (None before any run)."""
+        return self._last_stats
+
+    def initial_snapshot(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw the ensemble's initial configurations, shape ``(m, n, 2)``."""
+        return uniform_disc_ensemble(
+            self.n_samples, self.config.n_particles, self.config.disc_radius, rng
+        )
+
+    def _drift(self, positions: np.ndarray) -> np.ndarray:
+        cutoff = self.config.effective_cutoff
+        drift = drift_batch(
+            positions,
+            self.types,
+            self.config.params,
+            self._scaling,
+            cutoff=cutoff if np.isfinite(cutoff) else None,
+            pair=self._pair,
+        )
+        return _clip_drift(drift, self.config.max_drift_norm)
+
+    def _run_batch(
+        self,
+        initial: np.ndarray,
+        rng: np.random.Generator,
+        record_initial: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance one batch of samples for the full run.
+
+        Returns ``(frames, force_norms)`` with ``frames`` of shape
+        ``(n_steps + 1, batch, n, 2)`` and ``force_norms`` of shape
+        ``(n_steps + 1, batch)``.
+        """
+        config = self.config
+        integrator = get_integrator(config.integrator, noise_variance=config.noise_variance)
+        positions = np.asarray(initial, dtype=float).copy()
+        frames = [positions.copy()] if record_initial else []
+        force_norms = [net_force_norms(self._drift(positions)).sum(axis=-1)]
+        for _ in range(config.n_steps):
+            for _ in range(config.substeps):
+                positions = integrator.step(positions, self._drift, config.dt, rng)
+            frames.append(positions.copy())
+            force_norms.append(net_force_norms(self._drift(positions)).sum(axis=-1))
+        return np.stack(frames, axis=0), np.stack(force_norms, axis=0)
+
+    def run(self, *, n_jobs: int | None = None) -> EnsembleTrajectory:
+        """Simulate the full ensemble and return its trajectory.
+
+        Samples are split into batches that respect the memory budget; with
+        ``n_jobs > 1`` the batches are distributed over a process pool.  The
+        per-batch random streams are derived from the simulator seed, so the
+        result is identical regardless of parallelism (though it does depend
+        on the batch layout, i.e. on ``bytes_budget``).
+        """
+        config = self.config
+        batch_size = max_batch_for_budget(config.n_particles, bytes_budget=self.bytes_budget)
+        slices = batch_slices(self.n_samples, batch_size)
+        # One stream per batch for the dynamics noise, one extra per batch for
+        # the initial conditions; derived from a single SeedSequence family.
+        streams = seed_streams(self.seed, 2 * len(slices))
+        tasks = [
+            _BatchTask(
+                config=config,
+                n_batch_samples=sl.stop - sl.start,
+                init_rng=streams[2 * index],
+                dyn_rng=streams[2 * index + 1],
+            )
+            for index, sl in enumerate(slices)
+        ]
+
+        jobs = effective_n_jobs(n_jobs)
+        results = parallel_map(_run_batch_task, tasks, n_jobs=jobs)
+
+        frames = np.concatenate([frames for frames, _ in results], axis=1)
+        force_norms = np.concatenate([norms for _, norms in results], axis=1)
+        final_quiet = force_norms[-1] < config.equilibrium_threshold
+        self._last_stats = EnsembleRunStats(
+            mean_force_norm=force_norms.mean(axis=1),
+            fraction_at_equilibrium=float(final_quiet.mean()),
+        )
+        return EnsembleTrajectory(
+            positions=frames, types=self.types, dt=config.dt * config.substeps
+        )
+
+
+@dataclass
+class _BatchTask:
+    """Picklable unit of work for one ensemble batch (used by the pool path)."""
+
+    config: SimulationConfig
+    n_batch_samples: int
+    init_rng: np.random.Generator
+    dyn_rng: np.random.Generator
+
+
+def _run_batch_task(task: _BatchTask) -> tuple[np.ndarray, np.ndarray]:
+    """Module-level worker so the process-pool path can pickle its tasks."""
+    simulator = EnsembleSimulator(task.config, task.n_batch_samples)
+    initial = uniform_disc_ensemble(
+        task.n_batch_samples,
+        task.config.n_particles,
+        task.config.disc_radius,
+        task.init_rng,
+    )
+    return simulator._run_batch(initial, task.dyn_rng)
+
+
+def simulate_ensemble(
+    config: SimulationConfig,
+    n_samples: int,
+    *,
+    seed: int | None = None,
+    n_jobs: int | None = None,
+) -> EnsembleTrajectory:
+    """Convenience wrapper: build an :class:`EnsembleSimulator` and run it."""
+    simulator = EnsembleSimulator(config, n_samples, seed=seed)
+    return simulator.run(n_jobs=n_jobs)

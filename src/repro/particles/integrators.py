@@ -1,0 +1,158 @@
+"""Stochastic integrators for the overdamped particle dynamics.
+
+The paper integrates the SDE (Eq. 6) with the Euler–Maruyama scheme in the
+strong-friction limit: velocity is proportional to force, no momentum builds
+up.  A stochastic Heun (predictor–corrector) variant is provided as an
+extension for studying time-step sensitivity; both schemes converge to the
+same invariant behaviour for the step sizes used in the experiments.
+
+Noise convention
+----------------
+The paper states ``w ~ N(0, 0.05)``; we read ``0.05`` as the *variance* of the
+additive noise term, so one Euler–Maruyama step is
+
+    z_{t+dt} = z_t + dt * drift(z_t) + sqrt(dt) * sqrt(noise_variance) * xi,
+
+with ``xi`` standard normal per coordinate.  ``noise_variance`` is exposed on
+every public entry point, so the alternative reading (0.05 as the standard
+deviation) is a one-line configuration change.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from repro.parallel.rng import as_generator
+
+__all__ = [
+    "Integrator",
+    "EulerMaruyama",
+    "StochasticHeun",
+    "get_integrator",
+    "INTEGRATORS",
+    "DEFAULT_NOISE_VARIANCE",
+]
+
+#: The paper's noise level: ``w ~ N(0, 0.05)`` throughout all experiments.
+DEFAULT_NOISE_VARIANCE = 0.05
+
+DriftFn = Callable[[np.ndarray], np.ndarray]
+
+
+class Integrator(abc.ABC):
+    """One-step integrator of ``dz = drift(z) dt + sqrt(noise_variance) dW``."""
+
+    name: str = ""
+
+    def __init__(self, *, noise_variance: float = DEFAULT_NOISE_VARIANCE) -> None:
+        if noise_variance < 0:
+            raise ValueError("noise_variance must be non-negative")
+        self.noise_variance = float(noise_variance)
+
+    @abc.abstractmethod
+    def step(
+        self,
+        positions: np.ndarray,
+        drift_fn: DriftFn,
+        dt: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Advance ``positions`` (any shape ``(..., 2)``) by one step of size ``dt``."""
+
+    def _noise(self, shape: tuple[int, ...], dt: float, rng: np.random.Generator) -> np.ndarray:
+        if self.noise_variance == 0.0:
+            return np.zeros(shape)
+        scale = np.sqrt(dt * self.noise_variance)
+        return scale * rng.standard_normal(shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(noise_variance={self.noise_variance})"
+
+
+class EulerMaruyama(Integrator):
+    """The paper's scheme: explicit Euler drift plus Gaussian increment."""
+
+    name = "euler-maruyama"
+
+    def step(self, positions, drift_fn, dt, rng) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        drift = drift_fn(positions)
+        return positions + dt * drift + self._noise(positions.shape, dt, rng)
+
+
+class StochasticHeun(Integrator):
+    """Predictor–corrector (Heun) scheme with additive noise.
+
+    For additive noise the Heun scheme is strong order 1.0 (vs 0.5 for
+    Euler–Maruyama), which makes it a useful cross-check that reported
+    observables are not integration artefacts.
+    """
+
+    name = "heun"
+
+    def step(self, positions, drift_fn, dt, rng) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        noise = self._noise(positions.shape, dt, rng)
+        drift_here = drift_fn(positions)
+        predictor = positions + dt * drift_here + noise
+        drift_there = drift_fn(predictor)
+        return positions + 0.5 * dt * (drift_here + drift_there) + noise
+
+
+INTEGRATORS: dict[str, type[Integrator]] = {
+    EulerMaruyama.name: EulerMaruyama,
+    StochasticHeun.name: StochasticHeun,
+    "euler": EulerMaruyama,
+}
+
+
+def get_integrator(
+    name: str | Integrator,
+    *,
+    noise_variance: float = DEFAULT_NOISE_VARIANCE,
+) -> Integrator:
+    """Resolve an integrator by name or pass an existing instance through."""
+    if isinstance(name, Integrator):
+        return name
+    key = str(name).lower()
+    if key not in INTEGRATORS:
+        raise KeyError(f"unknown integrator {name!r}; available: {sorted(INTEGRATORS)}")
+    return INTEGRATORS[key](noise_variance=noise_variance)
+
+
+def simulate_path(
+    positions: np.ndarray,
+    drift_fn: DriftFn,
+    *,
+    n_steps: int,
+    dt: float,
+    integrator: Integrator | str = "euler-maruyama",
+    noise_variance: float = DEFAULT_NOISE_VARIANCE,
+    rng: np.random.Generator | int | None = None,
+    record_every: int = 1,
+) -> np.ndarray:
+    """Integrate a path and return recorded frames, shape ``(n_frames, ..., 2)``.
+
+    The initial state is always the first recorded frame.  ``record_every``
+    thins the stored trajectory without changing the dynamics.
+    """
+    if n_steps < 0:
+        raise ValueError("n_steps must be non-negative")
+    if record_every <= 0:
+        raise ValueError("record_every must be positive")
+    rng = as_generator(rng)
+    stepper = get_integrator(integrator, noise_variance=noise_variance)
+    current = np.asarray(positions, dtype=float).copy()
+    frames = [current.copy()]
+    for step_index in range(1, n_steps + 1):
+        current = stepper.step(current, drift_fn, dt, rng)
+        if step_index % record_every == 0:
+            frames.append(current.copy())
+    return np.stack(frames, axis=0)

@@ -1,0 +1,319 @@
+"""The particle system: configuration and single-run simulation.
+
+This module wires the substrates together for one simulation run: interaction
+parameters (:mod:`repro.particles.types`), the force kernels
+(:mod:`repro.particles.forces`), a neighbour-search backend
+(:mod:`repro.particles.neighbors`), a stochastic integrator
+(:mod:`repro.particles.integrators`) and the equilibrium criterion
+(:mod:`repro.particles.equilibrium`).
+
+Ensembles of runs — the unit of analysis in the paper — are handled by
+:class:`repro.particles.ensemble.EnsembleSimulator`, which shares the
+:class:`SimulationConfig` defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.parallel.rng import as_generator
+from repro.particles.equilibrium import EquilibriumDetector
+from repro.particles.forces import drift_single, get_force_scaling, net_force_norms
+from repro.particles.init_conditions import default_disc_radius, uniform_disc
+from repro.particles.integrators import DEFAULT_NOISE_VARIANCE, get_integrator
+from repro.particles.neighbors import get_neighbor_search
+from repro.particles.trajectory import Trajectory
+from repro.particles.types import InteractionParams, type_counts_to_assignment
+
+__all__ = ["SimulationConfig", "ParticleSystem"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Full specification of one particle experiment (shared by all samples).
+
+    Parameters
+    ----------
+    type_counts:
+        Number of particles of each type; the total is the collective size
+        ``n`` and the length is the number of types ``l``.
+    params:
+        Symmetric interaction matrices (must have ``l`` types).
+    force:
+        ``"F1"`` (Eq. 7) or ``"F2"`` (Eq. 8).
+    cutoff:
+        Interaction radius ``r_c``; ``None`` or ``inf`` disables the cut-off.
+    dt:
+        Integration step size.  The paper reports results per *time step*;
+        one recorded step corresponds to ``substeps`` integration steps of
+        size ``dt``.
+    substeps:
+        Integration sub-steps per recorded time step (≥ 1).  Allows small,
+        stable ``dt`` while keeping the paper's "250 time steps" semantics.
+    n_steps:
+        Number of recorded time steps (``t_max``); the stored trajectory has
+        ``n_steps + 1`` frames including the initial state.
+    noise_variance:
+        Variance of the additive Gaussian noise ``w`` (paper: 0.05).
+    init_radius:
+        Radius of the initial uniform disc; ``None`` derives it from the
+        particle count at unit density.
+    integrator:
+        ``"euler-maruyama"`` (paper) or ``"heun"``.
+    neighbor_backend:
+        Sparse neighbour search used by :class:`ParticleSystem` when a finite
+        cut-off is set: ``"brute"``, ``"cell"`` or ``"kdtree"``.
+    max_drift_norm:
+        Optional per-particle cap on the drift magnitude, guarding against
+        the ``F1`` singularity when two particles nearly coincide.
+    equilibrium_threshold / equilibrium_patience:
+        Parameters of the paper's stopping criterion.  The criterion is
+        always *evaluated*; whether it stops the run early is decided by the
+        caller (ensembles always run the full ``n_steps`` so that every
+        sample has the same number of frames).
+    """
+
+    type_counts: tuple[int, ...]
+    params: InteractionParams
+    force: str = "F2"
+    cutoff: float | None = None
+    dt: float = 0.05
+    substeps: int = 1
+    n_steps: int = 250
+    noise_variance: float = DEFAULT_NOISE_VARIANCE
+    init_radius: float | None = None
+    integrator: str = "euler-maruyama"
+    neighbor_backend: str = "brute"
+    max_drift_norm: float | None = None
+    equilibrium_threshold: float = 1e-2
+    equilibrium_patience: int = 5
+
+    def __post_init__(self) -> None:
+        counts = tuple(int(c) for c in self.type_counts)
+        object.__setattr__(self, "type_counts", counts)
+        if len(counts) == 0 or any(c < 0 for c in counts) or sum(counts) == 0:
+            raise ValueError("type_counts must contain non-negative counts summing to > 0")
+        if len(counts) != self.params.n_types:
+            raise ValueError(
+                f"type_counts has {len(counts)} types but params has {self.params.n_types}"
+            )
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.substeps <= 0:
+            raise ValueError("substeps must be positive")
+        if self.n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        if self.noise_variance < 0:
+            raise ValueError("noise_variance must be non-negative")
+        if self.cutoff is not None and self.cutoff <= 0:
+            raise ValueError("cutoff must be positive (use None for unconstrained interactions)")
+        if self.init_radius is not None and self.init_radius <= 0:
+            raise ValueError("init_radius must be positive")
+        if self.max_drift_norm is not None and self.max_drift_norm <= 0:
+            raise ValueError("max_drift_norm must be positive")
+        # Resolve names eagerly so configuration errors surface at construction.
+        get_force_scaling(self.force)
+        get_integrator(self.integrator)
+        get_neighbor_search(self.neighbor_backend)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_particles(self) -> int:
+        """Total collective size ``n``."""
+        return int(sum(self.type_counts))
+
+    @property
+    def n_types(self) -> int:
+        """Number of types ``l``."""
+        return len(self.type_counts)
+
+    @property
+    def types(self) -> np.ndarray:
+        """Per-particle type assignment (fixed for the whole experiment)."""
+        return type_counts_to_assignment(self.type_counts)
+
+    @property
+    def disc_radius(self) -> float:
+        """Radius of the initial uniform disc."""
+        if self.init_radius is not None:
+            return float(self.init_radius)
+        return default_disc_radius(self.n_particles)
+
+    @property
+    def effective_cutoff(self) -> float:
+        """Cut-off radius as a float (``inf`` when unconstrained)."""
+        if self.cutoff is None:
+            return float("inf")
+        return float(self.cutoff)
+
+    def with_updates(self, **changes: Any) -> "SimulationConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (used by the experiment registry)."""
+        return {
+            "type_counts": list(self.type_counts),
+            "params": self.params.to_dict(),
+            "force": self.force,
+            "cutoff": None if self.cutoff is None else float(self.cutoff),
+            "dt": self.dt,
+            "substeps": self.substeps,
+            "n_steps": self.n_steps,
+            "noise_variance": self.noise_variance,
+            "init_radius": self.init_radius,
+            "integrator": self.integrator,
+            "neighbor_backend": self.neighbor_backend,
+            "max_drift_norm": self.max_drift_norm,
+            "equilibrium_threshold": self.equilibrium_threshold,
+            "equilibrium_patience": self.equilibrium_patience,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        payload["type_counts"] = tuple(payload["type_counts"])
+        payload["params"] = InteractionParams.from_dict(payload["params"])
+        return cls(**payload)
+
+
+def _clip_drift(drift: np.ndarray, max_norm: float | None) -> np.ndarray:
+    """Scale down per-particle drift vectors that exceed ``max_norm``."""
+    if max_norm is None:
+        return drift
+    norms = net_force_norms(drift)
+    factor = np.ones_like(norms)
+    too_fast = norms > max_norm
+    factor[too_fast] = max_norm / norms[too_fast]
+    return drift * factor[..., None]
+
+
+class ParticleSystem:
+    """A single simulation run of the particle model.
+
+    The system owns its positions, advances them step by step, tracks the
+    equilibrium criterion and can record a full :class:`Trajectory`.  For
+    large collectives with a finite cut-off the drift is evaluated through a
+    sparse neighbour search; otherwise the dense vectorised kernel is used.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        rng: np.random.Generator | int | None = None,
+        initial_positions: np.ndarray | None = None,
+    ) -> None:
+        self.config = config
+        self.rng = as_generator(rng)
+        self.types = config.types
+        self._scaling = get_force_scaling(config.force)
+        self._integrator = get_integrator(config.integrator, noise_variance=config.noise_variance)
+        self._neighbors = get_neighbor_search(config.neighbor_backend)
+        self._equilibrium = EquilibriumDetector(
+            threshold=config.equilibrium_threshold, patience=config.equilibrium_patience
+        )
+        if initial_positions is None:
+            self.positions = uniform_disc(config.n_particles, config.disc_radius, self.rng)
+        else:
+            initial_positions = np.asarray(initial_positions, dtype=float)
+            if initial_positions.shape != (config.n_particles, 2):
+                raise ValueError(
+                    f"initial_positions must have shape ({config.n_particles}, 2), "
+                    f"got {initial_positions.shape}"
+                )
+            self.positions = initial_positions.copy()
+        self._step_count = 0
+        #: Use the sparse path only when it can actually prune pairs.
+        self._use_sparse = (
+            np.isfinite(config.effective_cutoff) and config.neighbor_backend != "brute"
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_particles(self) -> int:
+        return self.config.n_particles
+
+    @property
+    def step_count(self) -> int:
+        """Number of recorded time steps taken so far."""
+        return self._step_count
+
+    @property
+    def at_equilibrium(self) -> bool:
+        """Whether the paper's stopping criterion has been met."""
+        return self._equilibrium.quiet_steps >= self.config.equilibrium_patience
+
+    @property
+    def force_history(self) -> np.ndarray:
+        """Summed force norm per recorded step (equilibrium diagnostic)."""
+        return self._equilibrium.history
+
+    def drift(self, positions: np.ndarray | None = None) -> np.ndarray:
+        """Deterministic drift at the given (default: current) positions."""
+        pos = self.positions if positions is None else np.asarray(positions, dtype=float)
+        cutoff = self.config.effective_cutoff
+        neighbor_pairs = None
+        if self._use_sparse:
+            neighbor_pairs = self._neighbors.pairs(pos, cutoff)
+        drift = drift_single(
+            pos,
+            self.types,
+            self.config.params,
+            self._scaling,
+            cutoff=cutoff if np.isfinite(cutoff) else None,
+            neighbor_pairs=neighbor_pairs,
+        )
+        return _clip_drift(drift, self.config.max_drift_norm)
+
+    def step(self) -> np.ndarray:
+        """Advance by one recorded time step (``config.substeps`` integration steps)."""
+        for _ in range(self.config.substeps):
+            self.positions = self._integrator.step(
+                self.positions, self.drift, self.config.dt, self.rng
+            )
+        self._step_count += 1
+        self._equilibrium.update(self.drift())
+        return self.positions
+
+    def run(
+        self,
+        n_steps: int | None = None,
+        *,
+        stop_at_equilibrium: bool = False,
+        record: bool = True,
+    ) -> Trajectory:
+        """Run the simulation and return the recorded trajectory.
+
+        Parameters
+        ----------
+        n_steps:
+            Number of recorded steps; defaults to ``config.n_steps``.
+        stop_at_equilibrium:
+            Stop early once the equilibrium criterion is satisfied.  The
+            returned trajectory then contains only the frames actually taken.
+        record:
+            When False, only the final frame is kept (single-frame
+            trajectory) — useful for equilibrium-shape studies.
+        """
+        total = self.config.n_steps if n_steps is None else int(n_steps)
+        if total < 0:
+            raise ValueError("n_steps must be non-negative")
+        frames = [self.positions.copy()]
+        for _ in range(total):
+            self.step()
+            if record:
+                frames.append(self.positions.copy())
+            if stop_at_equilibrium and self.at_equilibrium:
+                break
+        if not record:
+            frames = [self.positions.copy()]
+        return Trajectory(
+            positions=np.stack(frames, axis=0),
+            types=self.types,
+            dt=self.config.dt * self.config.substeps,
+        )

@@ -1,0 +1,14 @@
+"""Text-based visualisation and series export (no plotting backend required)."""
+
+from repro.viz.ascii_plots import bar_chart, line_plot, scatter_plot, series_table
+from repro.viz.export import load_series_csv, save_json, save_series_csv
+
+__all__ = [
+    "line_plot",
+    "scatter_plot",
+    "bar_chart",
+    "series_table",
+    "save_series_csv",
+    "load_series_csv",
+    "save_json",
+]

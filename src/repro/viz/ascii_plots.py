@@ -1,0 +1,179 @@
+"""Terminal-friendly plots (no plotting library is available offline).
+
+The benchmark harness and the examples use these to show the same series the
+paper's figures plot: multi-information curves over time, ΔI bar summaries
+and particle-configuration scatters.  The functions return plain strings so
+they compose with logging and file output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "scatter_plot", "bar_chart", "series_table"]
+
+_TYPE_GLYPHS = "ox+*#@%&"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[float] | np.ndarray],
+    *,
+    x: Sequence[float] | np.ndarray | None = None,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more series as an ASCII line plot.
+
+    Each series gets its own marker character; series are drawn in the order
+    given, later ones overwriting earlier ones where they collide.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    arrays = {name: np.asarray(values, dtype=float) for name, values in series.items()}
+    lengths = {arr.size for arr in arrays.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    n_points = lengths.pop()
+    if n_points == 0:
+        raise ValueError("series must be non-empty")
+    if x is None:
+        x_values = np.arange(n_points, dtype=float)
+    else:
+        x_values = np.asarray(x, dtype=float)
+        if x_values.size != n_points:
+            raise ValueError("x must have the same length as the series")
+
+    all_y = np.concatenate(list(arrays.values()))
+    finite = all_y[np.isfinite(all_y)]
+    y_min = float(finite.min()) if finite.size else 0.0
+    y_max = float(finite.max()) if finite.size else 1.0
+    if np.isclose(y_min, y_max):
+        y_max = y_min + 1.0
+    x_min, x_max = float(x_values.min()), float(x_values.max())
+    if np.isclose(x_min, x_max):
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    for index, (name, values) in enumerate(arrays.items()):
+        marker = _TYPE_GLYPHS[index % len(_TYPE_GLYPHS)]
+        markers[name] = marker
+        for xv, yv in zip(x_values, values):
+            if not np.isfinite(yv):
+                continue
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:10.3f} |"
+    bottom_label = f"{y_min:10.3f} |"
+    pad = " " * 11 + "|"
+    for row_index, row in enumerate(grid):
+        prefix = top_label if row_index == 0 else (bottom_label if row_index == height - 1 else pad)
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 12 + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<12.3f}{'':^{max(width - 24, 0)}}{x_max:>12.3f}")
+    legend = "  ".join(f"{marker}={name}" for name, marker in markers.items())
+    lines.append(f"legend: {legend}")
+    if y_label:
+        lines.append(f"y: {y_label}")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    positions: np.ndarray,
+    types: np.ndarray | None = None,
+    *,
+    width: int = 60,
+    height: int = 26,
+    title: str = "",
+) -> str:
+    """Render a particle configuration as an ASCII scatter (one glyph per type)."""
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError("positions must have shape (n, 2)")
+    n = positions.shape[0]
+    if types is None:
+        types = np.zeros(n, dtype=int)
+    types = np.asarray(types, dtype=int)
+    if types.shape != (n,):
+        raise ValueError("types must have shape (n,)")
+
+    mins = positions.min(axis=0)
+    maxs = positions.max(axis=0)
+    span = np.where(np.isclose(maxs - mins, 0.0), 1.0, maxs - mins)
+    grid = [[" "] * width for _ in range(height)]
+    for point, type_id in zip(positions, types):
+        col = int(round((point[0] - mins[0]) / span[0] * (width - 1)))
+        row = int(round((point[1] - mins[1]) / span[1] * (height - 1)))
+        grid[height - 1 - row][col] = _TYPE_GLYPHS[type_id % len(_TYPE_GLYPHS)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (used for ΔI summaries like Fig. 8)."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    numeric = {name: float(v) for name, v in values.items()}
+    max_abs = max(abs(v) for v in numeric.values()) or 1.0
+    label_width = max(len(name) for name in numeric)
+    lines = [title] if title else []
+    for name, value in numeric.items():
+        bar_len = int(round(abs(value) / max_abs * width))
+        bar = "#" * bar_len
+        lines.append(f"{name:>{label_width}} | {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def series_table(
+    columns: Mapping[str, Sequence[float] | np.ndarray],
+    *,
+    float_format: str = "{:.4f}",
+    max_rows: int | None = None,
+) -> str:
+    """Fixed-width text table of aligned series (what the figures tabulate)."""
+    if not columns:
+        raise ValueError("columns must be non-empty")
+    arrays = {name: np.asarray(values) for name, values in columns.items()}
+    lengths = {arr.shape[0] for arr in arrays.values()}
+    if len(lengths) != 1:
+        raise ValueError("all columns must have the same length")
+    n_rows = lengths.pop()
+    if max_rows is not None and n_rows > max_rows:
+        idx = np.linspace(0, n_rows - 1, max_rows).astype(int)
+    else:
+        idx = np.arange(n_rows)
+
+    headers = list(arrays)
+    col_width = max(12, max(len(h) for h in headers) + 2)
+    lines = ["".join(f"{h:>{col_width}}" for h in headers)]
+    lines.append("-" * (col_width * len(headers)))
+    for i in idx:
+        cells = []
+        for name in headers:
+            value = arrays[name][i]
+            if isinstance(value, (float, np.floating)):
+                cells.append(f"{float_format.format(float(value)):>{col_width}}")
+            else:
+                cells.append(f"{str(value):>{col_width}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.self_organization import AnalysisConfig
+from repro.particles.model import SimulationConfig
+from repro.particles.types import InteractionParams
+
+# Property-based tests exercise numerical kernels whose runtime varies a lot
+# between examples; disable the per-example deadline and keep example counts
+# moderate so the whole suite stays fast.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def two_type_params() -> InteractionParams:
+    """Small two-type parameter set with same-type clustering."""
+    return InteractionParams.clustering(2, self_distance=1.0, cross_distance=2.5, k=2.0)
+
+
+@pytest.fixture
+def small_config(two_type_params: InteractionParams) -> SimulationConfig:
+    """A cheap simulation configuration used across integration-style tests."""
+    return SimulationConfig(
+        type_counts=(6, 6),
+        params=two_type_params,
+        force="F1",
+        cutoff=None,
+        dt=0.02,
+        substeps=2,
+        n_steps=15,
+        init_radius=3.0,
+    )
+
+
+@pytest.fixture
+def fast_analysis() -> AnalysisConfig:
+    """Analysis configuration that keeps per-test runtime small."""
+    return AnalysisConfig(step_stride=5, k_neighbors=3)

@@ -1,0 +1,103 @@
+"""Tests for repro.alignment.procrustes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.alignment.procrustes import RigidTransform, alignment_error, kabsch_2d
+
+
+def _random_points(seed: int, n: int = 15) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(-5, 5, size=(n, 2))
+
+
+class TestRigidTransform:
+    def test_identity(self):
+        transform = RigidTransform.identity()
+        points = _random_points(0)
+        np.testing.assert_allclose(transform.apply(points), points)
+
+    def test_from_angle(self):
+        transform = RigidTransform.from_angle(np.pi / 2)
+        np.testing.assert_allclose(transform.apply(np.array([[1.0, 0.0]])), [[0.0, 1.0]], atol=1e-12)
+
+    def test_angle_roundtrip(self):
+        for angle in (-2.0, -0.5, 0.0, 1.0, 3.0):
+            assert RigidTransform.from_angle(angle).angle == pytest.approx(angle)
+
+    def test_compose(self):
+        a = RigidTransform.from_angle(0.3, (1.0, 0.0))
+        b = RigidTransform.from_angle(0.5, (0.0, 2.0))
+        points = _random_points(1)
+        np.testing.assert_allclose(a.compose(b).apply(points), a.apply(b.apply(points)), atol=1e-12)
+
+    def test_inverse(self):
+        transform = RigidTransform.from_angle(1.2, (3.0, -1.0))
+        points = _random_points(2)
+        roundtrip = transform.inverse().apply(transform.apply(points))
+        np.testing.assert_allclose(roundtrip, points, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RigidTransform(rotation=np.eye(3), translation=np.zeros(2))
+        with pytest.raises(ValueError):
+            RigidTransform(rotation=np.eye(2), translation=np.zeros(3))
+
+
+class TestKabsch:
+    @given(st.floats(min_value=-3.1, max_value=3.1), st.floats(min_value=-10, max_value=10), st.floats(min_value=-10, max_value=10))
+    def test_recovers_known_transform(self, angle, tx, ty):
+        source = _random_points(3)
+        true = RigidTransform.from_angle(angle, (tx, ty))
+        target = true.apply(source)
+        fitted = kabsch_2d(source, target)
+        np.testing.assert_allclose(fitted.apply(source), target, atol=1e-8)
+
+    def test_proper_rotation_only(self):
+        # Even when the best orthogonal map is a reflection, the fit must
+        # return a proper rotation (det = +1).
+        source = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0], [2.0, 1.0]])
+        target = source.copy()
+        target[:, 0] *= -1  # mirrored
+        fitted = kabsch_2d(source, target)
+        assert np.linalg.det(fitted.rotation) == pytest.approx(1.0)
+
+    def test_weights_ignore_outlier(self):
+        source = _random_points(4, n=10)
+        true = RigidTransform.from_angle(0.8, (1.0, 2.0))
+        target = true.apply(source)
+        target[0] += 100.0  # corrupted correspondence
+        weights = np.ones(10)
+        weights[0] = 0.0
+        fitted = kabsch_2d(source, target, weights=weights)
+        np.testing.assert_allclose(fitted.apply(source)[1:], target[1:], atol=1e-8)
+
+    def test_empty_input_gives_identity(self):
+        fitted = kabsch_2d(np.zeros((0, 2)), np.zeros((0, 2)))
+        np.testing.assert_allclose(fitted.rotation, np.eye(2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kabsch_2d(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            kabsch_2d(np.zeros((2, 2)), np.zeros((2, 2)), weights=np.array([-1.0, 1.0]))
+
+
+class TestAlignmentError:
+    def test_zero_for_identical(self):
+        points = _random_points(5)
+        assert alignment_error(points, points) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.array([[3.0, 4.0], [0.0, 0.0]])
+        assert alignment_error(a, b) == pytest.approx(np.sqrt(25.0 / 2.0))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            alignment_error(np.zeros((2, 2)), np.zeros((3, 2)))

@@ -1,0 +1,76 @@
+"""Tests for repro.analysis.information_dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.information_dynamics import (
+    net_information_flow,
+    pairwise_lagged_mutual_information,
+    pairwise_transfer_entropy,
+    particle_series,
+)
+from repro.particles.trajectory import EnsembleTrajectory
+
+
+def _driven_ensemble(n_samples=40, n_steps=25, coupling=1.2, seed=0) -> EnsembleTrajectory:
+    """Particle 0 drives particle 1; particle 2 is independent noise."""
+    rng = np.random.default_rng(seed)
+    positions = np.zeros((n_steps, n_samples, 3, 2))
+    for t in range(1, n_steps):
+        noise = rng.standard_normal((n_samples, 3, 2))
+        positions[t, :, 0] = 0.5 * positions[t - 1, :, 0] + noise[:, 0]
+        positions[t, :, 1] = (
+            0.5 * positions[t - 1, :, 1] + coupling * positions[t - 1, :, 0] + noise[:, 1]
+        )
+        positions[t, :, 2] = 0.5 * positions[t - 1, :, 2] + noise[:, 2]
+    return EnsembleTrajectory(positions=positions, types=np.array([0, 0, 1]), dt=1.0)
+
+
+class TestParticleSeries:
+    def test_shape_and_content(self):
+        ensemble = _driven_ensemble(n_samples=4, n_steps=6)
+        series = particle_series(ensemble, 1)
+        assert series.shape == (4, 6, 2)
+        np.testing.assert_array_equal(series[2, 3], ensemble.positions[3, 2, 1])
+
+    def test_index_validation(self):
+        ensemble = _driven_ensemble(n_samples=2, n_steps=4)
+        with pytest.raises(ValueError):
+            particle_series(ensemble, 5)
+
+
+class TestPairwiseTransferEntropy:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        ensemble = _driven_ensemble()
+        return pairwise_transfer_entropy(ensemble, particles=[0, 1, 2], history=1, k=4)
+
+    def test_shape_and_zero_diagonal(self, matrix):
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_detects_driver(self, matrix):
+        # matrix[i, j] = T_{j -> i}: the 0 -> 1 entry dominates its reverse.
+        assert matrix[1, 0] > matrix[0, 1] + 0.05
+        # and dominates transfer from the independent particle 2.
+        assert matrix[1, 0] > matrix[1, 2] + 0.05
+
+    def test_net_flow_identifies_source_and_sink(self, matrix):
+        flow = net_information_flow(matrix)
+        assert flow[0] > flow[1]  # particle 0 is a net source, particle 1 a net sink
+        assert flow.shape == (3,)
+
+    def test_net_flow_validation(self):
+        with pytest.raises(ValueError):
+            net_information_flow(np.zeros((2, 3)))
+
+
+class TestPairwiseLaggedMI:
+    def test_driven_pair_stands_out(self):
+        ensemble = _driven_ensemble(seed=3)
+        matrix = pairwise_lagged_mutual_information(ensemble, particles=[0, 1, 2], lag=1, k=4)
+        assert matrix.shape == (3, 3)
+        # I(particle 0 at t ; particle 1 at t+1) exceeds the uncoupled pair (0, 2).
+        assert matrix[1, 0] > matrix[2, 0] + 0.05

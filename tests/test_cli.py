@@ -1,0 +1,73 @@
+"""Tests for the repro.cli command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig5"])
+        assert args.figure == "fig5"
+        assert not args.full
+        assert args.max_specs is None
+
+
+class TestListCommand:
+    def test_lists_every_figure(self):
+        stream = io.StringIO()
+        assert main(["list"], stream=stream) == 0
+        output = stream.getvalue()
+        for figure in ("fig3", "fig4", "fig5", "fig9", "fig12"):
+            assert figure in output
+
+
+class TestCurvesCommand:
+    def test_prints_plot_and_writes_csv(self, tmp_path):
+        stream = io.StringIO()
+        csv_path = tmp_path / "curves.csv"
+        assert main(["curves", "--output", str(csv_path)], stream=stream) == 0
+        assert "F1" in stream.getvalue()
+        assert csv_path.exists()
+
+
+class TestRunCommand:
+    def test_unknown_figure_is_an_error(self, tmp_path):
+        stream = io.StringIO()
+        code = main(["run", "fig99", "--output", str(tmp_path)], stream=stream)
+        assert code == 2
+        assert "unknown figure" in stream.getvalue()
+
+    def test_fig2_redirects_to_curves(self, tmp_path):
+        stream = io.StringIO()
+        assert main(["run", "fig2", "--output", str(tmp_path)], stream=stream) == 2
+
+    def test_runs_single_spec_and_writes_outputs(self, tmp_path, monkeypatch):
+        # Shrink the reduced scale so the CLI test stays fast.
+        from repro.core import experiments as exp_mod
+
+        tiny = exp_mod.ExperimentScale(n_samples=24, n_steps=10, step_stride=5, sweep_repeats=1)
+        monkeypatch.setattr(exp_mod, "default_scale", lambda full=None: tiny)
+
+        stream = io.StringIO()
+        code = main(
+            ["run", "fig5", "--output", str(tmp_path), "--max-specs", "1", "--quiet"],
+            stream=stream,
+        )
+        assert code == 0
+        json_files = list(tmp_path.glob("*.json"))
+        csv_files = list(tmp_path.glob("*.csv"))
+        assert len(json_files) == 1
+        assert len(csv_files) == 1
+        payload = json.loads(json_files[0].read_text())
+        assert "multi_information" in payload
+        assert "delta I" in stream.getvalue()

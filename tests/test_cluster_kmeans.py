@@ -1,0 +1,99 @@
+"""Tests for repro.cluster.kmeans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.kmeans import kmeans, kmeans_plus_plus_init
+
+
+def _blobs(rng, centers, n_per_blob=30, spread=0.1):
+    centers = np.asarray(centers, dtype=float)
+    points = []
+    for center in centers:
+        points.append(center + spread * rng.standard_normal((n_per_blob, 2)))
+    return np.concatenate(points, axis=0)
+
+
+class TestKMeansPlusPlus:
+    def test_centers_are_data_points(self, rng):
+        points = rng.uniform(-5, 5, size=(40, 2))
+        centers = kmeans_plus_plus_init(points, 4, rng)
+        for center in centers:
+            assert np.any(np.all(np.isclose(points, center), axis=1))
+
+    def test_duplicate_points_handled(self, rng):
+        points = np.zeros((10, 2))
+        centers = kmeans_plus_plus_init(points, 3, rng)
+        assert centers.shape == (3, 2)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, rng):
+        true_centers = [[-5.0, -5.0], [5.0, 5.0], [5.0, -5.0]]
+        points = _blobs(rng, true_centers)
+        result = kmeans(points, 3, rng=rng)
+        # Every true centre has a fitted centre nearby.
+        for center in true_centers:
+            distances = np.linalg.norm(result.centers - center, axis=1)
+            assert distances.min() < 0.3
+
+    def test_labels_match_nearest_center(self, rng):
+        points = _blobs(rng, [[-3.0, 0.0], [3.0, 0.0]])
+        result = kmeans(points, 2, rng=rng)
+        delta = points[:, None, :] - result.centers[None, :, :]
+        nearest = np.einsum("nkd,nkd->nk", delta, delta).argmin(axis=1)
+        np.testing.assert_array_equal(result.labels, nearest)
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        points = rng.uniform(-5, 5, size=(60, 2))
+        inertia = [kmeans(points, k, rng=rng).inertia for k in (1, 2, 4, 8)]
+        assert all(np.diff(inertia) <= 1e-9)
+
+    def test_deterministic_given_seed(self):
+        points = np.random.default_rng(0).uniform(-3, 3, size=(50, 2))
+        a = kmeans(points, 4, rng=7)
+        b = kmeans(points, 4, rng=7)
+        np.testing.assert_allclose(a.centers, b.centers)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_canonical_center_ordering(self, rng):
+        points = _blobs(rng, [[4.0, 0.0], [-4.0, 0.0]])
+        result = kmeans(points, 2, rng=rng)
+        # Centres are sorted lexicographically by (x, y).
+        assert result.centers[0, 0] < result.centers[1, 0]
+
+    def test_single_cluster_is_mean(self, rng):
+        points = rng.uniform(-2, 2, size=(30, 2))
+        result = kmeans(points, 1, rng=rng)
+        np.testing.assert_allclose(result.centers[0], points.mean(axis=0), atol=1e-9)
+        assert np.all(result.labels == 0)
+
+    def test_k_equals_n_gives_zero_inertia(self, rng):
+        points = rng.uniform(-2, 2, size=(6, 2))
+        result = kmeans(points, 6, rng=rng)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_inputs(self, rng):
+        points = rng.uniform(size=(5, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0, rng=rng)
+        with pytest.raises(ValueError):
+            kmeans(points, 6, rng=rng)
+        with pytest.raises(ValueError):
+            kmeans(points, 2, rng=rng, n_init=0)
+        with pytest.raises(ValueError):
+            kmeans(points, 2, rng=rng, max_iterations=0)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=100))
+    def test_partition_property(self, k, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-3, 3, size=(20, 2))
+        result = kmeans(points, k, rng=rng)
+        assert result.labels.shape == (20,)
+        assert set(np.unique(result.labels)) <= set(range(k))
+        assert result.centers.shape == (k, 2)
+        assert result.inertia >= 0

@@ -1,0 +1,67 @@
+"""Tests for repro.core.observers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.observers import AUTO_CLUSTER_THRESHOLD, ObserverMode, build_observers
+
+
+def _snapshot(rng, n_samples=5, n_particles=10, n_types=2):
+    types = np.repeat(np.arange(n_types), n_particles // n_types)
+    return rng.uniform(-3, 3, size=(n_samples, types.size, 2)), types
+
+
+class TestBuildObservers:
+    def test_particle_mode_returns_copy(self, rng):
+        snapshot, types = _snapshot(rng)
+        observers = build_observers(snapshot, types, mode="particles")
+        assert observers.mode is ObserverMode.PARTICLES
+        np.testing.assert_array_equal(observers.values, snapshot)
+        observers.values[0, 0, 0] = 99.0
+        assert snapshot[0, 0, 0] != 99.0
+
+    def test_cluster_mode_reduces_observer_count(self, rng):
+        snapshot, types = _snapshot(rng, n_particles=20)
+        observers = build_observers(snapshot, types, mode="clusters", n_clusters=3, rng=0)
+        assert observers.mode is ObserverMode.CLUSTERS
+        assert observers.n_observers == 6
+        assert observers.values.shape == (snapshot.shape[0], 6, 2)
+
+    def test_auto_mode_small_collective_uses_particles(self, rng):
+        snapshot, types = _snapshot(rng, n_particles=10)
+        observers = build_observers(snapshot, types, mode="auto")
+        assert observers.mode is ObserverMode.PARTICLES
+
+    def test_auto_mode_large_collective_uses_clusters(self, rng):
+        n_particles = AUTO_CLUSTER_THRESHOLD + 2
+        types = np.zeros(n_particles, dtype=int)
+        snapshot = rng.uniform(-3, 3, size=(4, n_particles, 2))
+        observers = build_observers(snapshot, types, mode="auto", n_clusters=3, rng=0)
+        assert observers.mode is ObserverMode.CLUSTERS
+        assert observers.n_observers == 3
+
+    def test_type_groups_partition_observers(self, rng):
+        snapshot, types = _snapshot(rng)
+        observers = build_observers(snapshot, types, mode="particles")
+        groups = observers.type_groups()
+        flattened = sorted(i for group in groups for i in group)
+        assert flattened == list(range(observers.n_observers))
+
+    def test_string_mode_accepted(self, rng):
+        snapshot, types = _snapshot(rng)
+        observers = build_observers(snapshot, types, mode="particles")
+        assert observers.mode is ObserverMode.PARTICLES
+
+    def test_invalid_mode_rejected(self, rng):
+        snapshot, types = _snapshot(rng)
+        with pytest.raises(ValueError):
+            build_observers(snapshot, types, mode="pixels")
+
+    def test_shape_validation(self, rng):
+        snapshot, types = _snapshot(rng)
+        with pytest.raises(ValueError):
+            build_observers(snapshot[..., :1], types)
+        with pytest.raises(ValueError):
+            build_observers(snapshot, types[:-1])

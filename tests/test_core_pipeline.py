@@ -1,0 +1,59 @@
+"""Tests for repro.core.pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ExperimentResult, run_experiment, run_simulation_only
+from repro.core.self_organization import AnalysisConfig
+
+
+class TestRunSimulationOnly:
+    def test_returns_trajectory_and_simulator(self, small_config):
+        ensemble, simulator = run_simulation_only(small_config, 4, seed=0)
+        assert ensemble.n_samples == 4
+        assert simulator.last_stats is not None
+
+
+class TestRunExperiment:
+    def test_full_result_structure(self, small_config, fast_analysis):
+        result = run_experiment(small_config, 16, analysis_config=fast_analysis, seed=0)
+        assert isinstance(result, ExperimentResult)
+        assert result.n_samples == 16
+        assert result.measurement.multi_information.size > 1
+        assert result.mean_force_norm.shape == (small_config.n_steps + 1,)
+        assert 0.0 <= result.fraction_at_equilibrium <= 1.0
+        assert result.ensemble is None
+        assert set(result.wall_time_seconds) == {"simulation", "measurement", "total"}
+
+    def test_keep_ensemble(self, small_config, fast_analysis):
+        result = run_experiment(
+            small_config, 8, analysis_config=fast_analysis, seed=0, keep_ensemble=True
+        )
+        assert result.ensemble is not None
+        assert result.ensemble.n_samples == 8
+
+    def test_reproducible_given_seed(self, small_config, fast_analysis):
+        a = run_experiment(small_config, 12, analysis_config=fast_analysis, seed=3)
+        b = run_experiment(small_config, 12, analysis_config=fast_analysis, seed=3)
+        np.testing.assert_allclose(
+            a.measurement.multi_information, b.measurement.multi_information
+        )
+
+    def test_summary_serializable(self, small_config, fast_analysis):
+        import json
+
+        result = run_experiment(small_config, 8, analysis_config=fast_analysis, seed=0)
+        payload = json.dumps(result.summary())
+        assert "delta_multi_information" in payload
+
+    def test_default_analysis_config_used(self, small_config):
+        result = run_experiment(small_config, 8, seed=0)
+        assert isinstance(result.analysis_config, AnalysisConfig)
+
+    def test_delta_property_matches_measurement(self, small_config, fast_analysis):
+        result = run_experiment(small_config, 8, analysis_config=fast_analysis, seed=1)
+        assert result.delta_multi_information == pytest.approx(
+            result.measurement.delta_multi_information
+        )

@@ -1,0 +1,125 @@
+"""Tests for repro.infotheory.knn."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.infotheory.knn import (
+    chebyshev_over_variables,
+    k_nearest_neighbor_indices,
+    kozachenko_leonenko_entropy,
+    kth_neighbor_distances,
+    kth_neighbor_indices,
+    pairwise_euclidean,
+    per_variable_distances,
+)
+
+
+class TestPairwiseEuclidean:
+    def test_matches_scipy(self, rng):
+        samples = rng.normal(size=(40, 3))
+        np.testing.assert_allclose(pairwise_euclidean(samples), cdist(samples, samples), atol=1e-9)
+
+    def test_one_dimensional_input(self):
+        samples = np.array([[0.0], [3.0]])
+        np.testing.assert_allclose(pairwise_euclidean(samples), [[0.0, 3.0], [3.0, 0.0]])
+
+
+class TestPerVariableAndChebyshev:
+    def test_shapes(self, rng):
+        var_list = [rng.normal(size=(20, 2)), rng.normal(size=(20, 1))]
+        per_var = per_variable_distances(var_list)
+        assert per_var.shape == (2, 20, 20)
+        joint = chebyshev_over_variables(per_var)
+        assert joint.shape == (20, 20)
+
+    def test_chebyshev_is_elementwise_max(self, rng):
+        var_list = [rng.normal(size=(10, 2)), rng.normal(size=(10, 2))]
+        per_var = per_variable_distances(var_list)
+        joint = chebyshev_over_variables(per_var)
+        np.testing.assert_allclose(joint, np.maximum(per_var[0], per_var[1]))
+
+    def test_chebyshev_validates_ndim(self):
+        with pytest.raises(ValueError):
+            chebyshev_over_variables(np.zeros((3, 3)))
+
+
+class TestNeighborIndices:
+    def test_known_configuration(self):
+        # Points on a line: 0, 1, 3, 7
+        x = np.array([[0.0], [1.0], [3.0], [7.0]])
+        dist = pairwise_euclidean(x)
+        nn1 = kth_neighbor_indices(dist, 1)
+        np.testing.assert_array_equal(nn1, [1, 0, 1, 2])
+        nn2 = kth_neighbor_indices(dist, 2)
+        np.testing.assert_array_equal(nn2, [2, 2, 0, 1])
+
+    def test_k_nearest_sorted(self, rng):
+        samples = rng.normal(size=(30, 2))
+        dist = pairwise_euclidean(samples)
+        idx = k_nearest_neighbor_indices(dist, 5)
+        assert idx.shape == (30, 5)
+        gathered = np.take_along_axis(
+            dist + np.diag(np.full(30, np.inf)), idx, axis=1
+        )
+        assert np.all(np.diff(gathered, axis=1) >= -1e-12)
+
+    def test_invalid_k(self):
+        dist = pairwise_euclidean(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            kth_neighbor_indices(dist, 0)
+        with pytest.raises(ValueError):
+            kth_neighbor_indices(dist, 5)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            kth_neighbor_indices(np.zeros((3, 4)), 1)
+
+
+class TestKthNeighborDistances:
+    def test_backends_agree(self, rng):
+        samples = rng.normal(size=(60, 3))
+        dense = kth_neighbor_distances(samples, 4, backend="dense")
+        tree = kth_neighbor_distances(samples, 4, backend="kdtree")
+        np.testing.assert_allclose(dense, tree, atol=1e-9)
+
+    def test_unknown_backend(self, rng):
+        with pytest.raises(ValueError):
+            kth_neighbor_distances(rng.normal(size=(10, 2)), 2, backend="balltree")
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            kth_neighbor_distances(rng.normal(size=(10, 2)), 10)
+
+
+class TestKozachenkoLeonenkoEntropy:
+    def test_gaussian_entropy_1d(self):
+        rng = np.random.default_rng(0)
+        sigma = 2.0
+        samples = rng.normal(0.0, sigma, size=(4000, 1))
+        true = 0.5 * np.log2(2 * np.pi * np.e * sigma**2)
+        estimate = kozachenko_leonenko_entropy(samples, k=5)
+        assert estimate == pytest.approx(true, abs=0.1)
+
+    def test_gaussian_entropy_2d(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(size=(4000, 2))
+        true = 2 * 0.5 * np.log2(2 * np.pi * np.e)
+        estimate = kozachenko_leonenko_entropy(samples, k=5)
+        assert estimate == pytest.approx(true, abs=0.15)
+
+    def test_uniform_entropy(self):
+        rng = np.random.default_rng(2)
+        width = 4.0
+        samples = rng.uniform(0, width, size=(4000, 1))
+        estimate = kozachenko_leonenko_entropy(samples, k=5)
+        assert estimate == pytest.approx(np.log2(width), abs=0.1)
+
+    def test_scaling_shifts_entropy_by_log_factor(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(size=(2000, 1))
+        base = kozachenko_leonenko_entropy(samples, k=4)
+        scaled = kozachenko_leonenko_entropy(4.0 * samples, k=4)
+        assert scaled - base == pytest.approx(2.0, abs=0.1)

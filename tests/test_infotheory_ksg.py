@@ -1,0 +1,133 @@
+"""Tests for repro.infotheory.ksg (the paper's core estimator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.infotheory.ksg import ksg_multi_information, ksg_multi_information_with_diagnostics
+
+
+def _correlated_gaussians(rho: float, m: int, seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    cov = [[1.0, rho], [rho, 1.0]]
+    xy = rng.multivariate_normal([0.0, 0.0], cov, size=m)
+    return [xy[:, :1], xy[:, 1:]]
+
+
+def _gaussian_mi_bits(rho: float) -> float:
+    return -0.5 * np.log2(1.0 - rho * rho)
+
+
+class TestAgainstAnalyticGaussian:
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.9])
+    @pytest.mark.parametrize("variant", ["ksg1", "ksg2"])
+    def test_bivariate_gaussian(self, rho, variant):
+        variables = _correlated_gaussians(rho, m=1500)
+        estimate = ksg_multi_information(variables, k=5, variant=variant)
+        assert estimate == pytest.approx(_gaussian_mi_bits(rho), abs=0.12)
+
+    @pytest.mark.parametrize("variant", ["ksg1", "ksg2"])
+    def test_independent_is_near_zero(self, variant):
+        rng = np.random.default_rng(1)
+        variables = [rng.standard_normal((1500, 1)), rng.standard_normal((1500, 1))]
+        assert abs(ksg_multi_information(variables, k=5, variant=variant)) < 0.08
+
+    def test_three_variable_common_cause(self):
+        # X, Y = X + noise, Z independent: I(X,Y,Z) = I(X;Y).
+        rng = np.random.default_rng(2)
+        m = 1500
+        x = rng.standard_normal((m, 1))
+        y = x + 0.5 * rng.standard_normal((m, 1))
+        z = rng.standard_normal((m, 1))
+        # Analytic: correlation between X and Y is 1/sqrt(1.25)
+        rho = 1.0 / np.sqrt(1.25)
+        expected = _gaussian_mi_bits(rho)
+        estimate = ksg_multi_information([x, y, z], k=5, variant="ksg2")
+        assert estimate == pytest.approx(expected, abs=0.2)
+
+    def test_vector_valued_observers(self):
+        rng = np.random.default_rng(3)
+        m = 1200
+        shared = rng.standard_normal((m, 2))
+        a = shared + 0.7 * rng.standard_normal((m, 2))
+        b = shared + 0.7 * rng.standard_normal((m, 2))
+        dependent = ksg_multi_information([a, b], k=5)
+        independent = ksg_multi_information(
+            [rng.standard_normal((m, 2)), rng.standard_normal((m, 2))], k=5
+        )
+        assert dependent > independent + 0.5
+
+
+class TestEstimatorProperties:
+    def test_paper_variant_preserves_ordering(self):
+        # The literal Eq. 18/20 transcription is offset but must remain
+        # monotone in the underlying dependence.
+        weak = ksg_multi_information(_correlated_gaussians(0.2, 800, seed=4), k=4, variant="paper")
+        strong = ksg_multi_information(_correlated_gaussians(0.9, 800, seed=4), k=4, variant="paper")
+        assert strong > weak
+
+    def test_insensitive_to_k_in_paper_range(self):
+        variables = _correlated_gaussians(0.8, 1200, seed=5)
+        estimates = [ksg_multi_information(variables, k=k) for k in (2, 4, 5, 10)]
+        assert max(estimates) - min(estimates) < 0.15
+
+    def test_invariant_under_variable_permutation(self):
+        variables = _correlated_gaussians(0.7, 600, seed=6)
+        forward = ksg_multi_information(variables, k=5)
+        backward = ksg_multi_information(list(reversed(variables)), k=5)
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+    def test_invariant_under_per_variable_isometry(self):
+        # Rotating or translating an observer's coordinates must not change
+        # the estimate (the metric per observer is Euclidean).
+        rng = np.random.default_rng(7)
+        m = 800
+        shared = rng.standard_normal((m, 2))
+        a = shared + 0.5 * rng.standard_normal((m, 2))
+        b = shared + 0.5 * rng.standard_normal((m, 2))
+        theta = 1.1
+        rot = np.array([[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]])
+        base = ksg_multi_information([a, b], k=5)
+        transformed = ksg_multi_information([a @ rot.T + 3.0, b], k=5)
+        assert transformed == pytest.approx(base, abs=1e-9)
+
+    def test_increases_with_coupling_strength(self):
+        rng = np.random.default_rng(8)
+        m = 700
+        shared = rng.standard_normal((m, 1))
+        estimates = []
+        for noise in (2.0, 1.0, 0.5, 0.25):
+            a = shared + noise * rng.standard_normal((m, 1))
+            b = shared + noise * rng.standard_normal((m, 1))
+            estimates.append(ksg_multi_information([a, b], k=5))
+        assert all(np.diff(estimates) > 0)
+
+    def test_accepts_3d_array_input(self):
+        rng = np.random.default_rng(9)
+        arr = rng.standard_normal((300, 4, 2))
+        value = ksg_multi_information(arr, k=3)
+        assert np.isfinite(value)
+
+    def test_diagnostics_counts_shape(self):
+        variables = _correlated_gaussians(0.5, 200, seed=10)
+        diag = ksg_multi_information_with_diagnostics(variables, k=3)
+        assert diag.counts.shape == (2, 200)
+        assert diag.k == 3
+        assert np.all(diag.counts >= 1)
+
+    def test_ksg2_counts_at_least_k(self):
+        variables = _correlated_gaussians(0.5, 300, seed=11)
+        diag = ksg_multi_information_with_diagnostics(variables, k=4, variant="ksg2")
+        # The rectangle containing the k joint neighbours contains at least k
+        # points in every projection.
+        assert np.all(diag.counts >= 4)
+
+    def test_invalid_inputs(self):
+        variables = _correlated_gaussians(0.5, 50, seed=12)
+        with pytest.raises(ValueError):
+            ksg_multi_information(variables, k=0)
+        with pytest.raises(ValueError):
+            ksg_multi_information(variables, k=50)
+        with pytest.raises(ValueError):
+            ksg_multi_information(variables, k=5, variant="ksg3")

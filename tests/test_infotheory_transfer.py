@@ -1,0 +1,127 @@
+"""Tests for repro.infotheory.transfer (conditional MI and transfer entropy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.infotheory.transfer import (
+    conditional_mutual_information,
+    embed_history,
+    time_lagged_mutual_information,
+    transfer_entropy,
+)
+
+
+def _gaussian_cmi_testbed(m: int, seed: int = 0):
+    """A → C → B chain: I(A;B|C) = 0 but I(A;B) > 0."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, 1))
+    c = a + 0.5 * rng.standard_normal((m, 1))
+    b = c + 0.5 * rng.standard_normal((m, 1))
+    return a, b, c
+
+
+class TestConditionalMutualInformation:
+    def test_chain_has_zero_conditional_mi(self):
+        a, b, c = _gaussian_cmi_testbed(1500)
+        value = conditional_mutual_information(a, b, c, k=5)
+        assert abs(value) < 0.1
+
+    def test_conditioning_on_irrelevant_variable_keeps_mi(self):
+        rng = np.random.default_rng(1)
+        m = 1500
+        a = rng.standard_normal((m, 1))
+        b = a + 0.5 * rng.standard_normal((m, 1))
+        irrelevant = rng.standard_normal((m, 1))
+        unconditional = -0.5 * np.log2(1 - (1 / np.sqrt(1.25)) ** 2)
+        value = conditional_mutual_information(a, b, irrelevant, k=5)
+        assert value == pytest.approx(unconditional, abs=0.2)
+
+    def test_synergy_detected(self):
+        # XOR-like continuous synergy: B = A + C, so conditioning on C reveals A.
+        rng = np.random.default_rng(2)
+        m = 1500
+        a = rng.standard_normal((m, 1))
+        c = rng.standard_normal((m, 1))
+        b = a + c
+        low = conditional_mutual_information(a, b, rng.standard_normal((m, 1)), k=5)
+        high = conditional_mutual_information(a, b, c, k=5)
+        assert high > low + 1.0
+
+    def test_accepts_1d_inputs(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal(300)
+        b = a + rng.standard_normal(300)
+        c = rng.standard_normal(300)
+        assert np.isfinite(conditional_mutual_information(a, b, c, k=4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conditional_mutual_information(np.zeros((10, 1)), np.zeros((9, 1)), np.zeros((10, 1)))
+        with pytest.raises(ValueError):
+            conditional_mutual_information(np.zeros((10, 1)), np.zeros((10, 1)), np.zeros((10, 1)), k=10)
+
+
+class TestEmbedHistory:
+    def test_shapes(self):
+        series = np.arange(2 * 6 * 1, dtype=float).reshape(2, 6, 1)
+        future, past, aligned = embed_history(series, history=2)
+        assert future.shape == (2, 4, 1)
+        assert past.shape == (2, 4, 2)
+        assert aligned.shape == (2, 4, 1)
+
+    def test_alignment_semantics(self):
+        # One realization, scalar series 0..5; history=1: future[t] = series[t+1],
+        # past[t] = series[t], aligned[t] = series[t].
+        series = np.arange(6, dtype=float).reshape(1, 6, 1)
+        future, past, aligned = embed_history(series, history=1)
+        np.testing.assert_array_equal(future[0, :, 0], [1, 2, 3, 4, 5])
+        np.testing.assert_array_equal(past[0, :, 0], [0, 1, 2, 3, 4])
+        np.testing.assert_array_equal(aligned[0, :, 0], [0, 1, 2, 3, 4])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            embed_history(np.zeros((2, 3)), 1)
+        with pytest.raises(ValueError):
+            embed_history(np.zeros((2, 3, 1)), 0)
+        with pytest.raises(ValueError):
+            embed_history(np.zeros((2, 3, 1)), 3)
+
+
+def _coupled_processes(m_realizations: int, n_steps: int, coupling: float, seed: int = 0):
+    """X drives Y: y_{t+1} = 0.5 y_t + coupling * x_t + noise; x is AR(1)."""
+    rng = np.random.default_rng(seed)
+    x = np.zeros((m_realizations, n_steps, 1))
+    y = np.zeros((m_realizations, n_steps, 1))
+    for t in range(1, n_steps):
+        x[:, t] = 0.5 * x[:, t - 1] + rng.standard_normal((m_realizations, 1))
+        y[:, t] = 0.5 * y[:, t - 1] + coupling * x[:, t - 1] + rng.standard_normal((m_realizations, 1))
+    return x, y
+
+
+class TestTransferEntropy:
+    def test_detects_direction_of_coupling(self):
+        x, y = _coupled_processes(60, 30, coupling=1.0)
+        forward = transfer_entropy(x, y, history=1, k=4)
+        backward = transfer_entropy(y, x, history=1, k=4)
+        assert forward > backward + 0.1
+        assert forward > 0.15
+
+    def test_uncoupled_processes_have_low_transfer(self):
+        x, y = _coupled_processes(60, 30, coupling=0.0, seed=1)
+        value = transfer_entropy(x, y, history=1, k=4)
+        assert abs(value) < 0.1
+
+    def test_lagged_mutual_information_tracks_coupling(self):
+        x, y = _coupled_processes(60, 30, coupling=1.0, seed=2)
+        coupled = time_lagged_mutual_information(x, y, lag=1, k=4)
+        x0, y0 = _coupled_processes(60, 30, coupling=0.0, seed=2)
+        uncoupled = time_lagged_mutual_information(x0, y0, lag=1, k=4)
+        assert coupled > uncoupled + 0.1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            transfer_entropy(np.zeros((3, 5, 1)), np.zeros((3, 6, 1)))
+        with pytest.raises(ValueError):
+            time_lagged_mutual_information(np.zeros((3, 5, 1)), np.zeros((3, 5, 1)), lag=5)

@@ -1,0 +1,114 @@
+"""Integration tests: the paper's qualitative findings at miniature scale.
+
+Each test exercises the full stack (simulation → alignment → estimation) on a
+configuration small enough to run in seconds while still reproducing the
+qualitative statement of the corresponding result section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.shape_stats import detect_concentric_rings, type_segregation_index
+from repro.core.pipeline import run_experiment
+from repro.core.self_organization import AnalysisConfig
+from repro.particles.ensemble import EnsembleSimulator
+from repro.particles.model import SimulationConfig
+from repro.particles.types import InteractionParams
+
+
+@pytest.mark.slow
+class TestAdhesionSorting:
+    """Differential adhesion sorts types (the Fig. 1 / Fig. 12 phenomenology)."""
+
+    def test_segregation_increases(self):
+        params = InteractionParams.clustering(2, self_distance=1.0, cross_distance=2.5, k=2.0)
+        config = SimulationConfig(
+            type_counts=(8, 8), params=params, force="F1", dt=0.02, substeps=3, n_steps=25,
+            init_radius=3.0,
+        )
+        ensemble = EnsembleSimulator(config, 10, seed=0).run()
+        initial = np.mean(
+            [type_segregation_index(ensemble.positions[0, m], ensemble.types) for m in range(10)]
+        )
+        final = np.mean(
+            [type_segregation_index(ensemble.positions[-1, m], ensemble.types) for m in range(10)]
+        )
+        assert final > initial + 0.15
+
+
+@pytest.mark.slow
+class TestMultiInformationIncrease:
+    """§6: interacting multi-type collectives show increasing multi-information."""
+
+    def test_clustering_dynamics_self_organize(self):
+        params = InteractionParams.clustering(3, self_distance=1.0, cross_distance=2.5, k=2.0)
+        config = SimulationConfig(
+            type_counts=(5, 5, 5), params=params, force="F1", dt=0.02, substeps=3, n_steps=25,
+            init_radius=3.0,
+        )
+        result = run_experiment(
+            config, 48, analysis_config=AnalysisConfig(step_stride=8, k_neighbors=3), seed=1
+        )
+        assert result.delta_multi_information > 0.5
+
+    def test_noninteracting_particles_do_not_self_organize(self):
+        # Zero interaction strength: pure diffusion from the initial disc.
+        params = InteractionParams.from_matrices(
+            k=np.zeros((2, 2)), r=np.ones((2, 2))
+        )
+        config = SimulationConfig(
+            type_counts=(6, 6), params=params, force="F1", dt=0.02, substeps=3, n_steps=25,
+            init_radius=3.0,
+        )
+        result = run_experiment(
+            config, 48, analysis_config=AnalysisConfig(step_stride=8, k_neighbors=3), seed=2
+        )
+        # Free diffusion cannot build correlations between particles; allow a
+        # small tolerance for estimator fluctuations.
+        assert result.delta_multi_information < 1.0
+
+
+@pytest.mark.slow
+class TestSingleTypeF1Rings:
+    """§6/Fig. 7: single-type F1 collectives form concentric rings."""
+
+    def test_double_ring_structure_forms(self):
+        params = InteractionParams.single_type(k=1.0, r=2.5)
+        config = SimulationConfig(
+            type_counts=(20,), params=params, force="F1", dt=0.02, substeps=5, n_steps=60,
+            init_radius=3.0, noise_variance=0.01,
+        )
+        ensemble = EnsembleSimulator(config, 4, seed=3).run()
+        reports = [detect_concentric_rings(ensemble.positions[-1, m]) for m in range(4)]
+        assert any(report.n_rings >= 2 for report in reports)
+
+
+@pytest.mark.slow
+class TestCutoffLimitsSelfOrganization:
+    """§6.1/Fig. 9: a small cut-off radius limits the achievable organization."""
+
+    def test_long_range_beats_short_range(self):
+        rng = np.random.default_rng(0)
+        from repro.particles.types import random_symmetric_matrix
+
+        r = random_symmetric_matrix(4, 2.0, 5.0, rng)
+        params = InteractionParams.from_matrices(k=np.ones((4, 4)), r=r)
+        base = dict(
+            type_counts=(3, 3, 3, 3),
+            params=params,
+            force="F1",
+            dt=0.02,
+            substeps=3,
+            n_steps=25,
+            init_radius=3.0,
+        )
+        analysis = AnalysisConfig(step_stride=8, k_neighbors=3)
+        short = run_experiment(
+            SimulationConfig(**base, cutoff=1.5), 48, analysis_config=analysis, seed=4
+        )
+        long = run_experiment(
+            SimulationConfig(**base, cutoff=None), 48, analysis_config=analysis, seed=4
+        )
+        assert long.delta_multi_information > short.delta_multi_information

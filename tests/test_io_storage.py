@@ -1,0 +1,59 @@
+"""Tests for repro.io.storage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import run_experiment
+from repro.io.storage import load_measurement, save_experiment_summary, save_measurement
+
+
+@pytest.fixture(scope="module")
+def experiment_result():
+    from repro.core.self_organization import AnalysisConfig
+    from repro.particles.model import SimulationConfig
+    from repro.particles.types import InteractionParams
+
+    params = InteractionParams.clustering(2, self_distance=1.0, cross_distance=2.0)
+    config = SimulationConfig(
+        type_counts=(5, 5), params=params, force="F1", dt=0.02, n_steps=10, init_radius=2.5
+    )
+    return run_experiment(
+        config,
+        12,
+        analysis_config=AnalysisConfig(step_stride=5, k_neighbors=3, compute_entropies=True),
+        seed=0,
+    )
+
+
+class TestMeasurementRoundtrip:
+    def test_save_and_load(self, experiment_result, tmp_path):
+        path = save_measurement(tmp_path / "measurement.json", experiment_result.measurement)
+        loaded = load_measurement(path)
+        np.testing.assert_allclose(
+            loaded.multi_information, experiment_result.measurement.multi_information
+        )
+        np.testing.assert_array_equal(loaded.steps, experiment_result.measurement.steps)
+        np.testing.assert_allclose(
+            loaded.joint_entropy, experiment_result.measurement.joint_entropy
+        )
+        assert loaded.observer_mode == experiment_result.measurement.observer_mode
+        assert loaded.metadata["n_samples"] == 12
+
+    def test_creates_parent_directories(self, experiment_result, tmp_path):
+        path = save_measurement(
+            tmp_path / "deep" / "nested" / "m.json", experiment_result.measurement
+        )
+        assert path.exists()
+
+
+class TestExperimentSummary:
+    def test_summary_file_contents(self, experiment_result, tmp_path):
+        import json
+
+        path = save_experiment_summary(tmp_path / "summary.json", experiment_result)
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["n_samples"] == 12
+        assert payload["simulation_config"]["force"] == "F1"
+        assert len(payload["mean_force_norm"]) == 11

@@ -1,0 +1,87 @@
+"""Tests for repro.parallel.pool."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.pool import chunk_indices, effective_n_jobs, parallel_map
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestEffectiveNJobs:
+    def test_none_is_serial(self):
+        assert effective_n_jobs(None) == 1
+
+    def test_minus_one_uses_all_cores(self):
+        assert effective_n_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_clipped_to_cpu_count(self):
+        assert effective_n_jobs(10_000) <= (os.cpu_count() or 1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            effective_n_jobs(0)
+
+    def test_negative_other_than_minus_one_rejected(self):
+        with pytest.raises(ValueError):
+            effective_n_jobs(-2)
+
+
+class TestChunkIndices:
+    def test_covers_all_items_exactly_once(self):
+        chunks = chunk_indices(10, 3)
+        flat = [i for chunk in chunks for i in chunk]
+        assert flat == list(range(10))
+
+    def test_no_empty_chunks(self):
+        assert all(len(c) > 0 for c in chunk_indices(3, 10))
+
+    def test_zero_items(self):
+        assert chunk_indices(0, 4) == []
+
+    def test_sizes_balanced(self):
+        sizes = [len(c) for c in chunk_indices(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chunk_indices(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_indices(5, 0)
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=50))
+    def test_partition_property(self, n_items, n_chunks):
+        chunks = chunk_indices(n_items, n_chunks)
+        flat = [i for chunk in chunks for i in chunk]
+        assert flat == list(range(n_items))
+        assert len(chunks) <= n_chunks
+
+
+class TestParallelMap:
+    def test_serial_matches_builtin_map(self):
+        items = list(range(20))
+        assert parallel_map(_square, items) == [x * x for x in items]
+
+    def test_serial_supports_closures(self):
+        offset = 3
+        assert parallel_map(lambda x: x + offset, [1, 2, 3], n_jobs=1) == [4, 5, 6]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, []) == []
+
+    def test_parallel_matches_serial(self):
+        items = list(range(12))
+        serial = parallel_map(_square, items, n_jobs=1)
+        parallel = parallel_map(_square, items, n_jobs=2)
+        assert serial == parallel
+
+    def test_single_item_never_spawns_pool(self):
+        # Works with a non-picklable closure even when n_jobs > 1.
+        assert parallel_map(lambda x: x - 1, [5], n_jobs=4) == [4]

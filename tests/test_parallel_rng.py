@@ -1,0 +1,89 @@
+"""Tests for repro.parallel.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.rng import as_generator, derive_seed, seed_streams, spawn_generator
+
+
+class TestAsGenerator:
+    def test_accepts_integer_seed(self):
+        gen = as_generator(7)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_same_seed_same_sequence(self):
+        a = as_generator(3).standard_normal(5)
+        b = as_generator(3).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passes_generator_through_unchanged(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSeedStreams:
+    def test_stream_count(self):
+        assert len(seed_streams(0, 7)) == 7
+
+    def test_zero_streams_allowed(self):
+        assert seed_streams(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            seed_streams(0, -1)
+
+    def test_streams_are_independent(self):
+        streams = seed_streams(42, 2)
+        a = streams[0].standard_normal(100)
+        b = streams[1].standard_normal(100)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_family(self):
+        first = [g.standard_normal(3) for g in seed_streams(5, 3)]
+        second = [g.standard_normal(3) for g in seed_streams(5, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = seed_streams(1, 1)[0].standard_normal(10)
+        b = seed_streams(2, 1)[0].standard_normal(10)
+        assert not np.allclose(a, b)
+
+
+class TestSpawnGenerator:
+    def test_matches_family_member(self):
+        family = seed_streams(9, 4)
+        direct = spawn_generator(9, 2)
+        np.testing.assert_array_equal(direct.standard_normal(6), family[2].standard_normal(6))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generator(0, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "fig9", 3) == derive_seed(1, "fig9", 3)
+
+    def test_different_keys_differ(self):
+        assert derive_seed(1, "fig9", 3) != derive_seed(1, "fig9", 4)
+
+    def test_string_and_int_keys_mix(self):
+        value = derive_seed(0, "alpha", 7, "beta")
+        assert isinstance(value, int)
+        assert value >= 0
+
+    def test_none_base_seed_supported(self):
+        assert derive_seed(None, "x") == derive_seed(None, "x")
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.text(max_size=10))
+    def test_always_in_uint32_range(self, seed, key):
+        value = derive_seed(seed, key)
+        assert 0 <= value < 2**32

@@ -1,0 +1,231 @@
+"""Tests for repro.particles.forces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.particles.forces import (
+    FORCE_SCALINGS,
+    GaussianAdhesionForce,
+    LinearAdhesionForce,
+    drift_batch,
+    drift_single,
+    get_force_scaling,
+    net_force_norms,
+    pairwise_distance_matrix,
+    preferred_distance_curve,
+)
+from repro.particles.types import InteractionParams
+
+
+class TestForceScalingFunctions:
+    def test_f1_zero_at_preferred_distance(self):
+        f1 = LinearAdhesionForce()
+        value = f1(np.array([2.0]), 1.0, 2.0, 1.0, 1.0)
+        np.testing.assert_allclose(value, 0.0, atol=1e-12)
+
+    def test_f1_sign_structure(self):
+        f1 = LinearAdhesionForce()
+        # Below the preferred distance the scaling is negative (repulsion);
+        # beyond it positive (attraction).
+        assert f1(np.array([1.0]), 1.0, 2.0, 1.0, 1.0)[0] < 0
+        assert f1(np.array([3.0]), 1.0, 2.0, 1.0, 1.0)[0] > 0
+
+    def test_f1_saturates_at_k(self):
+        f1 = LinearAdhesionForce()
+        value = f1(np.array([1e9]), 3.0, 2.0, 1.0, 1.0)
+        np.testing.assert_allclose(value, 3.0, rtol=1e-6)
+
+    def test_f1_finite_at_zero_distance(self):
+        f1 = LinearAdhesionForce()
+        assert np.isfinite(f1(np.array([0.0]), 1.0, 2.0, 1.0, 1.0)).all()
+
+    def test_f2_zero_at_origin_with_unit_sigma(self):
+        f2 = GaussianAdhesionForce()
+        np.testing.assert_allclose(f2(np.array([0.0]), 1.0, 1.0, 1.0, 2.0), 0.0, atol=1e-12)
+
+    def test_f2_repulsive_everywhere_when_tau_exceeds_sigma(self):
+        # With sigma = 1 (the paper's setting) and tau > 1 the repulsion term
+        # decays slower, so F2 <= 0 at every distance: a purely repulsive,
+        # finite-range interaction.
+        f2 = GaussianAdhesionForce()
+        x = np.linspace(0.0, 10.0, 200)
+        assert np.all(f2(x, 2.0, 1.0, 1.0, 4.0) <= 1e-12)
+
+    def test_f2_sign_change_when_sigma_exceeds_tau(self):
+        f2 = GaussianAdhesionForce()
+        x = np.linspace(0.01, 8.0, 400)
+        values = f2(x, 1.0, 1.0, 2.0, 1.0)
+        assert values.min() < 0 < values.max()
+
+    def test_f2_vanishes_at_long_range(self):
+        f2 = GaussianAdhesionForce()
+        np.testing.assert_allclose(f2(np.array([50.0]), 5.0, 1.0, 1.0, 3.0), 0.0, atol=1e-12)
+
+    def test_preferred_distance_f1_matches_r(self):
+        f1 = LinearAdhesionForce()
+        assert np.isclose(f1.preferred_distance(1.0, 2.5, 1.0, 1.0), 2.5, atol=1e-2)
+
+    def test_preferred_distance_curve_shape(self):
+        params = InteractionParams.clustering(2, self_distance=1.0, cross_distance=3.0)
+        curve = preferred_distance_curve("F1", params)
+        assert curve.shape == (2, 2)
+        np.testing.assert_allclose(np.diag(curve), 1.0, atol=1e-2)
+
+    def test_registry_lookup(self):
+        assert get_force_scaling("F1") is FORCE_SCALINGS["F1"]
+        assert get_force_scaling("f2").name == "F2"
+        assert get_force_scaling(FORCE_SCALINGS["F1"]) is FORCE_SCALINGS["F1"]
+
+    def test_registry_unknown(self):
+        with pytest.raises(KeyError):
+            get_force_scaling("F3")
+
+
+class TestPairwiseDistances:
+    def test_known_values(self):
+        pos = np.array([[0.0, 0.0], [3.0, 4.0]])
+        dist = pairwise_distance_matrix(pos)
+        np.testing.assert_allclose(dist, [[0.0, 5.0], [5.0, 0.0]])
+
+    def test_batch_shape(self):
+        pos = np.zeros((4, 7, 2))
+        assert pairwise_distance_matrix(pos).shape == (4, 7, 7)
+
+    @given(st.integers(min_value=2, max_value=10))
+    def test_symmetry_and_zero_diagonal(self, n):
+        pos = np.random.default_rng(n).uniform(-5, 5, size=(n, 2))
+        dist = pairwise_distance_matrix(pos)
+        np.testing.assert_allclose(dist, dist.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(dist), 0.0, atol=1e-12)
+
+
+def _random_system(rng, n=8, n_types=2):
+    params = InteractionParams.random(n_types, rng=rng)
+    types = rng.integers(0, n_types, size=n)
+    positions = rng.uniform(-3, 3, size=(n, 2))
+    return positions, types, params
+
+
+class TestDriftSingle:
+    def test_two_particles_attract_beyond_preferred_distance(self):
+        params = InteractionParams.single_type(k=1.0, r=1.0)
+        positions = np.array([[0.0, 0.0], [3.0, 0.0]])
+        types = np.zeros(2, dtype=int)
+        drift = drift_single(positions, types, params, "F1")
+        # particle 0 should be pushed towards +x, particle 1 towards -x
+        assert drift[0, 0] > 0
+        assert drift[1, 0] < 0
+        np.testing.assert_allclose(drift[:, 1], 0.0, atol=1e-12)
+
+    def test_two_particles_repel_below_preferred_distance(self):
+        params = InteractionParams.single_type(k=1.0, r=2.0)
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        types = np.zeros(2, dtype=int)
+        drift = drift_single(positions, types, params, "F1")
+        assert drift[0, 0] < 0
+        assert drift[1, 0] > 0
+
+    def test_momentum_conservation_for_symmetric_params(self, rng):
+        positions, types, params = _random_system(rng)
+        drift = drift_single(positions, types, params, "F1")
+        # Newton's third law: pairwise forces cancel in the sum.
+        np.testing.assert_allclose(drift.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_cutoff_removes_interactions(self):
+        params = InteractionParams.single_type(k=1.0, r=1.0)
+        positions = np.array([[0.0, 0.0], [10.0, 0.0]])
+        types = np.zeros(2, dtype=int)
+        drift = drift_single(positions, types, params, "F1", cutoff=5.0)
+        np.testing.assert_allclose(drift, 0.0, atol=1e-12)
+
+    def test_infinite_cutoff_equals_none(self, rng):
+        positions, types, params = _random_system(rng)
+        a = drift_single(positions, types, params, "F2", cutoff=None)
+        b = drift_single(positions, types, params, "F2", cutoff=np.inf)
+        np.testing.assert_allclose(a, b)
+
+    def test_translation_invariance(self, rng):
+        positions, types, params = _random_system(rng)
+        shifted = positions + np.array([11.0, -4.0])
+        a = drift_single(positions, types, params, "F1")
+        b = drift_single(shifted, types, params, "F1")
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_rotation_equivariance(self, rng):
+        positions, types, params = _random_system(rng)
+        theta = 0.7
+        rot = np.array([[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]])
+        a = drift_single(positions @ rot.T, types, params, "F1")
+        b = drift_single(positions, types, params, "F1") @ rot.T
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_same_type_permutation_equivariance(self, rng):
+        positions, types, params = _random_system(rng, n=8, n_types=2)
+        # Permute two particles of the same type; the drift permutes the same way.
+        same_type = np.nonzero(types == types[0])[0]
+        if same_type.size < 2:
+            pytest.skip("random draw produced fewer than 2 particles of type 0")
+        i, j = same_type[:2]
+        perm = np.arange(positions.shape[0])
+        perm[[i, j]] = perm[[j, i]]
+        a = drift_single(positions[perm], types, params, "F1")
+        b = drift_single(positions, types, params, "F1")[perm]
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_sparse_pairs_match_dense(self, rng):
+        positions, types, params = _random_system(rng, n=12)
+        cutoff = 2.5
+        from repro.particles.neighbors import BruteForceNeighbors
+
+        pairs = BruteForceNeighbors().pairs(positions, cutoff)
+        dense = drift_single(positions, types, params, "F1", cutoff=cutoff)
+        sparse = drift_single(
+            positions, types, params, "F1", cutoff=cutoff, neighbor_pairs=pairs
+        )
+        np.testing.assert_allclose(sparse, dense, atol=1e-9)
+
+    def test_shape_validation(self):
+        params = InteractionParams.single_type()
+        with pytest.raises(ValueError):
+            drift_single(np.zeros((3, 3)), np.zeros(3, dtype=int), params, "F1")
+        with pytest.raises(ValueError):
+            drift_single(np.zeros((3, 2)), np.zeros(4, dtype=int), params, "F1")
+
+
+class TestDriftBatch:
+    def test_matches_single_per_sample(self, rng):
+        params = InteractionParams.random(3, rng=rng)
+        types = rng.integers(0, 3, size=9)
+        batch = rng.uniform(-3, 3, size=(5, 9, 2))
+        batched = drift_batch(batch, types, params, "F1", cutoff=4.0)
+        for m in range(batch.shape[0]):
+            single = drift_single(batch[m], types, params, "F1", cutoff=4.0)
+            np.testing.assert_allclose(batched[m], single, atol=1e-9)
+
+    def test_requires_batch_shape(self):
+        params = InteractionParams.single_type()
+        with pytest.raises(ValueError):
+            drift_batch(np.zeros((3, 2)), np.zeros(3, dtype=int), params, "F1")
+
+    def test_pair_matrices_can_be_reused(self, rng):
+        params = InteractionParams.random(2, rng=rng)
+        types = rng.integers(0, 2, size=6)
+        batch = rng.uniform(-2, 2, size=(3, 6, 2))
+        pair = params.pair_matrices(types)
+        a = drift_batch(batch, types, params, "F2", pair=pair)
+        b = drift_batch(batch, types, params, "F2")
+        np.testing.assert_allclose(a, b)
+
+
+class TestNetForceNorms:
+    def test_single_configuration(self):
+        drift = np.array([[3.0, 4.0], [0.0, 0.0]])
+        np.testing.assert_allclose(net_force_norms(drift), [5.0, 0.0])
+
+    def test_batch_shape(self):
+        drift = np.ones((4, 6, 2))
+        assert net_force_norms(drift).shape == (4, 6)

@@ -1,0 +1,121 @@
+"""Tests for repro.particles.integrators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.particles.integrators import (
+    DEFAULT_NOISE_VARIANCE,
+    EulerMaruyama,
+    StochasticHeun,
+    get_integrator,
+    simulate_path,
+)
+
+
+def _linear_drift(rate: float):
+    def drift(z: np.ndarray) -> np.ndarray:
+        return -rate * z
+
+    return drift
+
+
+class TestEulerMaruyama:
+    def test_deterministic_step_without_noise(self, rng):
+        stepper = EulerMaruyama(noise_variance=0.0)
+        z0 = np.array([[1.0, 2.0]])
+        z1 = stepper.step(z0, _linear_drift(1.0), dt=0.1, rng=rng)
+        np.testing.assert_allclose(z1, z0 * 0.9)
+
+    def test_noise_scale(self):
+        # With zero drift, the per-step variance should be dt * noise_variance.
+        stepper = EulerMaruyama(noise_variance=0.5)
+        rng = np.random.default_rng(0)
+        z0 = np.zeros((20000, 2))
+        z1 = stepper.step(z0, lambda z: np.zeros_like(z), dt=0.2, rng=rng)
+        assert np.isclose(z1.var(), 0.2 * 0.5, rtol=0.05)
+
+    def test_invalid_dt(self, rng):
+        stepper = EulerMaruyama()
+        with pytest.raises(ValueError):
+            stepper.step(np.zeros((2, 2)), _linear_drift(1.0), dt=0.0, rng=rng)
+
+    def test_decay_to_origin_without_noise(self, rng):
+        stepper = EulerMaruyama(noise_variance=0.0)
+        z = np.array([[5.0, -3.0]])
+        for _ in range(200):
+            z = stepper.step(z, _linear_drift(1.0), dt=0.05, rng=rng)
+        assert np.linalg.norm(z) < 1e-3
+
+
+class TestStochasticHeun:
+    def test_more_accurate_than_euler_for_smooth_drift(self, rng):
+        # Exact solution of dz/dt = -z over total time T is z0 * exp(-T).
+        z0 = np.array([[1.0, 0.0]])
+        total_time, n_steps = 1.0, 20
+        dt = total_time / n_steps
+        exact = z0 * np.exp(-total_time)
+
+        def integrate(stepper):
+            z = z0.copy()
+            for _ in range(n_steps):
+                z = stepper.step(z, _linear_drift(1.0), dt=dt, rng=rng)
+            return z
+
+        euler_error = np.abs(integrate(EulerMaruyama(noise_variance=0.0)) - exact).max()
+        heun_error = np.abs(integrate(StochasticHeun(noise_variance=0.0)) - exact).max()
+        assert heun_error < euler_error
+
+    def test_shares_noise_between_predictor_and_corrector(self):
+        # With zero drift, Heun must reduce to a single Gaussian increment
+        # (same statistics as Euler-Maruyama), not two.
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        z0 = np.zeros((100, 2))
+        heun = StochasticHeun(noise_variance=1.0).step(z0, lambda z: np.zeros_like(z), 0.1, rng_a)
+        euler = EulerMaruyama(noise_variance=1.0).step(z0, lambda z: np.zeros_like(z), 0.1, rng_b)
+        np.testing.assert_allclose(heun, euler)
+
+
+class TestRegistry:
+    def test_default_noise_variance_is_papers(self):
+        assert DEFAULT_NOISE_VARIANCE == pytest.approx(0.05)
+
+    def test_lookup(self):
+        assert isinstance(get_integrator("euler-maruyama"), EulerMaruyama)
+        assert isinstance(get_integrator("euler"), EulerMaruyama)
+        assert isinstance(get_integrator("heun"), StochasticHeun)
+
+    def test_instance_passthrough(self):
+        stepper = EulerMaruyama(noise_variance=0.1)
+        assert get_integrator(stepper) is stepper
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_integrator("rk4")
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            EulerMaruyama(noise_variance=-0.1)
+
+
+class TestSimulatePath:
+    def test_frame_count_and_initial_state(self, rng):
+        z0 = np.ones((3, 2))
+        path = simulate_path(z0, _linear_drift(1.0), n_steps=10, dt=0.01, noise_variance=0.0, rng=rng)
+        assert path.shape == (11, 3, 2)
+        np.testing.assert_allclose(path[0], z0)
+
+    def test_record_every(self, rng):
+        z0 = np.ones((2, 2))
+        path = simulate_path(
+            z0, _linear_drift(1.0), n_steps=10, dt=0.01, record_every=5, noise_variance=0.0, rng=rng
+        )
+        assert path.shape == (3, 2, 2)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            simulate_path(np.ones((2, 2)), _linear_drift(1.0), n_steps=-1, dt=0.01, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_path(np.ones((2, 2)), _linear_drift(1.0), n_steps=5, dt=0.01, record_every=0, rng=rng)

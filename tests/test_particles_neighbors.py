@@ -1,0 +1,102 @@
+"""Tests for repro.particles.neighbors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.particles.neighbors import (
+    NEIGHBOR_BACKENDS,
+    BruteForceNeighbors,
+    CellListNeighbors,
+    KDTreeNeighbors,
+    get_neighbor_search,
+)
+
+
+def _pairs_as_set(i_idx, j_idx):
+    return set(zip(i_idx.tolist(), j_idx.tolist()))
+
+
+BACKENDS = [BruteForceNeighbors(), CellListNeighbors(), KDTreeNeighbors()]
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+class TestBackendsAgainstBruteForce:
+    def test_simple_triangle(self, backend):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        i_idx, j_idx = backend.pairs(positions, radius=2.0)
+        assert _pairs_as_set(i_idx, j_idx) == {(0, 1), (1, 0)}
+
+    def test_no_self_pairs(self, backend):
+        positions = np.random.default_rng(0).uniform(-3, 3, size=(20, 2))
+        i_idx, j_idx = backend.pairs(positions, radius=2.0)
+        assert np.all(i_idx != j_idx)
+
+    def test_symmetric_pairs(self, backend):
+        positions = np.random.default_rng(1).uniform(-3, 3, size=(15, 2))
+        pairs = _pairs_as_set(*backend.pairs(positions, radius=1.5))
+        assert all((j, i) in pairs for (i, j) in pairs)
+
+    def test_matches_brute_force(self, backend):
+        rng = np.random.default_rng(7)
+        positions = rng.uniform(-5, 5, size=(40, 2))
+        reference = _pairs_as_set(*BruteForceNeighbors().pairs(positions, radius=2.2))
+        result = _pairs_as_set(*backend.pairs(positions, radius=2.2))
+        assert result == reference
+
+    def test_infinite_radius_gives_all_pairs(self, backend):
+        positions = np.random.default_rng(3).uniform(-2, 2, size=(6, 2))
+        pairs = _pairs_as_set(*backend.pairs(positions, radius=np.inf))
+        assert len(pairs) == 6 * 5
+
+    def test_empty_input(self, backend):
+        i_idx, j_idx = backend.pairs(np.zeros((0, 2)), radius=1.0)
+        assert i_idx.size == 0 and j_idx.size == 0
+
+    def test_invalid_radius(self, backend):
+        with pytest.raises(ValueError):
+            backend.pairs(np.zeros((3, 2)), radius=0.0)
+
+    def test_invalid_shape(self, backend):
+        with pytest.raises(ValueError):
+            backend.pairs(np.zeros((3, 3)), radius=1.0)
+
+
+@given(
+    st.integers(min_value=2, max_value=30),
+    st.floats(min_value=0.3, max_value=4.0),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_cell_list_matches_brute_force_property(n, radius, seed):
+    positions = np.random.default_rng(seed).uniform(-4, 4, size=(n, 2))
+    brute = _pairs_as_set(*BruteForceNeighbors().pairs(positions, radius))
+    cell = _pairs_as_set(*CellListNeighbors().pairs(positions, radius))
+    assert cell == brute
+
+
+class TestNeighborLists:
+    def test_lists_match_pairs(self):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [5.0, 5.0]])
+        lists = BruteForceNeighbors().neighbor_lists(positions, radius=1.5)
+        assert lists[0].tolist() == [1, 2]
+        assert lists[3].tolist() == []
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_neighbor_search("cell"), CellListNeighbors)
+        assert isinstance(get_neighbor_search("kdtree"), KDTreeNeighbors)
+
+    def test_instance_passthrough(self):
+        backend = CellListNeighbors()
+        assert get_neighbor_search(backend) is backend
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_neighbor_search("octree")
+
+    def test_registry_complete(self):
+        assert set(NEIGHBOR_BACKENDS) == {"brute", "cell", "kdtree"}

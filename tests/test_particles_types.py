@@ -1,0 +1,146 @@
+"""Tests for repro.particles.types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.particles.types import (
+    InteractionParams,
+    random_symmetric_matrix,
+    type_counts_to_assignment,
+)
+
+
+class TestRandomSymmetricMatrix:
+    def test_symmetry(self, rng):
+        mat = random_symmetric_matrix(5, 0.0, 1.0, rng)
+        np.testing.assert_allclose(mat, mat.T)
+
+    def test_range(self, rng):
+        mat = random_symmetric_matrix(6, 2.0, 8.0, rng)
+        assert mat.min() >= 2.0
+        assert mat.max() <= 8.0
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            random_symmetric_matrix(0, 0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            random_symmetric_matrix(2, 1.0, 0.0, rng)
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_shape_property(self, n_types):
+        mat = random_symmetric_matrix(n_types, 0.0, 1.0, np.random.default_rng(0))
+        assert mat.shape == (n_types, n_types)
+        np.testing.assert_allclose(mat, mat.T)
+
+
+class TestTypeCountsToAssignment:
+    def test_basic_expansion(self):
+        np.testing.assert_array_equal(type_counts_to_assignment([3, 2]), [0, 0, 0, 1, 1])
+
+    def test_zero_count_type_skipped_in_assignment(self):
+        assignment = type_counts_to_assignment([2, 0, 1])
+        np.testing.assert_array_equal(assignment, [0, 0, 2])
+
+    def test_rejects_empty_and_all_zero(self):
+        with pytest.raises(ValueError):
+            type_counts_to_assignment([])
+        with pytest.raises(ValueError):
+            type_counts_to_assignment([0, 0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            type_counts_to_assignment([3, -1])
+
+
+class TestInteractionParams:
+    def test_single_type_shapes(self):
+        params = InteractionParams.single_type(k=2.0, r=1.5)
+        assert params.n_types == 1
+        assert params.k[0, 0] == 2.0
+        assert params.r[0, 0] == 1.5
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            InteractionParams(
+                k=[[1.0, 2.0], [3.0, 1.0]],
+                r=np.ones((2, 2)),
+                sigma=np.ones((2, 2)),
+                tau=np.ones((2, 2)),
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            InteractionParams(
+                k=np.ones((2, 2)),
+                r=np.ones((3, 3)),
+                sigma=np.ones((2, 2)),
+                tau=np.ones((2, 2)),
+            )
+
+    def test_rejects_nonpositive_sigma_tau(self):
+        with pytest.raises(ValueError):
+            InteractionParams.single_type(sigma=0.0)
+        with pytest.raises(ValueError):
+            InteractionParams.single_type(tau=-1.0)
+
+    def test_rejects_negative_r(self):
+        with pytest.raises(ValueError):
+            InteractionParams.single_type(r=-0.5)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            InteractionParams(
+                k=[[np.nan]], r=[[1.0]], sigma=[[1.0]], tau=[[1.0]]
+            )
+
+    def test_random_respects_ranges(self, rng):
+        params = InteractionParams.random(
+            4, rng=rng, k_range=(1.0, 10.0), r_range=(0.0, 1.0), tau_range=(1.0, 10.0)
+        )
+        assert params.n_types == 4
+        assert params.k.min() >= 1.0 and params.k.max() <= 10.0
+        assert params.r.min() >= 0.0 and params.r.max() <= 1.0
+        assert params.tau.min() >= 1.0 and params.tau.max() <= 10.0
+        np.testing.assert_allclose(params.sigma, 1.0)
+
+    def test_random_with_pinned_k(self, rng):
+        params = InteractionParams.random(3, rng=rng, k_value=1.0)
+        np.testing.assert_allclose(params.k, 1.0)
+
+    def test_clustering_diagonal_smaller(self):
+        params = InteractionParams.clustering(3, self_distance=1.0, cross_distance=3.0)
+        assert np.all(np.diag(params.r) == 1.0)
+        off_diag = params.r[~np.eye(3, dtype=bool)]
+        assert np.all(off_diag == 3.0)
+
+    def test_pair_matrices_shapes_and_values(self):
+        params = InteractionParams.from_matrices(k=[[1.0, 2.0], [2.0, 3.0]], r=[[1.0, 4.0], [4.0, 2.0]])
+        types = np.array([0, 1, 1])
+        pair = params.pair_matrices(types)
+        assert pair["k"].shape == (3, 3)
+        assert pair["k"][0, 1] == 2.0
+        assert pair["k"][1, 2] == 3.0
+        assert pair["r"][0, 2] == 4.0
+        assert pair["r"][0, 0] == 1.0
+
+    def test_pair_matrices_rejects_bad_types(self):
+        params = InteractionParams.single_type()
+        with pytest.raises(ValueError):
+            params.pair_matrices(np.array([0, 1]))
+
+    def test_roundtrip_dict(self):
+        params = InteractionParams.clustering(2)
+        restored = InteractionParams.from_dict(params.to_dict())
+        np.testing.assert_allclose(restored.k, params.k)
+        np.testing.assert_allclose(restored.r, params.r)
+        np.testing.assert_allclose(restored.sigma, params.sigma)
+        np.testing.assert_allclose(restored.tau, params.tau)
+
+    def test_frozen(self):
+        params = InteractionParams.single_type()
+        with pytest.raises(AttributeError):
+            params.k = np.zeros((1, 1))  # type: ignore[misc]
