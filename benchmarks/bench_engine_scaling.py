@@ -1,0 +1,147 @@
+"""Engine scaling — dense vs sparse drift evaluation across collective sizes.
+
+Sweeps the collective size n over {50, 200, 1000, 5000} (quick mode: {50,
+1000}) with a fixed small cut-off radius, times one drift evaluation per
+engine × neighbour backend at the paper's unit initial density, and verifies
+that every sparse variant reproduces the dense kernel's drift.  The sweep is
+written to ``benchmarks/output/engine_scaling.json`` so the performance
+trajectory of the hot path stays measurable across PRs.
+
+Run it through pytest (``pytest benchmarks/bench_engine_scaling.py -m bench``,
+add ``--bench-quick`` for the smoke-test sweep) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.particles.engine import make_engine, resolve_engine
+from repro.particles.init_conditions import default_disc_radius, uniform_disc
+from repro.particles.types import InteractionParams
+from repro.viz import save_json
+
+from bench_common import announce
+
+#: Small relative to the collective diameter for n ≥ 1000 — the regime the
+#: sparse engine is built for.
+CUTOFF = 2.0
+FULL_SIZES = (50, 200, 1000, 5000)
+QUICK_SIZES = (50, 1000)
+SPARSE_BACKENDS = ("brute", "cell", "kdtree")
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_scaling(sizes=FULL_SIZES, repeats: int = 3, seed: int = 0) -> list[dict]:
+    """Time one drift evaluation per engine/backend for each collective size."""
+    rng = np.random.default_rng(seed)
+    params = InteractionParams.clustering(2, self_distance=1.0, cross_distance=2.5, k=2.0)
+    rows = []
+    for n in sizes:
+        radius = default_disc_radius(n)
+        positions = uniform_disc(n, radius, rng)
+        types = np.repeat([0, 1], [n - n // 2, n // 2])
+        common = dict(types=types, params=params, scaling="F1", cutoff=CUTOFF)
+
+        dense = make_engine("dense", **common)
+        reference = dense.drift(positions)
+        timings = {"dense": _best_of(lambda: dense.drift(positions), repeats)}
+        max_error = 0.0
+        for backend in SPARSE_BACKENDS:
+            engine = make_engine("sparse", neighbors=backend, **common)
+            timings[f"sparse-{backend}"] = _best_of(lambda: engine.drift(positions), repeats)
+            max_error = max(max_error, float(np.abs(engine.drift(positions) - reference).max()))
+
+        best_sparse = min(seconds for name, seconds in timings.items() if name != "dense")
+        rows.append(
+            {
+                "n": n,
+                "cutoff": CUTOFF,
+                "disc_radius": radius,
+                "auto_engine": resolve_engine(
+                    "auto", n_particles=n, cutoff=CUTOFF, domain_radius=radius
+                ),
+                "timings_seconds": timings,
+                "max_abs_error_vs_dense": max_error,
+                "speedup_best_sparse_vs_dense": timings["dense"] / best_sparse,
+            }
+        )
+    return rows
+
+
+def _format_rows(rows: list[dict]) -> str:
+    lines = []
+    for row in rows:
+        timings = "  ".join(
+            f"{name} {seconds * 1e3:8.2f} ms" for name, seconds in row["timings_seconds"].items()
+        )
+        lines.append(
+            f"  n = {row['n']:5d} (auto → {row['auto_engine']:6s}): {timings}  "
+            f"| best sparse speedup ×{row['speedup_best_sparse_vs_dense']:.1f}, "
+            f"max |Δdrift| = {row['max_abs_error_vs_dense']:.1e}"
+        )
+    return "\n".join(lines)
+
+
+def _check(rows: list[dict]) -> None:
+    # Correctness: every sparse variant reproduces the dense drift.
+    for row in rows:
+        assert row["max_abs_error_vs_dense"] <= 1e-10, row
+    # Performance: with a small cut-off the sparse engine wins at n ≥ 1000,
+    # which is exactly where the "auto" heuristic switches over.
+    large = [row for row in rows if row["n"] >= 1000]
+    assert large, "sweep must include n >= 1000"
+    for row in large:
+        assert row["auto_engine"] == "sparse"
+        assert row["speedup_best_sparse_vs_dense"] > 1.0, row
+
+
+def test_engine_scaling(benchmark, output_dir, bench_quick):
+    sizes = QUICK_SIZES if bench_quick else FULL_SIZES
+    repeats = 1 if bench_quick else 3
+    rows = benchmark.pedantic(
+        run_scaling, kwargs=dict(sizes=sizes, repeats=repeats), rounds=1, iterations=1
+    )
+    save_json(output_dir / "engine_scaling.json", {"cutoff": CUTOFF, "rows": rows})
+    announce("Engine scaling — dense vs sparse drift evaluation", _format_rows(rows))
+    benchmark.extra_info.update(
+        {f"n{row['n']}_speedup": round(row["speedup_best_sparse_vs_dense"], 2) for row in rows}
+    )
+    _check(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny sweep, single repetition")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).parent / "output" / "engine_scaling.json",
+        help="JSON output path",
+    )
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    rows = run_scaling(sizes=sizes, repeats=1 if args.quick else 3)
+    save_json(args.output, {"cutoff": CUTOFF, "rows": rows})
+    announce("Engine scaling — dense vs sparse drift evaluation", _format_rows(rows))
+    print(f"results written to {args.output}")
+    _check(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,28 @@ from pathlib import Path
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+BENCH_DIR = Path(__file__).parent.resolve()
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--bench-quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks in smoke-test mode: tiny sweeps, single repetition",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    """Tag every test collected under benchmarks/ with the ``bench`` marker.
+
+    This lets ``pytest benchmarks -m bench`` select the benchmark suite (and
+    ``-m "not bench"`` exclude it) without each module repeating the marker.
+    """
+    for item in items:
+        path = Path(str(item.fspath)).resolve()
+        if BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")
@@ -21,3 +43,9 @@ def output_dir() -> Path:
 def full_scale() -> bool:
     """Whether the benchmarks run at the paper's full scale (REPRO_FULL=1)."""
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def bench_quick(request) -> bool:
+    """Whether the benchmarks run in smoke-test mode (--bench-quick)."""
+    return bool(request.config.getoption("--bench-quick"))

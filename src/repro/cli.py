@@ -23,6 +23,8 @@ import numpy as np
 from repro.core.experiments import ExperimentSpec, all_figure_specs, fig2_force_curves
 from repro.core.pipeline import run_experiment
 from repro.io.storage import save_measurement
+from repro.particles.engine import DRIFT_ENGINES
+from repro.particles.neighbors import NEIGHBOR_BACKENDS
 from repro.viz import line_plot, save_series_csv
 
 __all__ = ["main", "build_parser"]
@@ -49,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run at most this many specs of a sweep figure (default: all)",
     )
     run_parser.add_argument("--n-jobs", type=int, default=None, help="process-pool width for the simulation")
+    run_parser.add_argument(
+        "--engine", choices=list(DRIFT_ENGINES), default=None,
+        help="override the drift engine (dense all-pairs, sparse neighbour-pair, or auto)",
+    )
+    run_parser.add_argument(
+        "--neighbor-backend", choices=sorted(NEIGHBOR_BACKENDS), default=None,
+        help="override the neighbour-search backend of the sparse engine",
+    )
     run_parser.add_argument("--quiet", action="store_true", help="suppress the ASCII plot")
 
     curves_parser = subparsers.add_parser("curves", help="print the Fig. 2 force-scaling curves")
@@ -71,10 +81,20 @@ def _command_list(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def _apply_engine_overrides(simulation, args: argparse.Namespace):
+    overrides = {}
+    if getattr(args, "engine", None) is not None:
+        overrides["engine"] = args.engine
+    if getattr(args, "neighbor_backend", None) is not None:
+        overrides["neighbor_backend"] = args.neighbor_backend
+    return simulation.with_updates(**overrides) if overrides else simulation
+
+
 def _run_spec(spec: ExperimentSpec, args: argparse.Namespace, stream) -> dict:
     seed = spec.seed if args.seed is None else args.seed
+    simulation = _apply_engine_overrides(spec.simulation, args)
     result = run_experiment(
-        spec.simulation,
+        simulation,
         spec.n_samples,
         analysis_config=spec.analysis,
         seed=seed,
@@ -117,6 +137,14 @@ def _command_run(args: argparse.Namespace, stream) -> int:
     specs = registry[figure]
     if args.max_specs is not None:
         specs = specs[: max(1, args.max_specs)]
+    if args.neighbor_backend is not None and all(
+        _apply_engine_overrides(spec.simulation, args).resolved_engine == "dense"
+        for spec in specs
+    ):
+        stream.write(
+            "note: --neighbor-backend has no effect here — every run resolves to the "
+            "dense engine; pass --engine sparse to force the sparse path.\n"
+        )
     summaries = [_run_spec(spec, args, stream) for spec in specs]
     if len(summaries) > 1:
         mean_delta = float(np.mean([s["delta"] for s in summaries]))

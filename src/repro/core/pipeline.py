@@ -71,6 +71,9 @@ class ExperimentResult:
             "n_types": self.simulation_config.n_types,
             "force": self.simulation_config.force,
             "cutoff": self.simulation_config.cutoff,
+            "engine": self.simulation_config.engine,
+            "resolved_engine": self.simulation_config.resolved_engine,
+            "neighbor_backend": self.simulation_config.neighbor_backend,
             "n_steps": self.simulation_config.n_steps,
             "seed": self.seed,
             "initial_multi_information": self.measurement.initial_multi_information,

@@ -26,6 +26,16 @@ from repro.particles.neighbors import (
     NeighborSearch,
     get_neighbor_search,
 )
+from repro.particles.engine import (
+    DRIFT_ENGINES,
+    DenseDriftEngine,
+    DriftEngine,
+    SparseDriftEngine,
+    engine_for_config,
+    make_engine,
+    resolve_engine,
+    sparse_drift_batch,
+)
 from repro.particles.init_conditions import (
     default_disc_radius,
     grid_layout,
@@ -70,6 +80,14 @@ __all__ = [
     "KDTreeNeighbors",
     "NEIGHBOR_BACKENDS",
     "get_neighbor_search",
+    "DRIFT_ENGINES",
+    "DriftEngine",
+    "DenseDriftEngine",
+    "SparseDriftEngine",
+    "resolve_engine",
+    "make_engine",
+    "engine_for_config",
+    "sparse_drift_batch",
     "uniform_disc",
     "uniform_disc_ensemble",
     "grid_layout",

@@ -1,0 +1,331 @@
+"""Unified drift-evaluation engine: one entry point over dense and sparse kernels.
+
+Historically the ensemble path hard-coded the dense all-pairs kernel
+(:func:`repro.particles.forces.drift_batch`) while the sparse neighbour-search
+backends (:mod:`repro.particles.neighbors`) were reachable only from the
+single-run :class:`~repro.particles.model.ParticleSystem`.  This module closes
+that split: a :class:`DriftEngine` evaluates the Eq. 6 drift for a single
+configuration ``(n, 2)`` or a whole ensemble snapshot ``(m, n, 2)`` through
+either kernel, and every registered neighbour backend works on both paths.
+
+Two engines are provided:
+
+* :class:`DenseDriftEngine` — the O(n²·m) broadcast kernel.  Fastest for the
+  collective sizes of the paper's experiments (n ≤ 120) and mandatory when no
+  cut-off radius is set (every pair interacts).
+* :class:`SparseDriftEngine` — neighbour pairs from a
+  :class:`~repro.particles.neighbors.NeighborSearch` backend, accumulated with
+  a vectorised segment-sum (:func:`numpy.bincount` over flattened pair
+  indices).  Cost is proportional to the number of interacting pairs, so it
+  wins whenever the cut-off ``r_c`` is small relative to the collective
+  diameter.
+
+Selection is configured on :class:`~repro.particles.model.SimulationConfig`
+via ``engine="dense" | "sparse" | "auto"``; :func:`resolve_engine` implements
+the ``"auto"`` heuristic (sparse for large collectives with a genuinely
+pruning cut-off, dense otherwise).
+
+Bit-compatibility contract
+--------------------------
+Both engines produce *bit-identical* drift for the same configuration: the
+sparse kernel consumes pairs in lexicographic ``(sample, i, j)`` order (see
+:meth:`NeighborSearch.pairs_batch`), which reproduces the dense kernel's
+sequential summation order exactly, and skipped pairs contribute exact zeros
+in the dense kernel.  ``tests/test_integration.py`` pins this property, so
+trajectories are reproducible across engine choices, not merely close.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.particles.forces import (
+    ForceScaling,
+    drift_batch,
+    drift_single,
+    get_force_scaling,
+    pair_interaction_weights,
+)
+from repro.particles.neighbors import NeighborSearch, get_neighbor_search
+from repro.particles.types import InteractionParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.particles.model import SimulationConfig
+
+__all__ = [
+    "DRIFT_ENGINES",
+    "SPARSE_AUTO_MIN_PARTICLES",
+    "SPARSE_AUTO_CUTOFF_FRACTION",
+    "DriftEngine",
+    "DenseDriftEngine",
+    "SparseDriftEngine",
+    "resolve_engine",
+    "make_engine",
+    "engine_for_config",
+    "sparse_drift_batch",
+]
+
+#: Valid values of ``SimulationConfig.engine``.
+DRIFT_ENGINES = ("auto", "dense", "sparse")
+
+#: Below this collective size the dense broadcast kernel wins regardless of
+#: the cut-off: the per-sample neighbour queries and index arithmetic of the
+#: sparse path cost more than the full n² evaluation.
+SPARSE_AUTO_MIN_PARTICLES = 192
+
+#: The sparse engine only pays off when the cut-off disc covers a small part
+#: of the collective.  ``"auto"`` stays dense when ``r_c`` exceeds this
+#: fraction of the initial collective *diameter* (most pairs interact then,
+#: so there is nothing to prune).
+SPARSE_AUTO_CUTOFF_FRACTION = 0.5
+
+
+def resolve_engine(
+    engine: str,
+    *,
+    n_particles: int,
+    cutoff: float | None,
+    domain_radius: float | None = None,
+) -> str:
+    """Resolve an engine name, applying the ``"auto"`` heuristic.
+
+    Parameters
+    ----------
+    engine:
+        ``"dense"``, ``"sparse"`` or ``"auto"``.
+    n_particles:
+        Collective size ``n``.
+    cutoff:
+        Interaction radius ``r_c`` (``None``/``inf`` = unconstrained).
+    domain_radius:
+        Characteristic radius of the collective (the initial disc radius);
+        used to judge whether the cut-off actually prunes pairs.  ``None``
+        skips that part of the heuristic.
+    """
+    key = str(engine).lower()
+    if key in ("dense", "sparse"):
+        return key
+    if key != "auto":
+        raise KeyError(f"unknown drift engine {engine!r}; available: {list(DRIFT_ENGINES)}")
+    if cutoff is None or not np.isfinite(cutoff):
+        return "dense"
+    if n_particles < SPARSE_AUTO_MIN_PARTICLES:
+        return "dense"
+    if domain_radius is not None and cutoff > SPARSE_AUTO_CUTOFF_FRACTION * 2.0 * float(domain_radius):
+        return "dense"
+    return "sparse"
+
+
+def _sorted_pairs(i_idx: np.ndarray, j_idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort ordered pairs lexicographically by ``(i, j)``.
+
+    Sequential accumulation over pairs in this order matches the dense
+    kernel's summation order, which is what makes dense and sparse drift
+    bit-identical rather than merely close.
+    """
+    order = np.lexsort((j_idx, i_idx))
+    return i_idx[order], j_idx[order]
+
+
+def sparse_drift_batch(
+    positions: np.ndarray,
+    types: np.ndarray,
+    params: InteractionParams,
+    scaling: ForceScaling | str,
+    cutoff: float | None,
+    neighbors: NeighborSearch | str,
+) -> np.ndarray:
+    """Sparse drift for an ensemble snapshot ``(m, n, 2)``.
+
+    Neighbour pairs of every sample are flattened into a single
+    ``(sample, i, j)`` index space and the per-pair contributions are
+    accumulated with one :func:`numpy.bincount` segment-sum per coordinate —
+    no Python loop over pairs or particles, and the only per-sample work is
+    the neighbour query itself.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 3 or positions.shape[-1] != 2:
+        raise ValueError(f"positions must have shape (m, n, 2), got {positions.shape}")
+    types = np.asarray(types, dtype=int)
+    m, n, _ = positions.shape
+    if types.shape != (n,):
+        raise ValueError("types must have shape (n,)")
+    scaling = get_force_scaling(scaling)
+    neighbors = get_neighbor_search(neighbors)
+    radius = float("inf") if cutoff is None else float(cutoff)
+
+    i_idx, j_idx = neighbors.pairs_batch(positions, radius)
+    if i_idx.size == 0:
+        return np.zeros_like(positions)
+
+    flat = positions.reshape(m * n, 2)
+    delta = flat[i_idx] - flat[j_idx]
+    dist = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+    tiled_types = np.tile(types, m)
+    weights = pair_interaction_weights(
+        dist, tiled_types[i_idx], tiled_types[j_idx], params, scaling, cutoff=cutoff
+    )
+    contrib = weights[:, None] * delta
+    drift = np.stack(
+        [np.bincount(i_idx, weights=contrib[:, c], minlength=m * n) for c in range(2)],
+        axis=1,
+    )
+    return drift.reshape(m, n, 2)
+
+
+class DriftEngine(abc.ABC):
+    """Evaluates the deterministic Eq. 6 drift for one experiment's particles.
+
+    An engine is bound to a fixed type assignment, interaction parameters,
+    force scaling and cut-off; it is therefore safe to cache per-pair
+    parameter data across time steps.  Calling the engine dispatches on the
+    input rank: ``(n, 2)`` uses the single-configuration path, ``(m, n, 2)``
+    the batched ensemble path — which makes an engine directly usable as the
+    ``drift_fn`` of any :class:`~repro.particles.integrators.Integrator`.
+    """
+
+    name: str = ""
+
+    def __init__(
+        self,
+        types: np.ndarray,
+        params: InteractionParams,
+        scaling: ForceScaling | str,
+        cutoff: float | None = None,
+    ) -> None:
+        self.types = np.asarray(types, dtype=int)
+        if self.types.ndim != 1 or self.types.size == 0:
+            raise ValueError("types must be a non-empty 1-D array")
+        self.params = params
+        self.scaling = get_force_scaling(scaling)
+        self.cutoff = None if cutoff is None or not np.isfinite(cutoff) else float(cutoff)
+
+    @property
+    def n_particles(self) -> int:
+        return int(self.types.size)
+
+    @abc.abstractmethod
+    def drift(self, positions: np.ndarray) -> np.ndarray:
+        """Drift for a single configuration ``(n, 2)``."""
+
+    @abc.abstractmethod
+    def drift_batch(self, positions: np.ndarray) -> np.ndarray:
+        """Drift for an ensemble snapshot ``(m, n, 2)``."""
+
+    def __call__(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim == 2:
+            return self.drift(positions)
+        if positions.ndim == 3:
+            return self.drift_batch(positions)
+        raise ValueError(
+            f"positions must have shape (n, 2) or (m, n, 2), got {positions.shape}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(n={self.n_particles}, cutoff={self.cutoff})"
+
+
+class DenseDriftEngine(DriftEngine):
+    """All-pairs broadcast kernel; per-pair parameter matrices cached once."""
+
+    name = "dense"
+
+    def __init__(self, types, params, scaling, cutoff=None) -> None:
+        super().__init__(types, params, scaling, cutoff)
+        self._pair = params.pair_matrices(self.types)
+
+    def drift(self, positions: np.ndarray) -> np.ndarray:
+        return drift_single(
+            positions,
+            self.types,
+            self.params,
+            self.scaling,
+            cutoff=self.cutoff,
+            pair=self._pair,
+        )
+
+    def drift_batch(self, positions: np.ndarray) -> np.ndarray:
+        return drift_batch(
+            positions,
+            self.types,
+            self.params,
+            self.scaling,
+            cutoff=self.cutoff,
+            pair=self._pair,
+        )
+
+
+class SparseDriftEngine(DriftEngine):
+    """Neighbour-pair kernel driven by any registered search backend."""
+
+    name = "sparse"
+
+    def __init__(
+        self,
+        types,
+        params,
+        scaling,
+        cutoff=None,
+        *,
+        neighbors: NeighborSearch | str = "kdtree",
+    ) -> None:
+        super().__init__(types, params, scaling, cutoff)
+        self.neighbors = get_neighbor_search(neighbors)
+
+    @property
+    def _radius(self) -> float:
+        return float("inf") if self.cutoff is None else self.cutoff
+
+    def drift(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        pairs = _sorted_pairs(*self.neighbors.pairs(positions, self._radius))
+        return drift_single(
+            positions,
+            self.types,
+            self.params,
+            self.scaling,
+            cutoff=self.cutoff,
+            neighbor_pairs=pairs,
+        )
+
+    def drift_batch(self, positions: np.ndarray) -> np.ndarray:
+        return sparse_drift_batch(
+            positions, self.types, self.params, self.scaling, self.cutoff, self.neighbors
+        )
+
+
+def make_engine(
+    engine: str,
+    *,
+    types: np.ndarray,
+    params: InteractionParams,
+    scaling: ForceScaling | str,
+    cutoff: float | None = None,
+    neighbors: NeighborSearch | str = "kdtree",
+    domain_radius: float | None = None,
+) -> DriftEngine:
+    """Build a :class:`DriftEngine`, resolving ``"auto"`` with :func:`resolve_engine`."""
+    types = np.asarray(types, dtype=int)
+    resolved = resolve_engine(
+        engine, n_particles=types.size, cutoff=cutoff, domain_radius=domain_radius
+    )
+    if resolved == "dense":
+        return DenseDriftEngine(types, params, scaling, cutoff)
+    return SparseDriftEngine(types, params, scaling, cutoff, neighbors=neighbors)
+
+
+def engine_for_config(config: "SimulationConfig") -> DriftEngine:
+    """The drift engine a :class:`~repro.particles.model.SimulationConfig` selects."""
+    return make_engine(
+        config.engine,
+        types=config.types,
+        params=config.params,
+        scaling=config.force,
+        cutoff=config.cutoff,
+        neighbors=config.neighbor_backend,
+        domain_radius=config.disc_radius,
+    )

@@ -9,8 +9,9 @@ Two execution strategies are provided and produce identical results for the
 same seed:
 
 * the default **vectorised** path advances all samples simultaneously with
-  batched NumPy kernels of shape ``(m, n, 2)`` (optionally split into batches
-  bounded by a memory budget), and
+  batched kernels of shape ``(m, n, 2)`` — dense all-pairs or sparse
+  neighbour-pair, whichever the configuration's drift engine selects
+  (optionally split into batches bounded by a memory budget), and
 * an optional **process-parallel** path (``n_jobs``) that distributes sample
   batches over a pool — useful on many-core machines when ``m`` is large and
   the per-batch work is substantial.
@@ -25,7 +26,8 @@ import numpy as np
 from repro.parallel.batch import batch_slices, max_batch_for_budget
 from repro.parallel.pool import effective_n_jobs, parallel_map
 from repro.parallel.rng import seed_streams
-from repro.particles.forces import drift_batch, get_force_scaling, net_force_norms
+from repro.particles.engine import engine_for_config
+from repro.particles.forces import net_force_norms
 from repro.particles.init_conditions import uniform_disc_ensemble
 from repro.particles.integrators import get_integrator
 from repro.particles.model import SimulationConfig, _clip_drift
@@ -70,11 +72,15 @@ class EnsembleSimulator:
         self.seed = seed
         self.bytes_budget = int(bytes_budget)
         self.types = config.types
-        self._pair = config.params.pair_matrices(self.types)
-        self._scaling = get_force_scaling(config.force)
+        self._engine = engine_for_config(config)
         self._last_stats: EnsembleRunStats | None = None
 
     # ------------------------------------------------------------------ #
+    @property
+    def engine(self):
+        """The resolved :class:`~repro.particles.engine.DriftEngine` of this ensemble."""
+        return self._engine
+
     @property
     def last_stats(self) -> EnsembleRunStats | None:
         """Diagnostics of the most recent :meth:`run` call (None before any run)."""
@@ -87,15 +93,7 @@ class EnsembleSimulator:
         )
 
     def _drift(self, positions: np.ndarray) -> np.ndarray:
-        cutoff = self.config.effective_cutoff
-        drift = drift_batch(
-            positions,
-            self.types,
-            self.config.params,
-            self._scaling,
-            cutoff=cutoff if np.isfinite(cutoff) else None,
-            pair=self._pair,
-        )
+        drift = self._engine.drift_batch(positions)
         return _clip_drift(drift, self.config.max_drift_norm)
 
     def _run_batch(

@@ -17,6 +17,14 @@ interaction cut-off at radius ``r_c``.  Two force-scaling functions are used:
 Because the velocity contribution is ``-F(x) Δz`` (the displacement vector is
 *not* normalised), positive ``F`` pulls particles together and negative ``F``
 pushes them apart, with a magnitude that also grows with distance.
+
+Two drift kernels operate on these scalings: the dense all-pairs broadcast
+(:func:`drift_single` / :func:`drift_batch`) and a sparse neighbour-pair
+segment-sum (:mod:`repro.particles.engine`).  Which kernel runs is selected
+per experiment via ``SimulationConfig.engine`` (``"dense"``/``"sparse"``/
+``"auto"``); both consume the per-pair weights produced by
+:func:`pair_interaction_weights` and agree bit-for-bit (see the
+bit-compatibility contract in :mod:`repro.particles.engine`).
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ __all__ = [
     "get_force_scaling",
     "FORCE_SCALINGS",
     "pairwise_distance_matrix",
+    "pair_interaction_weights",
     "drift_single",
     "drift_batch",
     "net_force_norms",
@@ -190,6 +199,36 @@ def _interaction_weights(
     return weights
 
 
+def pair_interaction_weights(
+    distance: np.ndarray,
+    types_i: np.ndarray,
+    types_j: np.ndarray,
+    params: InteractionParams,
+    scaling: ForceScaling | str,
+    cutoff: float | None = None,
+) -> np.ndarray:
+    """Scalar drift weight ``-F_{αβ}(d)`` for explicit particle pairs.
+
+    ``types_i``/``types_j`` are the type indices of the two ends of each pair
+    and broadcast against ``distance``.  Pairs beyond ``cutoff`` get weight
+    exactly ``0.0``.  This is the shared primitive of the sparse kernels in
+    :mod:`repro.particles.engine` and the ``neighbor_pairs`` path of
+    :func:`drift_single`; self-pairs are *not* masked here (neighbour
+    backends never emit them).
+    """
+    scaling = get_force_scaling(scaling)
+    weights = -scaling.scale(
+        distance,
+        params.k[types_i, types_j],
+        params.r[types_i, types_j],
+        params.sigma[types_i, types_j],
+        params.tau[types_i, types_j],
+    )
+    if cutoff is not None and np.isfinite(cutoff):
+        weights = np.where(distance <= cutoff, weights, 0.0)
+    return weights
+
+
 def drift_single(
     positions: np.ndarray,
     types: np.ndarray,
@@ -198,6 +237,7 @@ def drift_single(
     cutoff: float | None = None,
     *,
     neighbor_pairs: tuple[np.ndarray, np.ndarray] | None = None,
+    pair: Mapping[str, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Deterministic drift ``Σ_j -F(d_ij) Δz_ij`` for one configuration.
 
@@ -219,6 +259,10 @@ def drift_single(
         pairs (from a neighbour-search backend).  When given, only those pairs
         are evaluated — the sparse path used by :class:`ParticleSystem` for
         large, short-ranged systems.
+    pair:
+        Optional precomputed per-pair parameter matrices
+        (``params.pair_matrices(types)``), reusable across time steps on the
+        dense path; ignored when ``neighbor_pairs`` is given.
     """
     positions = np.asarray(positions, dtype=float)
     types = np.asarray(types, dtype=int)
@@ -233,19 +277,16 @@ def drift_single(
         i_idx, j_idx = neighbor_pairs
         delta = positions[i_idx] - positions[j_idx]
         dist = np.sqrt(np.einsum("ij,ij->i", delta, delta))
-        k = params.k[types[i_idx], types[j_idx]]
-        r = params.r[types[i_idx], types[j_idx]]
-        sigma = params.sigma[types[i_idx], types[j_idx]]
-        tau = params.tau[types[i_idx], types[j_idx]]
-        weights = -scaling.scale(dist, k, r, sigma, tau)
-        if cutoff is not None and np.isfinite(cutoff):
-            weights = np.where(dist <= cutoff, weights, 0.0)
+        weights = pair_interaction_weights(
+            dist, types[i_idx], types[j_idx], params, scaling, cutoff=cutoff
+        )
         weights = np.where(i_idx == j_idx, 0.0, weights)
         drift = np.zeros_like(positions)
         np.add.at(drift, i_idx, weights[:, None] * delta)
         return drift
 
-    pair = params.pair_matrices(types)
+    if pair is None:
+        pair = params.pair_matrices(types)
     delta = positions[:, None, :] - positions[None, :, :]
     dist = np.sqrt(np.einsum("ijk,ijk->ij", delta, delta))
     weights = _interaction_weights(dist, pair, scaling, cutoff)

@@ -39,6 +39,11 @@ __all__ = [
 #: The paper's noise level: ``w ~ N(0, 0.05)`` throughout all experiments.
 DEFAULT_NOISE_VARIANCE = 0.05
 
+#: Any callable mapping positions to drift of the same shape.  The schemes
+#: below are shape-agnostic, so single configurations ``(n, 2)`` and ensemble
+#: snapshots ``(m, n, 2)`` integrate through the same code path — a
+#: :class:`repro.particles.engine.DriftEngine` instance is a valid ``DriftFn``
+#: (it dispatches on rank when called).
 DriftFn = Callable[[np.ndarray], np.ndarray]
 
 

@@ -20,8 +20,9 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.parallel.rng import as_generator
+from repro.particles.engine import engine_for_config, resolve_engine
 from repro.particles.equilibrium import EquilibriumDetector
-from repro.particles.forces import drift_single, get_force_scaling, net_force_norms
+from repro.particles.forces import get_force_scaling, net_force_norms
 from repro.particles.init_conditions import default_disc_radius, uniform_disc
 from repro.particles.integrators import DEFAULT_NOISE_VARIANCE, get_integrator
 from repro.particles.neighbors import get_neighbor_search
@@ -64,8 +65,16 @@ class SimulationConfig:
     integrator:
         ``"euler-maruyama"`` (paper) or ``"heun"``.
     neighbor_backend:
-        Sparse neighbour search used by :class:`ParticleSystem` when a finite
-        cut-off is set: ``"brute"``, ``"cell"`` or ``"kdtree"``.
+        Neighbour-search backend of the sparse drift engine: ``"kdtree"``
+        (default — the only one whose pair query scales past n²), ``"cell"``
+        or ``"brute"`` (reference implementation; materialises the full
+        distance matrix, useful for testing only).
+    engine:
+        Drift-evaluation engine — ``"dense"`` (all-pairs broadcast),
+        ``"sparse"`` (neighbour-pair segment-sum) or ``"auto"`` (sparse for
+        large collectives with a genuinely pruning cut-off; see
+        :func:`repro.particles.engine.resolve_engine`).  Both single runs and
+        ensembles honour this choice, and the engines agree bit-for-bit.
     max_drift_norm:
         Optional per-particle cap on the drift magnitude, guarding against
         the ``F1`` singularity when two particles nearly coincide.
@@ -86,7 +95,8 @@ class SimulationConfig:
     noise_variance: float = DEFAULT_NOISE_VARIANCE
     init_radius: float | None = None
     integrator: str = "euler-maruyama"
-    neighbor_backend: str = "brute"
+    neighbor_backend: str = "kdtree"
+    engine: str = "auto"
     max_drift_norm: float | None = None
     equilibrium_threshold: float = 1e-2
     equilibrium_patience: int = 5
@@ -118,6 +128,7 @@ class SimulationConfig:
         get_force_scaling(self.force)
         get_integrator(self.integrator)
         get_neighbor_search(self.neighbor_backend)
+        resolve_engine(self.engine, n_particles=sum(counts), cutoff=self.cutoff)
 
     # ------------------------------------------------------------------ #
     @property
@@ -149,6 +160,16 @@ class SimulationConfig:
             return float("inf")
         return float(self.cutoff)
 
+    @property
+    def resolved_engine(self) -> str:
+        """The concrete engine (``"dense"``/``"sparse"``) ``"auto"`` resolves to."""
+        return resolve_engine(
+            self.engine,
+            n_particles=self.n_particles,
+            cutoff=self.cutoff,
+            domain_radius=self.disc_radius,
+        )
+
     def with_updates(self, **changes: Any) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
@@ -167,6 +188,7 @@ class SimulationConfig:
             "init_radius": self.init_radius,
             "integrator": self.integrator,
             "neighbor_backend": self.neighbor_backend,
+            "engine": self.engine,
             "max_drift_norm": self.max_drift_norm,
             "equilibrium_threshold": self.equilibrium_threshold,
             "equilibrium_patience": self.equilibrium_patience,
@@ -196,9 +218,11 @@ class ParticleSystem:
     """A single simulation run of the particle model.
 
     The system owns its positions, advances them step by step, tracks the
-    equilibrium criterion and can record a full :class:`Trajectory`.  For
-    large collectives with a finite cut-off the drift is evaluated through a
-    sparse neighbour search; otherwise the dense vectorised kernel is used.
+    equilibrium criterion and can record a full :class:`Trajectory`.  The
+    drift is evaluated through the engine the configuration selects
+    (:func:`repro.particles.engine.engine_for_config`): dense all-pairs for
+    small or unconstrained collectives, a sparse neighbour-pair kernel for
+    large ones with a pruning cut-off.
     """
 
     def __init__(
@@ -211,9 +235,8 @@ class ParticleSystem:
         self.config = config
         self.rng = as_generator(rng)
         self.types = config.types
-        self._scaling = get_force_scaling(config.force)
         self._integrator = get_integrator(config.integrator, noise_variance=config.noise_variance)
-        self._neighbors = get_neighbor_search(config.neighbor_backend)
+        self._engine = engine_for_config(config)
         self._equilibrium = EquilibriumDetector(
             threshold=config.equilibrium_threshold, patience=config.equilibrium_patience
         )
@@ -228,10 +251,6 @@ class ParticleSystem:
                 )
             self.positions = initial_positions.copy()
         self._step_count = 0
-        #: Use the sparse path only when it can actually prune pairs.
-        self._use_sparse = (
-            np.isfinite(config.effective_cutoff) and config.neighbor_backend != "brute"
-        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -253,22 +272,15 @@ class ParticleSystem:
         """Summed force norm per recorded step (equilibrium diagnostic)."""
         return self._equilibrium.history
 
+    @property
+    def engine(self):
+        """The resolved :class:`~repro.particles.engine.DriftEngine` of this run."""
+        return self._engine
+
     def drift(self, positions: np.ndarray | None = None) -> np.ndarray:
         """Deterministic drift at the given (default: current) positions."""
         pos = self.positions if positions is None else np.asarray(positions, dtype=float)
-        cutoff = self.config.effective_cutoff
-        neighbor_pairs = None
-        if self._use_sparse:
-            neighbor_pairs = self._neighbors.pairs(pos, cutoff)
-        drift = drift_single(
-            pos,
-            self.types,
-            self.config.params,
-            self._scaling,
-            cutoff=cutoff if np.isfinite(cutoff) else None,
-            neighbor_pairs=neighbor_pairs,
-        )
-        return _clip_drift(drift, self.config.max_drift_norm)
+        return _clip_drift(self._engine.drift(pos), self.config.max_drift_norm)
 
     def step(self) -> np.ndarray:
         """Advance by one recorded time step (``config.substeps`` integration steps)."""

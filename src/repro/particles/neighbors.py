@@ -1,10 +1,15 @@
 """Neighbour-search backends for the interaction cut-off radius.
 
-The ensemble path evaluates all pairs in a dense, vectorised kernel (that is
-the fastest option for the collective sizes the paper studies, n ≤ 120).  The
-single-run :class:`~repro.particles.model.ParticleSystem` can instead use one
-of the sparse backends here, which scale to much larger collectives when the
-cut-off radius is small compared to the collective diameter:
+These backends feed the sparse drift kernels in
+:mod:`repro.particles.engine`, which serve both the single-run
+:class:`~repro.particles.model.ParticleSystem` and the batched
+:class:`~repro.particles.ensemble.EnsembleSimulator` path.  Whether a run
+uses them at all is decided by ``SimulationConfig.engine``: ``"sparse"``
+forces the neighbour-pair kernel, ``"dense"`` the all-pairs broadcast, and
+``"auto"`` picks sparse only for large collectives (n ≥ 192) whose cut-off
+radius is small compared to the collective diameter — the regime in which
+pruning pairs actually pays for the cost of the search.  Three backends
+trade construction cost against query cost:
 
 * :class:`BruteForceNeighbors` — dense distance matrix, thresholded.
 * :class:`CellListNeighbors`  — uniform spatial hash with bucket size ``r_c``.
@@ -43,13 +48,51 @@ class NeighborSearch(abc.ABC):
         """Return ordered interacting pairs ``(i_idx, j_idx)`` within ``radius``."""
 
     def neighbor_lists(self, positions: np.ndarray, radius: float) -> list[np.ndarray]:
-        """Per-particle arrays of neighbour indices (derived from :meth:`pairs`)."""
+        """Per-particle arrays of neighbour indices, each sorted ascending.
+
+        Derived from :meth:`pairs` with a single lexicographic sort and
+        :func:`numpy.split` on the per-particle counts — no Python loop over
+        pairs, so this stays cheap for large collectives.
+        """
         n = np.asarray(positions).shape[0]
+        if n == 0:
+            return []
         i_idx, j_idx = self.pairs(positions, radius)
-        out: list[list[int]] = [[] for _ in range(n)]
-        for i, j in zip(i_idx.tolist(), j_idx.tolist()):
-            out[i].append(j)
-        return [np.asarray(sorted(lst), dtype=int) for lst in out]
+        order = np.lexsort((j_idx, i_idx))
+        j_sorted = np.asarray(j_idx, dtype=int)[order]
+        counts = np.bincount(np.asarray(i_idx, dtype=int), minlength=n)
+        return np.split(j_sorted, np.cumsum(counts[:-1]))
+
+    def pairs_batch(
+        self, positions: np.ndarray, radius: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Interacting pairs for a batch of configurations ``(m, n, 2)``.
+
+        Pair indices are flattened into a single index space: particle ``p``
+        of sample ``s`` has index ``s * n + p``, so the result can drive one
+        segment-sum over the whole snapshot.  Pairs are returned in
+        lexicographic ``(sample, i, j)`` order; sequential accumulation in
+        that order reproduces the dense kernel's summation order bit-for-bit
+        (the contract :mod:`repro.particles.engine` relies on).
+        """
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 3 or positions.shape[-1] != 2:
+            raise ValueError(f"positions must have shape (m, n, 2), got {positions.shape}")
+        m, n, _ = positions.shape
+        i_parts: list[np.ndarray] = []
+        j_parts: list[np.ndarray] = []
+        for sample in range(m):
+            i_idx, j_idx = self.pairs(positions[sample], radius)
+            offset = sample * n
+            i_parts.append(np.asarray(i_idx, dtype=np.int64) + offset)
+            j_parts.append(np.asarray(j_idx, dtype=np.int64) + offset)
+        if not i_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        i_all = np.concatenate(i_parts)
+        j_all = np.concatenate(j_parts)
+        order = np.lexsort((j_all, i_all))
+        return i_all[order], j_all[order]
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}()"
@@ -108,7 +151,6 @@ class CellListNeighbors(NeighborSearch):
         i_out: list[int] = []
         j_out: list[int] = []
         offsets = [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)]
-        radius_sq = radius * radius
         for (cx, cy), members in buckets.items():
             members_arr = np.asarray(members, dtype=int)
             candidates: list[int] = []
@@ -117,7 +159,10 @@ class CellListNeighbors(NeighborSearch):
             cand_arr = np.asarray(candidates, dtype=int)
             delta = positions[members_arr][:, None, :] - positions[cand_arr][None, :, :]
             dist_sq = np.einsum("ijk,ijk->ij", delta, delta)
-            mask = dist_sq <= radius_sq
+            # Compare rounded Euclidean distances, not squared ones: for pairs
+            # exactly at the cut-off the sqrt can round down onto the radius,
+            # and the dense kernel (and BruteForceNeighbors) includes those.
+            mask = np.sqrt(dist_sq) <= radius
             mask &= members_arr[:, None] != cand_arr[None, :]
             mi, mj = np.nonzero(mask)
             i_out.extend(members_arr[mi].tolist())
@@ -138,10 +183,18 @@ class KDTreeNeighbors(NeighborSearch):
             empty = np.empty(0, dtype=int)
             return empty, empty
         tree = cKDTree(positions)
-        unordered = tree.query_pairs(r=radius, output_type="ndarray")
+        # The tree prunes on squared distances, which can exclude pairs whose
+        # rounded Euclidean distance lands exactly on the radius — pairs the
+        # dense kernel includes.  Query a few ulps wide, then apply the same
+        # sqrt-based filter as BruteForceNeighbors.
+        query_radius = radius * (1.0 + 1e-12)
+        unordered = tree.query_pairs(r=query_radius, output_type="ndarray")
         if unordered.size == 0:
             empty = np.empty(0, dtype=int)
             return empty, empty
+        delta = positions[unordered[:, 0]] - positions[unordered[:, 1]]
+        keep = np.sqrt(np.einsum("ij,ij->i", delta, delta)) <= radius
+        unordered = unordered[keep]
         i_idx = np.concatenate([unordered[:, 0], unordered[:, 1]])
         j_idx = np.concatenate([unordered[:, 1], unordered[:, 0]])
         return i_idx, j_idx

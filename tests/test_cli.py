@@ -71,3 +71,34 @@ class TestRunCommand:
         payload = json.loads(json_files[0].read_text())
         assert "multi_information" in payload
         assert "delta I" in stream.getvalue()
+
+    def test_engine_flags_are_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "fig5", "--engine", "sparse", "--neighbor-backend", "kdtree"]
+        )
+        assert args.engine == "sparse"
+        assert args.neighbor_backend == "kdtree"
+
+    def test_invalid_engine_is_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig5", "--engine", "warp"])
+
+    def test_neighbor_backend_without_sparse_engine_warns(self, tmp_path, monkeypatch):
+        # Paper-scale specs resolve "auto" to the dense engine, where a
+        # backend override is inert — the CLI must say so rather than let the
+        # user believe they exercised the sparse path.
+        from repro.core import experiments as exp_mod
+
+        tiny = exp_mod.ExperimentScale(n_samples=24, n_steps=10, step_stride=5, sweep_repeats=1)
+        monkeypatch.setattr(exp_mod, "default_scale", lambda full=None: tiny)
+
+        stream = io.StringIO()
+        code = main(
+            [
+                "run", "fig5", "--output", str(tmp_path), "--max-specs", "1",
+                "--quiet", "--neighbor-backend", "kdtree",
+            ],
+            stream=stream,
+        )
+        assert code == 0
+        assert "--neighbor-backend has no effect" in stream.getvalue()

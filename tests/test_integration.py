@@ -14,7 +14,7 @@ from repro.analysis.shape_stats import detect_concentric_rings, type_segregation
 from repro.core.pipeline import run_experiment
 from repro.core.self_organization import AnalysisConfig
 from repro.particles.ensemble import EnsembleSimulator
-from repro.particles.model import SimulationConfig
+from repro.particles.model import ParticleSystem, SimulationConfig
 from repro.particles.types import InteractionParams
 
 
@@ -83,6 +83,55 @@ class TestSingleTypeF1Rings:
         ensemble = EnsembleSimulator(config, 4, seed=3).run()
         reports = [detect_concentric_rings(ensemble.positions[-1, m]) for m in range(4)]
         assert any(report.n_rings >= 2 for report in reports)
+
+
+class TestEngineDeterminism:
+    """Engine choice must never change a seeded run — bit for bit.
+
+    The sparse kernel accumulates neighbour pairs in lexicographic order,
+    which reproduces the dense kernel's summation order exactly; any future
+    refactor that silently breaks this contract fails here.
+    """
+
+    def _config(self, engine: str) -> SimulationConfig:
+        params = InteractionParams.clustering(2, self_distance=1.0, cross_distance=2.5, k=2.0)
+        return SimulationConfig(
+            type_counts=(6, 6),
+            params=params,
+            force="F1",
+            cutoff=2.0,
+            dt=0.02,
+            substeps=2,
+            n_steps=10,
+            init_radius=3.0,
+            engine=engine,
+            neighbor_backend="kdtree",
+        )
+
+    def test_dense_and_sparse_ensembles_bit_identical(self):
+        dense = EnsembleSimulator(self._config("dense"), 6, seed=9).run()
+        sparse = EnsembleSimulator(self._config("sparse"), 6, seed=9).run()
+        np.testing.assert_array_equal(dense.positions, sparse.positions)
+
+    def test_dense_and_sparse_single_runs_bit_identical(self):
+        initial = ParticleSystem(self._config("dense"), rng=7).positions
+        dense = ParticleSystem(
+            self._config("dense"), rng=7, initial_positions=initial
+        ).run().positions
+        sparse = ParticleSystem(
+            self._config("sparse"), rng=7, initial_positions=initial
+        ).run().positions
+        np.testing.assert_array_equal(dense, sparse)
+
+    def test_all_sparse_backends_agree_bit_for_bit(self):
+        reference = None
+        for backend in ("brute", "cell", "kdtree"):
+            config = self._config("sparse").with_updates(neighbor_backend=backend)
+            positions = EnsembleSimulator(config, 4, seed=3).run().positions
+            if reference is None:
+                reference = positions
+            else:
+                np.testing.assert_array_equal(positions, reference)
 
 
 @pytest.mark.slow

@@ -1,0 +1,204 @@
+"""Tests for repro.particles.engine — the unified dense/sparse drift engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.particles.engine import (
+    DRIFT_ENGINES,
+    SPARSE_AUTO_MIN_PARTICLES,
+    DenseDriftEngine,
+    DriftEngine,
+    SparseDriftEngine,
+    engine_for_config,
+    make_engine,
+    resolve_engine,
+    sparse_drift_batch,
+)
+from repro.particles.forces import drift_batch, drift_single
+from repro.particles.model import SimulationConfig
+from repro.particles.neighbors import NEIGHBOR_BACKENDS
+from repro.particles.types import InteractionParams
+
+
+def _random_system(seed: int, n: int = 20, n_types: int = 3, m: int = 4):
+    rng = np.random.default_rng(seed)
+    params = InteractionParams.random(n_types, rng=rng)
+    types = rng.integers(0, n_types, size=n)
+    batch = rng.uniform(-4, 4, size=(m, n, 2))
+    return batch, types, params
+
+
+class TestDenseSparseEquivalence:
+    """The acceptance criterion: dense and sparse drift agree to <= 1e-10."""
+
+    @pytest.mark.parametrize("backend", sorted(NEIGHBOR_BACKENDS))
+    @pytest.mark.parametrize("force", ["F1", "F2"])
+    def test_batch_kernel_matches_dense(self, backend, force):
+        batch, types, params = _random_system(seed=3)
+        cutoff = 2.5
+        dense = drift_batch(batch, types, params, force, cutoff=cutoff)
+        sparse = sparse_drift_batch(batch, types, params, force, cutoff, backend)
+        np.testing.assert_allclose(sparse, dense, rtol=0, atol=1e-10)
+
+    @pytest.mark.parametrize("backend", sorted(NEIGHBOR_BACKENDS))
+    @pytest.mark.parametrize("force", ["F1", "F2"])
+    def test_single_kernel_matches_dense(self, backend, force):
+        batch, types, params = _random_system(seed=4)
+        positions = batch[0]
+        cutoff = 2.0
+        dense_engine = DenseDriftEngine(types, params, force, cutoff)
+        sparse_engine = SparseDriftEngine(types, params, force, cutoff, neighbors=backend)
+        np.testing.assert_allclose(
+            sparse_engine.drift(positions), dense_engine.drift(positions), rtol=0, atol=1e-10
+        )
+
+    @pytest.mark.parametrize("backend", sorted(NEIGHBOR_BACKENDS))
+    def test_kernels_are_bit_identical(self, backend):
+        # Stronger than the 1e-10 criterion: the sparse kernel consumes pairs
+        # in lexicographic order, reproducing the dense summation order
+        # exactly.  This is what makes engine choice not affect trajectories.
+        batch, types, params = _random_system(seed=5, n=24, m=6)
+        cutoff = 2.5
+        dense = drift_batch(batch, types, params, "F1", cutoff=cutoff)
+        sparse = sparse_drift_batch(batch, types, params, "F1", cutoff, backend)
+        np.testing.assert_array_equal(sparse, dense)
+
+    def test_unconstrained_cutoff_still_matches(self):
+        batch, types, params = _random_system(seed=6, n=10)
+        dense = drift_batch(batch, types, params, "F2", cutoff=None)
+        sparse = sparse_drift_batch(batch, types, params, "F2", None, "brute")
+        np.testing.assert_allclose(sparse, dense, rtol=0, atol=1e-10)
+
+    def test_no_interacting_pairs_gives_zero_drift(self):
+        params = InteractionParams.single_type(k=1.0, r=1.0)
+        positions = np.array([[[0.0, 0.0], [100.0, 0.0], [0.0, 100.0]]])
+        types = np.zeros(3, dtype=int)
+        drift = sparse_drift_batch(positions, types, params, "F1", 1.0, "kdtree")
+        np.testing.assert_array_equal(drift, np.zeros_like(positions))
+
+
+class TestEngineCallDispatch:
+    def test_call_dispatches_on_rank(self):
+        batch, types, params = _random_system(seed=7, n=8, m=3)
+        engine = make_engine("sparse", types=types, params=params, scaling="F1", cutoff=2.0)
+        np.testing.assert_array_equal(engine(batch), engine.drift_batch(batch))
+        np.testing.assert_array_equal(engine(batch[0]), engine.drift(batch[0]))
+
+    def test_call_rejects_bad_rank(self):
+        batch, types, params = _random_system(seed=8, n=8)
+        engine = make_engine("dense", types=types, params=params, scaling="F1")
+        with pytest.raises(ValueError):
+            engine(np.zeros(4))
+
+    def test_batch_kernel_validates_shapes(self):
+        _, types, params = _random_system(seed=9, n=8)
+        with pytest.raises(ValueError):
+            sparse_drift_batch(np.zeros((8, 2)), types, params, "F1", 1.0, "brute")
+        with pytest.raises(ValueError):
+            sparse_drift_batch(np.zeros((2, 9, 2)), types, params, "F1", 1.0, "brute")
+
+
+class TestResolveEngine:
+    def test_explicit_names_pass_through(self):
+        for name in ("dense", "sparse"):
+            assert resolve_engine(name, n_particles=5, cutoff=None) == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            resolve_engine("octree", n_particles=5, cutoff=1.0)
+
+    def test_auto_is_dense_without_cutoff(self):
+        assert resolve_engine("auto", n_particles=10_000, cutoff=None) == "dense"
+        assert resolve_engine("auto", n_particles=10_000, cutoff=np.inf) == "dense"
+
+    def test_auto_is_dense_for_small_collectives(self):
+        assert (
+            resolve_engine("auto", n_particles=SPARSE_AUTO_MIN_PARTICLES - 1, cutoff=1.0)
+            == "dense"
+        )
+
+    def test_auto_is_sparse_for_large_pruning_cutoff(self):
+        assert (
+            resolve_engine(
+                "auto", n_particles=1000, cutoff=2.0, domain_radius=17.8
+            )
+            == "sparse"
+        )
+
+    def test_auto_is_dense_when_cutoff_covers_the_collective(self):
+        # r_c larger than the collective diameter prunes nothing.
+        assert (
+            resolve_engine("auto", n_particles=1000, cutoff=40.0, domain_radius=17.8)
+            == "dense"
+        )
+
+    def test_registry_constant(self):
+        assert DRIFT_ENGINES == ("auto", "dense", "sparse")
+
+
+class TestConfigIntegration:
+    def test_default_engine_is_auto(self, small_config):
+        assert small_config.engine == "auto"
+        assert small_config.resolved_engine == "dense"
+
+    def test_large_collective_resolves_sparse(self, two_type_params):
+        config = SimulationConfig(
+            type_counts=(150, 150), params=two_type_params, cutoff=2.0
+        )
+        assert config.resolved_engine == "sparse"
+        assert isinstance(engine_for_config(config), SparseDriftEngine)
+
+    def test_engine_for_config_respects_explicit_choice(self, small_config):
+        sparse_cfg = small_config.with_updates(engine="sparse", cutoff=2.0)
+        dense_cfg = small_config.with_updates(engine="dense", cutoff=2.0)
+        assert isinstance(engine_for_config(sparse_cfg), SparseDriftEngine)
+        assert isinstance(engine_for_config(dense_cfg), DenseDriftEngine)
+
+    def test_invalid_engine_rejected_at_construction(self, small_config):
+        with pytest.raises(KeyError):
+            small_config.with_updates(engine="warp")
+
+    def test_engine_round_trips_through_dict(self, small_config):
+        config = small_config.with_updates(engine="sparse", cutoff=2.0)
+        restored = SimulationConfig.from_dict(config.to_dict())
+        assert restored.to_dict() == config.to_dict()
+        assert restored.engine == "sparse"
+
+    def test_legacy_dict_without_engine_loads(self, small_config):
+        payload = small_config.to_dict()
+        del payload["engine"]
+        restored = SimulationConfig.from_dict(payload)
+        assert restored.engine == "auto"
+
+    def test_sparse_engine_uses_configured_backend(self, small_config):
+        config = small_config.with_updates(
+            engine="sparse", cutoff=2.0, neighbor_backend="cell"
+        )
+        engine = engine_for_config(config)
+        assert isinstance(engine, SparseDriftEngine)
+        assert engine.neighbors.name == "cell"
+
+    def test_engine_is_a_drift_engine(self, small_config):
+        assert isinstance(engine_for_config(small_config), DriftEngine)
+
+
+class TestDriftSingleVsBatchConsistency:
+    @pytest.mark.parametrize("engine_name", ["dense", "sparse"])
+    def test_batch_rows_match_single(self, engine_name):
+        batch, types, params = _random_system(seed=11, n=15, m=5)
+        engine = make_engine(
+            engine_name, types=types, params=params, scaling="F2", cutoff=3.0
+        )
+        batched = engine.drift_batch(batch)
+        for m in range(batch.shape[0]):
+            np.testing.assert_allclose(
+                batched[m], engine.drift(batch[m]), rtol=0, atol=1e-10
+            )
+
+    def test_matches_reference_drift_single(self):
+        batch, types, params = _random_system(seed=12, n=15)
+        engine = make_engine("sparse", types=types, params=params, scaling="F1", cutoff=2.0)
+        reference = drift_single(batch[0], types, params, "F1", cutoff=2.0)
+        np.testing.assert_allclose(engine.drift(batch[0]), reference, rtol=0, atol=1e-10)

@@ -8,6 +8,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.particles.forces import (
+    _DISTANCE_FLOOR,
     FORCE_SCALINGS,
     GaussianAdhesionForce,
     LinearAdhesionForce,
@@ -15,6 +16,7 @@ from repro.particles.forces import (
     drift_single,
     get_force_scaling,
     net_force_norms,
+    pair_interaction_weights,
     pairwise_distance_matrix,
     preferred_distance_curve,
 )
@@ -83,6 +85,104 @@ class TestForceScalingFunctions:
     def test_registry_unknown(self):
         with pytest.raises(KeyError):
             get_force_scaling("F3")
+
+
+class TestForceInvariantProperties:
+    """Property-based tests of the Eq. 7/8 invariants the paper relies on."""
+
+    @given(
+        k=st.floats(min_value=0.1, max_value=10.0),
+        r=st.floats(min_value=0.1, max_value=8.0),
+    )
+    def test_f1_zero_crossing_exactly_at_r(self, k, r):
+        # F1(r) = k (1 - r/r) is exactly zero in floating point, for every k, r.
+        f1 = LinearAdhesionForce()
+        assert f1(np.array([r]), k, r, 1.0, 1.0)[0] == 0.0
+        # And the sign flips across the crossing: repulsive below, attractive above.
+        assert f1(np.array([0.5 * r]), k, r, 1.0, 1.0)[0] < 0
+        assert f1(np.array([2.0 * r]), k, r, 1.0, 1.0)[0] > 0
+
+    @given(
+        k=st.floats(min_value=0.1, max_value=10.0),
+        tau=st.floats(min_value=1.5, max_value=10.0),
+    )
+    def test_f2_pure_repulsion_when_tau_exceeds_unit_sigma(self, k, tau):
+        # The paper's setting: sigma = 1, tau > 1 makes the repulsion term
+        # dominate at every distance, so F2 <= 0 everywhere.
+        f2 = GaussianAdhesionForce()
+        x = np.linspace(0.0, 12.0, 300)
+        assert np.all(f2(x, k, 1.0, 1.0, tau) <= 1e-12)
+
+    @given(
+        k=st.floats(min_value=0.1, max_value=10.0),
+        sigma=st.floats(min_value=2.0, max_value=6.0),
+    )
+    def test_f2_sign_structure_when_sigma_exceeds_tau(self, k, sigma):
+        # sigma > tau: short-range repulsion, longer-range attraction — the
+        # scaling must take both signs and decay to zero at long range.
+        f2 = GaussianAdhesionForce()
+        x = np.linspace(0.01, 12.0, 600)
+        values = f2(x, k, 1.0, sigma, 1.0)
+        assert values.min() < 0 < values.max()
+        np.testing.assert_allclose(f2(np.array([60.0]), k, 1.0, sigma, 1.0), 0.0, atol=1e-12)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        force=st.sampled_from(["F1", "F2"]),
+        cutoff=st.one_of(st.none(), st.floats(min_value=0.5, max_value=5.0)),
+    )
+    def test_drift_antisymmetry_total_momentum_vanishes(self, seed, force, cutoff):
+        # Symmetric parameters + antisymmetric Δz_ij make the pairwise drift
+        # obey Newton's third law, so absent noise the total momentum is ~0.
+        rng = np.random.default_rng(seed)
+        params = InteractionParams.random(2, rng=rng)
+        types = rng.integers(0, 2, size=10)
+        positions = rng.uniform(-3, 3, size=(10, 2))
+        drift = drift_single(positions, types, params, force, cutoff=cutoff)
+        np.testing.assert_allclose(drift.sum(axis=0), 0.0, atol=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_coincident_particles_are_safe(self, seed):
+        # Two particles at the same point hit F1's r/x singularity; the
+        # distance floor keeps the drift finite (and the Δz = 0 prefactor
+        # makes the coincident pair contribute nothing).
+        rng = np.random.default_rng(seed)
+        params = InteractionParams.random(2, rng=rng)
+        positions = rng.uniform(-3, 3, size=(6, 2))
+        positions[1] = positions[0]
+        types = rng.integers(0, 2, size=6)
+        for force in ("F1", "F2"):
+            drift = drift_single(positions, types, params, force)
+            assert np.isfinite(drift).all()
+
+    def test_distance_floor_bounds_f1(self):
+        f1 = LinearAdhesionForce()
+        at_zero = f1(np.array([0.0]), 1.0, 2.0, 1.0, 1.0)[0]
+        at_floor = f1(np.array([_DISTANCE_FLOOR]), 1.0, 2.0, 1.0, 1.0)[0]
+        assert at_zero == at_floor
+        assert np.isfinite(at_zero)
+
+
+class TestPairInteractionWeights:
+    def test_matches_scaling_with_cutoff_mask(self):
+        params = InteractionParams.clustering(2, self_distance=1.0, cross_distance=2.5, k=2.0)
+        dist = np.array([0.5, 1.5, 4.0])
+        ti = np.array([0, 0, 1])
+        tj = np.array([0, 1, 1])
+        weights = pair_interaction_weights(dist, ti, tj, params, "F1", cutoff=2.0)
+        f1 = get_force_scaling("F1")
+        expected = -f1(
+            dist, params.k[ti, tj], params.r[ti, tj], params.sigma[ti, tj], params.tau[ti, tj]
+        )
+        expected[dist > 2.0] = 0.0
+        np.testing.assert_array_equal(weights, expected)
+
+    def test_no_cutoff_keeps_every_pair(self):
+        params = InteractionParams.single_type(k=1.0, r=1.0)
+        dist = np.array([0.5, 100.0])
+        zero = np.zeros(2, dtype=int)
+        weights = pair_interaction_weights(dist, zero, zero, params, "F1", cutoff=None)
+        assert np.all(weights != 0.0)
 
 
 class TestPairwiseDistances:
@@ -187,6 +287,13 @@ class TestDriftSingle:
             positions, types, params, "F1", cutoff=cutoff, neighbor_pairs=pairs
         )
         np.testing.assert_allclose(sparse, dense, atol=1e-9)
+
+    def test_pair_matrices_can_be_reused(self, rng):
+        positions, types, params = _random_system(rng)
+        pair = params.pair_matrices(types)
+        a = drift_single(positions, types, params, "F1", cutoff=2.0, pair=pair)
+        b = drift_single(positions, types, params, "F1", cutoff=2.0)
+        np.testing.assert_array_equal(a, b)
 
     def test_shape_validation(self):
         params = InteractionParams.single_type()

@@ -156,8 +156,8 @@ class TestParticleSystem:
             noise_variance=0.0,
             init_radius=2.0,
         )
-        dense_cfg = SimulationConfig(**base, neighbor_backend="brute")
-        sparse_cfg = SimulationConfig(**base, neighbor_backend="cell")
+        dense_cfg = SimulationConfig(**base, engine="dense")
+        sparse_cfg = SimulationConfig(**base, engine="sparse", neighbor_backend="cell")
         initial = ParticleSystem(dense_cfg, rng=0).positions
         dense = ParticleSystem(dense_cfg, rng=0, initial_positions=initial).run().positions
         sparse = ParticleSystem(sparse_cfg, rng=0, initial_positions=initial).run().positions

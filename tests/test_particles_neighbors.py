@@ -65,6 +65,33 @@ class TestBackendsAgainstBruteForce:
             backend.pairs(np.zeros((3, 3)), radius=1.0)
 
 
+def _boundary_offset(radius: float) -> np.ndarray | None:
+    """A 2-vector whose squared norm exceeds ``radius**2`` while its rounded
+    Euclidean norm equals ``radius`` — the cut-off edge case where squared-
+    distance and sqrt-based comparisons disagree."""
+    rng = np.random.default_rng(123)
+    for _ in range(10_000):
+        v = rng.normal(size=2)
+        v = v / np.sqrt(v @ v) * radius
+        q = v[0] * v[0] + v[1] * v[1]
+        if q > radius * radius and np.sqrt(q) <= radius:
+            return v
+    return None
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+def test_cutoff_boundary_pairs_match_brute_force(backend):
+    # Regression: cell/kdtree used to prune on squared distances, dropping
+    # pairs whose rounded distance lands exactly on the radius — pairs the
+    # dense drift kernel (and brute force) includes.
+    radius = 2.0
+    offset = _boundary_offset(radius)
+    assert offset is not None, "no representable boundary pair found"
+    positions = np.array([[0.0, 0.0], offset])
+    pairs = _pairs_as_set(*backend.pairs(positions, radius))
+    assert pairs == {(0, 1), (1, 0)}
+
+
 @given(
     st.integers(min_value=2, max_value=30),
     st.floats(min_value=0.3, max_value=4.0),
@@ -83,6 +110,54 @@ class TestNeighborLists:
         lists = BruteForceNeighbors().neighbor_lists(positions, radius=1.5)
         assert lists[0].tolist() == [1, 2]
         assert lists[3].tolist() == []
+
+    def test_all_backends_identical_and_sorted_on_seeded_cloud(self):
+        # Regression for the vectorised argsort/split implementation: every
+        # backend must produce the same per-particle lists, each sorted
+        # ascending, with one (possibly empty) integer array per particle.
+        positions = np.random.default_rng(42).uniform(-6, 6, size=(60, 2))
+        reference = BruteForceNeighbors().neighbor_lists(positions, radius=2.0)
+        assert len(reference) == 60
+        for backend in BACKENDS:
+            lists = backend.neighbor_lists(positions, radius=2.0)
+            assert len(lists) == len(reference)
+            for mine, ref in zip(lists, reference):
+                assert np.issubdtype(mine.dtype, np.integer)
+                assert np.all(np.diff(mine) > 0)  # strictly ascending, no duplicates
+                np.testing.assert_array_equal(mine, ref)
+
+    def test_isolated_particles_get_empty_arrays(self):
+        positions = np.array([[0.0, 0.0], [100.0, 0.0]])
+        lists = BruteForceNeighbors().neighbor_lists(positions, radius=1.0)
+        assert [lst.size for lst in lists] == [0, 0]
+
+    def test_empty_input(self):
+        assert BruteForceNeighbors().neighbor_lists(np.zeros((0, 2)), radius=1.0) == []
+
+
+class TestPairsBatch:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_matches_per_sample_pairs(self, backend):
+        rng = np.random.default_rng(5)
+        batch = rng.uniform(-4, 4, size=(3, 20, 2))
+        i_idx, j_idx = backend.pairs_batch(batch, radius=2.0)
+        expected = set()
+        for sample in range(3):
+            si, sj = backend.pairs(batch[sample], radius=2.0)
+            expected |= {(sample * 20 + a, sample * 20 + b) for a, b in zip(si, sj)}
+        assert _pairs_as_set(i_idx, j_idx) == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_lexicographic_order(self, backend):
+        rng = np.random.default_rng(6)
+        batch = rng.uniform(-4, 4, size=(2, 15, 2))
+        i_idx, j_idx = backend.pairs_batch(batch, radius=2.5)
+        keys = list(zip(i_idx.tolist(), j_idx.tolist()))
+        assert keys == sorted(keys)
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            BruteForceNeighbors().pairs_batch(np.zeros((4, 2)), radius=1.0)
 
 
 class TestRegistry:

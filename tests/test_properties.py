@@ -15,7 +15,8 @@ from hypothesis import strategies as st
 from repro.alignment.procrustes import RigidTransform
 from repro.alignment.symmetry import align_snapshot, center_configurations
 from repro.infotheory.ksg import ksg_multi_information
-from repro.particles.forces import drift_single
+from repro.particles.engine import sparse_drift_batch
+from repro.particles.forces import drift_batch, drift_single
 from repro.particles.types import InteractionParams
 
 
@@ -68,6 +69,42 @@ def test_drift_equivariant_under_same_type_permutations(seed, n, n_types, force,
         drift_single(positions, types, params, force, cutoff=cutoff)[perm],
         atol=1e-8,
     )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=2, max_value=16),
+    m=st.integers(min_value=1, max_value=4),
+    n_types=st.integers(min_value=1, max_value=3),
+    force=st.sampled_from(["F1", "F2"]),
+    cutoff=st.floats(min_value=0.5, max_value=6.0),
+    backend=st.sampled_from(["brute", "cell", "kdtree"]),
+)
+def test_sparse_engine_matches_dense_kernel(seed, n, m, n_types, force, cutoff, backend):
+    """The unified engine invariant: kernel choice never changes the dynamics."""
+    rng = np.random.default_rng(seed)
+    params = InteractionParams.random(n_types, rng=rng)
+    types = rng.integers(0, n_types, size=n)
+    batch = rng.uniform(-4.0, 4.0, size=(m, n, 2))
+    dense = drift_batch(batch, types, params, force, cutoff=cutoff)
+    sparse = sparse_drift_batch(batch, types, params, force, cutoff, backend)
+    np.testing.assert_allclose(sparse, dense, rtol=0, atol=1e-10)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=2, max_value=12),
+    force=st.sampled_from(["F1", "F2"]),
+    backend=st.sampled_from(["brute", "cell", "kdtree"]),
+)
+def test_sparse_drift_conserves_momentum(seed, n, force, backend):
+    """Drift antisymmetry survives the sparse pair representation."""
+    rng = np.random.default_rng(seed)
+    params = InteractionParams.random(2, rng=rng)
+    types = rng.integers(0, 2, size=n)
+    batch = rng.uniform(-3.0, 3.0, size=(2, n, 2))
+    drift = sparse_drift_batch(batch, types, params, force, 2.5, backend)
+    np.testing.assert_allclose(drift.sum(axis=1), 0.0, atol=1e-9)
 
 
 @settings(max_examples=10)
