@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--neighbor-backend", choices=sorted(NEIGHBOR_BACKENDS), default=None,
         help="override the neighbour-search backend of the sparse engine",
     )
+    run_parser.add_argument(
+        "--auto-reresolve-every", type=int, default=None, metavar="K",
+        help="re-check the auto engine's dense/sparse choice every K recorded "
+        "steps from the current bounding box (0 disables adaptivity)",
+    )
     run_parser.add_argument("--quiet", action="store_true", help="suppress the ASCII plot")
 
     curves_parser = subparsers.add_parser("curves", help="print the Fig. 2 force-scaling curves")
@@ -87,6 +92,8 @@ def _apply_engine_overrides(simulation, args: argparse.Namespace):
         overrides["engine"] = args.engine
     if getattr(args, "neighbor_backend", None) is not None:
         overrides["neighbor_backend"] = args.neighbor_backend
+    if getattr(args, "auto_reresolve_every", None) is not None:
+        overrides["auto_reresolve_every"] = args.auto_reresolve_every
     return simulation.with_updates(**overrides) if overrides else simulation
 
 

@@ -28,9 +28,11 @@ from repro.particles.neighbors import (
 )
 from repro.particles.engine import (
     DRIFT_ENGINES,
+    AdaptiveDriftEngine,
     DenseDriftEngine,
     DriftEngine,
     SparseDriftEngine,
+    collective_radius,
     engine_for_config,
     make_engine,
     resolve_engine,
@@ -84,6 +86,8 @@ __all__ = [
     "DriftEngine",
     "DenseDriftEngine",
     "SparseDriftEngine",
+    "AdaptiveDriftEngine",
+    "collective_radius",
     "resolve_engine",
     "make_engine",
     "engine_for_config",

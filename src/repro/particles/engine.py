@@ -23,7 +23,26 @@ Two engines are provided:
 Selection is configured on :class:`~repro.particles.model.SimulationConfig`
 via ``engine="dense" | "sparse" | "auto"``; :func:`resolve_engine` implements
 the ``"auto"`` heuristic (sparse for large collectives with a genuinely
-pruning cut-off, dense otherwise).
+pruning cut-off, dense otherwise).  Because collectives contract over a run,
+``"auto"`` is *adaptive* by default: :class:`AdaptiveDriftEngine` re-resolves
+the choice every ``SimulationConfig.auto_reresolve_every`` recorded steps
+from the **current** bounding box (:func:`collective_radius`), so a run that
+starts sparse switches to the dense kernel once the cut-off disc covers the
+shrunken collective — without changing a single bit of the trajectory (see
+below).
+
+Choosing an engine/backend
+--------------------------
+* n ≲ 200, or no cut-off, or ``r_c`` comparable to the collective diameter —
+  ``"dense"`` (what ``"auto"`` resolves to).
+* large n with a genuinely pruning cut-off — ``"sparse"``; pick the
+  neighbour backend by workload: ``"cell"`` for ensembles (its
+  :meth:`~repro.particles.neighbors.CellListNeighbors.pairs_batch` hashes
+  the whole ``(m, n, 2)`` snapshot in one vectorised query) and for
+  roughly-uniform single snapshots, ``"kdtree"`` for strongly non-uniform
+  single snapshots, ``"brute"`` only as a testing reference.
+* unsure, or the collective contracts over the run — ``"auto"`` with the
+  default adaptive re-resolution.
 
 Bit-compatibility contract
 --------------------------
@@ -32,7 +51,8 @@ sparse kernel consumes pairs in lexicographic ``(sample, i, j)`` order (see
 :meth:`NeighborSearch.pairs_batch`), which reproduces the dense kernel's
 sequential summation order exactly, and skipped pairs contribute exact zeros
 in the dense kernel.  ``tests/test_integration.py`` pins this property, so
-trajectories are reproducible across engine choices, not merely close.
+trajectories are reproducible across engine choices — and it is what makes
+adaptive mid-run engine switching safe.
 """
 
 from __future__ import annotations
@@ -62,6 +82,8 @@ __all__ = [
     "DriftEngine",
     "DenseDriftEngine",
     "SparseDriftEngine",
+    "AdaptiveDriftEngine",
+    "collective_radius",
     "resolve_engine",
     "make_engine",
     "engine_for_config",
@@ -117,6 +139,24 @@ def resolve_engine(
     if domain_radius is not None and cutoff > SPARSE_AUTO_CUTOFF_FRACTION * 2.0 * float(domain_radius):
         return "dense"
     return "sparse"
+
+
+def collective_radius(positions: np.ndarray) -> float:
+    """Characteristic radius of the current configuration(s).
+
+    Half the longer side of the axis-aligned bounding box over *all*
+    particles (and, for an ensemble snapshot ``(m, n, 2)``, all samples) —
+    the live counterpart of the initial disc radius that the static
+    ``"auto"`` heuristic uses.  Collectives contract over a run, so feeding
+    this to :func:`resolve_engine` lets :class:`AdaptiveDriftEngine` notice
+    when the cut-off disc stops pruning pairs.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.size == 0:
+        return 0.0
+    flat = positions.reshape(-1, positions.shape[-1])
+    spans = flat.max(axis=0) - flat.min(axis=0)
+    return float(spans.max() / 2.0)
 
 
 def _sorted_pairs(i_idx: np.ndarray, j_idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -298,6 +338,88 @@ class SparseDriftEngine(DriftEngine):
         )
 
 
+class AdaptiveDriftEngine(DriftEngine):
+    """``"auto"`` as a live choice: delegates to dense or sparse and can re-resolve.
+
+    The engine holds lazily-built dense and sparse delegates (so per-pair
+    parameter caches survive switches) and forwards every drift evaluation
+    to the currently active one.  :meth:`reresolve` re-runs the ``"auto"``
+    heuristic against the *current* bounding box — the simulation drivers
+    call it every ``SimulationConfig.auto_reresolve_every`` recorded steps,
+    which lets a contracting collective drop from sparse to dense mid-run
+    (or the reverse, if a collective disperses).  Switching is free of
+    observable side effects: the bit-compatibility contract guarantees both
+    delegates produce identical drift for identical positions.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        types,
+        params,
+        scaling,
+        cutoff=None,
+        *,
+        neighbors: NeighborSearch | str = "kdtree",
+        domain_radius: float | None = None,
+    ) -> None:
+        super().__init__(types, params, scaling, cutoff)
+        self.neighbors = get_neighbor_search(neighbors)
+        self._delegates: dict[str, DriftEngine] = {}
+        self._resolved = resolve_engine(
+            "auto",
+            n_particles=self.n_particles,
+            cutoff=self.cutoff,
+            domain_radius=domain_radius,
+        )
+
+    @property
+    def resolved(self) -> str:
+        """Name of the currently active kernel (``"dense"``/``"sparse"``)."""
+        return self._resolved
+
+    @property
+    def active(self) -> DriftEngine:
+        """The delegate engine currently evaluating the drift."""
+        if self._resolved not in self._delegates:
+            if self._resolved == "dense":
+                delegate = DenseDriftEngine(self.types, self.params, self.scaling, self.cutoff)
+            else:
+                delegate = SparseDriftEngine(
+                    self.types, self.params, self.scaling, self.cutoff,
+                    neighbors=self.neighbors,
+                )
+            self._delegates[self._resolved] = delegate
+        return self._delegates[self._resolved]
+
+    def reresolve(self, positions: np.ndarray) -> str:
+        """Re-run the ``"auto"`` heuristic from the current bounding box.
+
+        Returns the resolved kernel name; the switch (if any) takes effect
+        on the next drift evaluation and never changes its result.
+        """
+        self._resolved = resolve_engine(
+            "auto",
+            n_particles=self.n_particles,
+            cutoff=self.cutoff,
+            domain_radius=collective_radius(positions),
+        )
+        return self._resolved
+
+    def drift(self, positions: np.ndarray) -> np.ndarray:
+        return self.active.drift(positions)
+
+    def drift_batch(self, positions: np.ndarray) -> np.ndarray:
+        return self.active.drift_batch(positions)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{type(self).__name__}(n={self.n_particles}, cutoff={self.cutoff}, "
+            f"resolved={self._resolved!r})"
+        )
+
+
 def make_engine(
     engine: str,
     *,
@@ -307,9 +429,19 @@ def make_engine(
     cutoff: float | None = None,
     neighbors: NeighborSearch | str = "kdtree",
     domain_radius: float | None = None,
+    adaptive: bool = False,
 ) -> DriftEngine:
-    """Build a :class:`DriftEngine`, resolving ``"auto"`` with :func:`resolve_engine`."""
+    """Build a :class:`DriftEngine`, resolving ``"auto"`` with :func:`resolve_engine`.
+
+    With ``adaptive=True`` (and ``engine="auto"``) the result is an
+    :class:`AdaptiveDriftEngine` whose dense/sparse choice can be re-resolved
+    mid-run; otherwise ``"auto"`` is resolved once, here.
+    """
     types = np.asarray(types, dtype=int)
+    if adaptive and str(engine).lower() == "auto":
+        return AdaptiveDriftEngine(
+            types, params, scaling, cutoff, neighbors=neighbors, domain_radius=domain_radius
+        )
     resolved = resolve_engine(
         engine, n_particles=types.size, cutoff=cutoff, domain_radius=domain_radius
     )
@@ -328,4 +460,5 @@ def engine_for_config(config: "SimulationConfig") -> DriftEngine:
         cutoff=config.cutoff,
         neighbors=config.neighbor_backend,
         domain_radius=config.disc_radius,
+        adaptive=config.auto_reresolve_every > 0,
     )

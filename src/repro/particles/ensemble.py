@@ -11,7 +11,12 @@ same seed:
 * the default **vectorised** path advances all samples simultaneously with
   batched kernels of shape ``(m, n, 2)`` — dense all-pairs or sparse
   neighbour-pair, whichever the configuration's drift engine selects
-  (optionally split into batches bounded by a memory budget), and
+  (optionally split into batches bounded by a memory budget).  On the
+  sparse path with ``neighbor_backend="cell"`` the neighbour query itself
+  is batched: the whole snapshot is spatially hashed in one vectorised
+  query, leaving zero per-sample Python in the hot loop, and the adaptive
+  ``"auto"`` engine re-checks its dense/sparse choice every
+  ``auto_reresolve_every`` recorded steps as the collectives contract; and
 * an optional **process-parallel** path (``n_jobs``) that distributes sample
   batches over a pool — useful on many-core machines when ``m`` is large and
   the per-batch work is substantial.
@@ -26,7 +31,7 @@ import numpy as np
 from repro.parallel.batch import batch_slices, max_batch_for_budget
 from repro.parallel.pool import effective_n_jobs, parallel_map
 from repro.parallel.rng import seed_streams
-from repro.particles.engine import engine_for_config
+from repro.particles.engine import AdaptiveDriftEngine, engine_for_config
 from repro.particles.forces import net_force_norms
 from repro.particles.init_conditions import uniform_disc_ensemble
 from repro.particles.integrators import get_integrator
@@ -113,11 +118,17 @@ class EnsembleSimulator:
         positions = np.asarray(initial, dtype=float).copy()
         frames = [positions.copy()] if record_initial else []
         force_norms = [net_force_norms(self._drift(positions)).sum(axis=-1)]
-        for _ in range(config.n_steps):
+        cadence = config.auto_reresolve_every
+        adaptive = cadence and isinstance(self._engine, AdaptiveDriftEngine)
+        for step in range(1, config.n_steps + 1):
             for _ in range(config.substeps):
                 positions = integrator.step(positions, self._drift, config.dt, rng)
             frames.append(positions.copy())
             force_norms.append(net_force_norms(self._drift(positions)).sum(axis=-1))
+            if adaptive and step % cadence == 0:
+                # Bit-identical kernels make this switch invisible in the
+                # trajectory; it only tracks the contracting bounding box.
+                self._engine.reresolve(positions)
         return np.stack(frames, axis=0), np.stack(force_norms, axis=0)
 
     def run(self, *, n_jobs: int | None = None) -> EnsembleTrajectory:

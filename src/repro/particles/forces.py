@@ -22,9 +22,11 @@ Two drift kernels operate on these scalings: the dense all-pairs broadcast
 (:func:`drift_single` / :func:`drift_batch`) and a sparse neighbour-pair
 segment-sum (:mod:`repro.particles.engine`).  Which kernel runs is selected
 per experiment via ``SimulationConfig.engine`` (``"dense"``/``"sparse"``/
-``"auto"``); both consume the per-pair weights produced by
+``"auto"`` — adaptive by default, re-resolved mid-run as the collective
+contracts); both consume the per-pair weights produced by
 :func:`pair_interaction_weights` and agree bit-for-bit (see the
-bit-compatibility contract in :mod:`repro.particles.engine`).
+bit-compatibility contract and the "Choosing an engine/backend" guide in
+:mod:`repro.particles.engine`).
 """
 
 from __future__ import annotations

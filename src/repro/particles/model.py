@@ -20,7 +20,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.parallel.rng import as_generator
-from repro.particles.engine import engine_for_config, resolve_engine
+from repro.particles.engine import AdaptiveDriftEngine, engine_for_config, resolve_engine
 from repro.particles.equilibrium import EquilibriumDetector
 from repro.particles.forces import get_force_scaling, net_force_norms
 from repro.particles.init_conditions import default_disc_radius, uniform_disc
@@ -66,15 +66,29 @@ class SimulationConfig:
         ``"euler-maruyama"`` (paper) or ``"heun"``.
     neighbor_backend:
         Neighbour-search backend of the sparse drift engine: ``"kdtree"``
-        (default — the only one whose pair query scales past n²), ``"cell"``
-        or ``"brute"`` (reference implementation; materialises the full
-        distance matrix, useful for testing only).
+        (default; strongest on non-uniform single snapshots), ``"cell"``
+        (vectorised spatial hash — the only backend whose batched ensemble
+        query hashes all samples at once, so prefer it for ensembles) or
+        ``"brute"`` (reference implementation; materialises the full
+        distance matrix, useful for testing only).  All backends return
+        identical pair sets, so this is purely a performance choice.
     engine:
         Drift-evaluation engine — ``"dense"`` (all-pairs broadcast),
         ``"sparse"`` (neighbour-pair segment-sum) or ``"auto"`` (sparse for
         large collectives with a genuinely pruning cut-off; see
-        :func:`repro.particles.engine.resolve_engine`).  Both single runs and
-        ensembles honour this choice, and the engines agree bit-for-bit.
+        :func:`repro.particles.engine.resolve_engine` and the
+        "Choosing an engine/backend" section of
+        :mod:`repro.particles.engine`).  Both single runs and ensembles
+        honour this choice, and the engines agree bit-for-bit.
+    auto_reresolve_every:
+        Cadence (in recorded steps) at which an ``"auto"`` engine re-checks
+        its dense/sparse choice against the *current* bounding box, so a
+        contracting collective switches kernels mid-run (see
+        :class:`repro.particles.engine.AdaptiveDriftEngine`).  ``0``
+        disables adaptivity and resolves ``"auto"`` once from the initial
+        disc radius.  Because the kernels agree bit-for-bit, this knob never
+        changes a trajectory — only how fast it is computed.  Ignored for
+        explicit ``"dense"``/``"sparse"`` choices.
     max_drift_norm:
         Optional per-particle cap on the drift magnitude, guarding against
         the ``F1`` singularity when two particles nearly coincide.
@@ -97,6 +111,7 @@ class SimulationConfig:
     integrator: str = "euler-maruyama"
     neighbor_backend: str = "kdtree"
     engine: str = "auto"
+    auto_reresolve_every: int = 25
     max_drift_norm: float | None = None
     equilibrium_threshold: float = 1e-2
     equilibrium_patience: int = 5
@@ -124,6 +139,8 @@ class SimulationConfig:
             raise ValueError("init_radius must be positive")
         if self.max_drift_norm is not None and self.max_drift_norm <= 0:
             raise ValueError("max_drift_norm must be positive")
+        if self.auto_reresolve_every < 0:
+            raise ValueError("auto_reresolve_every must be non-negative (0 disables)")
         # Resolve names eagerly so configuration errors surface at construction.
         get_force_scaling(self.force)
         get_integrator(self.integrator)
@@ -189,6 +206,7 @@ class SimulationConfig:
             "integrator": self.integrator,
             "neighbor_backend": self.neighbor_backend,
             "engine": self.engine,
+            "auto_reresolve_every": self.auto_reresolve_every,
             "max_drift_norm": self.max_drift_norm,
             "equilibrium_threshold": self.equilibrium_threshold,
             "equilibrium_patience": self.equilibrium_patience,
@@ -290,7 +308,18 @@ class ParticleSystem:
             )
         self._step_count += 1
         self._equilibrium.update(self.drift())
+        self._maybe_reresolve_engine()
         return self.positions
+
+    def _maybe_reresolve_engine(self) -> None:
+        """Adaptive ``"auto"``: re-check dense vs sparse from the live bounding box."""
+        cadence = self.config.auto_reresolve_every
+        if (
+            cadence
+            and isinstance(self._engine, AdaptiveDriftEngine)
+            and self._step_count % cadence == 0
+        ):
+            self._engine.reresolve(self.positions)
 
     def run(
         self,

@@ -6,24 +6,38 @@ These backends feed the sparse drift kernels in
 :class:`~repro.particles.ensemble.EnsembleSimulator` path.  Whether a run
 uses them at all is decided by ``SimulationConfig.engine``: ``"sparse"``
 forces the neighbour-pair kernel, ``"dense"`` the all-pairs broadcast, and
-``"auto"`` picks sparse only for large collectives (n ≥ 192) whose cut-off
-radius is small compared to the collective diameter — the regime in which
-pruning pairs actually pays for the cost of the search.  Three backends
-trade construction cost against query cost:
+``"auto"`` picks sparse only while the cut-off radius is small compared to
+the collective diameter — re-checked during the run when adaptive
+re-resolution is enabled (see :class:`repro.particles.engine.AdaptiveDriftEngine`).
 
-* :class:`BruteForceNeighbors` — dense distance matrix, thresholded.
-* :class:`CellListNeighbors`  — uniform spatial hash with bucket size ``r_c``.
-* :class:`KDTreeNeighbors`    — :class:`scipy.spatial.cKDTree` radius query.
+Choosing a backend
+------------------
+Three backends trade construction cost against query cost:
+
+* :class:`BruteForceNeighbors` — dense distance matrix, thresholded.  O(n²)
+  time and memory; the reference implementation the others are fuzzed
+  against, useful for testing only.
+* :class:`CellListNeighbors` — fully vectorised uniform spatial hash with
+  bucket size ``r_c``.  Linear in ``n`` for bounded density, and the only
+  backend with a *native batched* query: :meth:`CellListNeighbors.pairs_batch`
+  hashes a whole ensemble snapshot ``(m, n, 2)`` in one shot by prepending a
+  sample-id coordinate to the cell key, so there is no per-sample Python on
+  the ensemble hot path.  Prefer it for ensembles and for single snapshots
+  at roughly uniform density.
+* :class:`KDTreeNeighbors` — :class:`scipy.spatial.cKDTree` radius query.
+  Good single-snapshot performance for large n with non-uniform density,
+  but its batched query falls back to one tree build + query per sample.
 
 All backends return the same representation: ordered index pairs
 ``(i_idx, j_idx)`` with ``i != j`` and ``dist(i, j) <= radius`` (both
-orientations present), which is what the sparse drift kernel consumes.
+orientations present), which is what the sparse drift kernel consumes, and
+are pinned against each other by a cross-backend fuzz suite
+(``tests/test_neighbors_fuzz.py``).
 """
 
 from __future__ import annotations
 
 import abc
-from collections import defaultdict
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -74,10 +88,11 @@ class NeighborSearch(abc.ABC):
         lexicographic ``(sample, i, j)`` order; sequential accumulation in
         that order reproduces the dense kernel's summation order bit-for-bit
         (the contract :mod:`repro.particles.engine` relies on).
+
+        This generic implementation loops over samples; the cell list
+        overrides it with a single vectorised query over the whole snapshot.
         """
-        positions = np.asarray(positions, dtype=float)
-        if positions.ndim != 3 or positions.shape[-1] != 2:
-            raise ValueError(f"positions must have shape (m, n, 2), got {positions.shape}")
+        positions = _validate_batch(positions)
         m, n, _ = positions.shape
         i_parts: list[np.ndarray] = []
         j_parts: list[np.ndarray] = []
@@ -94,6 +109,27 @@ class NeighborSearch(abc.ABC):
         order = np.lexsort((j_all, i_all))
         return i_all[order], j_all[order]
 
+    def neighbor_lists_batch(
+        self, positions: np.ndarray, radius: float
+    ) -> list[list[np.ndarray]]:
+        """Per-sample, per-particle neighbour lists for a batch ``(m, n, 2)``.
+
+        Equivalent to calling :meth:`neighbor_lists` on every sample, but
+        derived from one :meth:`pairs_batch` query plus a single segment
+        split — the indices in each array are *local* to the sample (in
+        ``[0, n)``) and sorted ascending.
+        """
+        positions = _validate_batch(positions)
+        m, n, _ = positions.shape
+        if n == 0:
+            return [[] for _ in range(m)]
+        i_idx, j_idx = self.pairs_batch(positions, radius)
+        counts = np.bincount(i_idx, minlength=m * n)
+        # pairs_batch is lex-sorted by flattened (i, j), so j % n stays
+        # ascending within each particle's contiguous block.
+        splits = np.split(j_idx % n, np.cumsum(counts[:-1]))
+        return [splits[s * n : (s + 1) * n] for s in range(m)]
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}()"
 
@@ -104,6 +140,13 @@ def _validate(positions: np.ndarray, radius: float) -> np.ndarray:
         raise ValueError(f"positions must have shape (n, 2), got {positions.shape}")
     if not radius > 0:
         raise ValueError(f"radius must be positive, got {radius}")
+    return positions
+
+
+def _validate_batch(positions: np.ndarray) -> np.ndarray:
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 3 or positions.shape[-1] != 2:
+        raise ValueError(f"positions must have shape (m, n, 2), got {positions.shape}")
     return positions
 
 
@@ -125,12 +168,151 @@ class BruteForceNeighbors(NeighborSearch):
         return i_idx, j_idx
 
 
+# ---------------------------------------------------------------------- #
+# vectorised spatial hash
+# ---------------------------------------------------------------------- #
+def _grid_ids(
+    positions: np.ndarray, radius: float, sample: np.ndarray | None = None
+) -> tuple[np.ndarray, int] | None:
+    """Flattened, padded cell id per particle, plus the row stride.
+
+    Cells of size ``radius`` are shifted to non-negative coordinates and
+    padded by one ghost cell on every side, so the id of the cell at offset
+    ``(dx, dy)`` from id ``c`` is exactly ``c + dx * stride + dy`` with no
+    aliasing across rows.  ``sample`` (batched queries) prepends a leading
+    coordinate: each sample occupies its own block of ids, and because the
+    blocks are padded, the 3×3 neighbourhood of any cell never reaches into
+    another sample's block.
+
+    Returns ``None`` when the id space would overflow ``int64`` (a bounding
+    box more than ~10⁹ cells wide); callers fall back to a loop of
+    per-sample queries in that degenerate regime.
+    """
+    cells = np.floor(positions / radius).astype(np.int64)
+    cells -= cells.min(axis=0)
+    x_extent = int(cells[:, 0].max()) + 3
+    stride = int(cells[:, 1].max()) + 3
+    n_blocks = 1 if sample is None else int(sample[-1]) + 1
+    if n_blocks * x_extent * stride >= np.iinfo(np.int64).max // 2:
+        return None
+    ids = (cells[:, 0] + 1) * stride + (cells[:, 1] + 1)
+    if sample is not None:
+        ids += sample * (x_extent * stride)
+    return ids, stride
+
+
+#: Half-shell neighbour-cell offsets ``(dx, dy)``: together with the
+#: within-cell rank pairs they cover every unordered candidate pair exactly
+#: once; the reverse orientations are added by mirroring after the distance
+#: filter, which halves the candidate work of the full 3×3 shell.
+_HALF_SHELL = ((0, 1), (1, -1), (1, 0), (1, 1))
+
+
+def _hashed_pairs(
+    positions: np.ndarray, ids: np.ndarray, stride: int, radius: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ordered pairs from flattened cell ids — no Python loop over anything.
+
+    The particles are sorted by cell id once (radix sort on the integer
+    ids); occupied buckets fall out of the boundary flags of the sorted id
+    array, and for each half-shell offset a single ``searchsorted`` locates
+    the adjacent bucket of *every* occupied cell at once.  Unordered
+    candidate pairs are materialised with a ragged-arange (repeat/cumsum)
+    expansion over contiguous, cell-sorted coordinate arrays, filtered by
+    exact distance, then mirrored and lex-sorted into the canonical
+    ``(i, j)`` order.
+    """
+    n_total = positions.shape[0]
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    xs = positions[order, 0]
+    ys = positions[order, 1]
+
+    is_start = np.empty(n_total, dtype=bool)
+    is_start[0] = True
+    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=is_start[1:])
+    starts = np.nonzero(is_start)[0]
+    unique_ids = sorted_ids[starts]
+    counts = np.diff(starts, append=n_total)
+    cell_of = np.cumsum(is_start) - 1  # bucket slot of each sorted particle
+
+    positions_idx = np.arange(n_total)
+    rank = positions_idx - starts[cell_of]
+
+    # Candidate block per (shell entry, sorted particle): within-cell pairs
+    # (strictly later ranks of the same bucket) plus the four forward
+    # neighbour buckets of the half shell.
+    cand_counts = [counts[cell_of] - rank - 1]
+    cand_starts = [positions_idx + 1]
+    for dx, dy in _HALF_SHELL:
+        target = unique_ids + (dx * stride + dy)
+        slot = np.minimum(np.searchsorted(unique_ids, target), unique_ids.size - 1)
+        occupied = unique_ids[slot] == target
+        block_count = np.where(occupied, counts[slot], 0)
+        block_start = np.where(occupied, starts[slot], 0)
+        cand_counts.append(block_count[cell_of])
+        cand_starts.append(block_start[cell_of])
+    cnt = np.concatenate(cand_counts)
+    st = np.concatenate(cand_starts)
+
+    total = int(cnt.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    i_s = np.repeat(np.tile(positions_idx, 1 + len(_HALF_SHELL)), cnt)
+    first = np.cumsum(cnt) - cnt
+    j_s = np.repeat(st, cnt) + (np.arange(total, dtype=np.int64) - np.repeat(first, cnt))
+
+    dx_ = xs.take(i_s) - xs.take(j_s)
+    dy_ = ys.take(i_s) - ys.take(j_s)
+    dist_sq = dx_ * dx_ + dy_ * dy_
+    # Cheap squared-distance pre-filter (slightly loose), then the exact
+    # sqrt-based comparison on the survivors: for pairs exactly at the
+    # cut-off the sqrt can round down onto the radius, and the dense kernel
+    # (and BruteForceNeighbors) includes those.
+    loose = dist_sq <= radius * radius * (1.0 + 1e-9)
+    i_s, j_s, dist_sq = i_s[loose], j_s[loose], dist_sq[loose]
+    keep = np.sqrt(dist_sq) <= radius
+    i_half = order[i_s[keep]]
+    j_half = order[j_s[keep]]
+    return np.concatenate([i_half, j_half]), np.concatenate([j_half, i_half])
+
+
+def _lex_sorted(
+    i_idx: np.ndarray, j_idx: np.ndarray, n_total: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort pairs into lexicographic ``(i, j)`` order.
+
+    Fuses each pair into the integer key ``i * n_total + j``, sorts the key
+    array directly and decodes — pairs are unique, so the sort order is
+    deterministic, and a direct ``np.sort`` plus divmod is much faster than
+    ``np.lexsort`` (or any argsort + gather) at the pair counts the batched
+    path produces.
+    """
+    if n_total and n_total < np.iinfo(np.int64).max // n_total:
+        key = i_idx * n_total + j_idx
+        key.sort()
+        return key // n_total, key % n_total
+    # Unreachable for in-memory particle counts (needs n_total > ~3e9).
+    order = np.lexsort((j_idx, i_idx))  # pragma: no cover
+    return i_idx[order], j_idx[order]  # pragma: no cover
+
+
 class CellListNeighbors(NeighborSearch):
-    """Uniform-grid spatial hash with cell size equal to the cut-off radius.
+    """Fully vectorised uniform-grid spatial hash with cell size ``r_c``.
 
     Candidate pairs are restricted to the 3×3 block of cells around each
-    particle, then filtered by exact distance.  Linear in ``n`` for bounded
-    density, which is the classic molecular-dynamics cell-list trade-off.
+    particle, then filtered by exact distance — linear in ``n`` for bounded
+    density, the classic molecular-dynamics cell-list trade-off.  Both the
+    single-snapshot and the batched query are pure array programs (sort +
+    boundary-flag bucket detection + ``searchsorted`` + ragged-arange
+    expansion); there is no Python loop over particles, pairs, cells or
+    samples.
+
+    Degenerate geometries fall out of the same code path: a radius larger
+    than the bounding box (or all particles in one cell) degrades to the
+    brute-force candidate set, and single-particle or empty systems return
+    empty pair arrays.
     """
 
     name = "cell"
@@ -139,35 +321,42 @@ class CellListNeighbors(NeighborSearch):
         positions = _validate(positions, radius)
         if not np.isfinite(radius):
             return BruteForceNeighbors().pairs(positions, radius)
-        n = positions.shape[0]
-        if n == 0:
-            empty = np.empty(0, dtype=int)
+        if positions.shape[0] < 2:
+            empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        cells = np.floor(positions / radius).astype(np.int64)
-        buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
-        for idx, (cx, cy) in enumerate(map(tuple, cells)):
-            buckets[(cx, cy)].append(idx)
+        grid = _grid_ids(positions, radius)
+        if grid is None:  # astronomically wide bounding box: id space overflow
+            return KDTreeNeighbors().pairs(positions, radius)
+        ids, stride = grid
+        pairs = _hashed_pairs(positions, ids, stride, radius)
+        return _lex_sorted(*pairs, positions.shape[0])
 
-        i_out: list[int] = []
-        j_out: list[int] = []
-        offsets = [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)]
-        for (cx, cy), members in buckets.items():
-            members_arr = np.asarray(members, dtype=int)
-            candidates: list[int] = []
-            for dx, dy in offsets:
-                candidates.extend(buckets.get((cx + dx, cy + dy), ()))
-            cand_arr = np.asarray(candidates, dtype=int)
-            delta = positions[members_arr][:, None, :] - positions[cand_arr][None, :, :]
-            dist_sq = np.einsum("ijk,ijk->ij", delta, delta)
-            # Compare rounded Euclidean distances, not squared ones: for pairs
-            # exactly at the cut-off the sqrt can round down onto the radius,
-            # and the dense kernel (and BruteForceNeighbors) includes those.
-            mask = np.sqrt(dist_sq) <= radius
-            mask &= members_arr[:, None] != cand_arr[None, :]
-            mi, mj = np.nonzero(mask)
-            i_out.extend(members_arr[mi].tolist())
-            j_out.extend(cand_arr[mj].tolist())
-        return np.asarray(i_out, dtype=int), np.asarray(j_out, dtype=int)
+    def pairs_batch(
+        self, positions: np.ndarray, radius: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Hash *all* samples in one shot by prepending a sample-id coordinate.
+
+        Every sample gets its own padded block of cell ids, so one sort over
+        the flattened ``(m · n,)`` id array (buckets read off its boundary
+        flags) covers the whole ensemble snapshot, and cross-sample pairs
+        are structurally impossible.  Output follows the base-class
+        contract: flattened indices in lexicographic ``(sample, i, j)``
+        order.
+        """
+        positions = _validate_batch(positions)
+        if not radius > 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        m, n, _ = positions.shape
+        if m * n == 0 or not np.isfinite(radius):
+            return super().pairs_batch(positions, radius)
+        flat = positions.reshape(m * n, 2)
+        sample = np.repeat(np.arange(m, dtype=np.int64), n)
+        grid = _grid_ids(flat, radius, sample=sample)
+        if grid is None:
+            return super().pairs_batch(positions, radius)
+        ids, stride = grid
+        pairs = _hashed_pairs(flat, ids, stride, radius)
+        return _lex_sorted(*pairs, m * n)
 
 
 class KDTreeNeighbors(NeighborSearch):

@@ -78,6 +78,18 @@ class TestRunCommand:
         )
         assert args.engine == "sparse"
         assert args.neighbor_backend == "kdtree"
+        assert args.auto_reresolve_every is None
+
+    def test_auto_reresolve_flag_is_parsed_and_applied(self):
+        from repro.cli import _apply_engine_overrides
+        from repro.core.experiments import all_figure_specs
+
+        args = build_parser().parse_args(
+            ["run", "fig5", "--auto-reresolve-every", "10"]
+        )
+        assert args.auto_reresolve_every == 10
+        spec = all_figure_specs(full=False)["fig5"][0]
+        assert _apply_engine_overrides(spec.simulation, args).auto_reresolve_every == 10
 
     def test_invalid_engine_is_rejected(self):
         with pytest.raises(SystemExit):

@@ -134,6 +134,72 @@ class TestEngineDeterminism:
                 np.testing.assert_array_equal(positions, reference)
 
 
+class TestAdaptiveAutoDeterminism:
+    """Adaptive ``"auto"`` switching engines mid-run changes nothing but speed.
+
+    A strongly attracting collective contracts from an 8-unit disc to well
+    under the cut-off radius, so the adaptive engine starts sparse and drops
+    to dense mid-run; the trajectory must equal the dense-forced and
+    sparse-forced runs bit for bit.
+    """
+
+    def _config(self, engine: str, **overrides) -> SimulationConfig:
+        params = InteractionParams.clustering(
+            2, self_distance=0.5, cross_distance=0.5, k=0.05
+        )
+        base = dict(
+            type_counts=(100, 100),
+            params=params,
+            force="F1",
+            cutoff=6.0,
+            dt=0.05,
+            substeps=1,
+            n_steps=12,
+            init_radius=8.0,
+            noise_variance=0.01,
+            engine=engine,
+            neighbor_backend="cell",
+            auto_reresolve_every=2,
+        )
+        base.update(overrides)
+        return SimulationConfig(**base)
+
+    def test_single_run_switches_mid_run(self):
+        from repro.particles.engine import AdaptiveDriftEngine
+
+        system = ParticleSystem(self._config("auto"), rng=11)
+        assert isinstance(system.engine, AdaptiveDriftEngine)
+        assert system.engine.resolved == "sparse"  # from the initial 8-unit disc
+        system.run()
+        assert system.engine.resolved == "dense"  # contracted below the cut-off
+
+    def test_single_run_matches_both_forced_engines(self):
+        trajectories = {}
+        for engine in ("auto", "dense", "sparse"):
+            trajectories[engine] = ParticleSystem(
+                self._config(engine), rng=11
+            ).run().positions
+        np.testing.assert_array_equal(trajectories["auto"], trajectories["dense"])
+        np.testing.assert_array_equal(trajectories["auto"], trajectories["sparse"])
+
+    def test_ensemble_matches_both_forced_engines(self):
+        ensembles = {
+            engine: EnsembleSimulator(self._config(engine), 3, seed=21).run().positions
+            for engine in ("auto", "dense", "sparse")
+        }
+        np.testing.assert_array_equal(ensembles["auto"], ensembles["dense"])
+        np.testing.assert_array_equal(ensembles["auto"], ensembles["sparse"])
+
+    def test_disabled_cadence_matches_adaptive(self):
+        # auto_reresolve_every=0 freezes the initial resolution; the result
+        # is still the same trajectory, just potentially computed slower.
+        adaptive = ParticleSystem(self._config("auto"), rng=5).run().positions
+        static = ParticleSystem(
+            self._config("auto", auto_reresolve_every=0), rng=5
+        ).run().positions
+        np.testing.assert_array_equal(adaptive, static)
+
+
 @pytest.mark.slow
 class TestCutoffLimitsSelfOrganization:
     """§6.1/Fig. 9: a small cut-off radius limits the achievable organization."""

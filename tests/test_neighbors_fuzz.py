@@ -1,0 +1,256 @@
+"""Cross-backend fuzz/property suite for the neighbour backends and engines.
+
+This file is the contract that makes backend and engine choice a pure
+performance decision: for *any* configuration — random positions, radii
+(including pairs exactly at the cut-off), box sizes, duplicate positions,
+degenerate geometries — every backend must return the identical sorted pair
+set, the batched query must equal the per-sample queries, and the drift
+evaluated through the sparse engine must be bit-identical to the dense
+kernel.  The vectorised cell list and the adaptive ``"auto"`` engine lean on
+these properties to swap implementations mid-run without observable effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.particles.engine import DenseDriftEngine, SparseDriftEngine
+from repro.particles.neighbors import (
+    NEIGHBOR_BACKENDS,
+    BruteForceNeighbors,
+    CellListNeighbors,
+    get_neighbor_search,
+)
+from repro.particles.types import InteractionParams
+
+BACKEND_NAMES = sorted(NEIGHBOR_BACKENDS)
+
+
+def _canonical(i_idx: np.ndarray, j_idx: np.ndarray) -> np.ndarray:
+    """Pairs as a canonical (sorted) 2-column array, for exact comparison."""
+    pairs = np.column_stack([np.asarray(i_idx, dtype=np.int64), np.asarray(j_idx, dtype=np.int64)])
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order]
+
+
+def _fuzz_cloud(seed: int, n: int, box: float, radius: float) -> np.ndarray:
+    """Random cloud seasoned with the adversarial cases: duplicate positions
+    and pairs at *exactly* the cut-off radius (where squared-distance and
+    sqrt-based comparisons disagree)."""
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(-box, box, size=(n, 2))
+    n_dup = n // 5
+    if n_dup:
+        positions[:n_dup] = positions[rng.integers(n_dup, n, size=n_dup)]
+    n_snap = n // 4
+    for k in range(1, n_snap):
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        anchor = rng.integers(n_snap, n)
+        positions[k] = positions[anchor] + radius * np.array([np.cos(angle), np.sin(angle)])
+    return positions
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    n=st.integers(min_value=1, max_value=40),
+    box=st.floats(min_value=0.05, max_value=50.0),
+    radius=st.floats(min_value=0.05, max_value=60.0),
+)
+def test_all_backends_return_identical_sorted_pair_sets(seed, n, box, radius):
+    positions = _fuzz_cloud(seed, n, box, radius)
+    reference = _canonical(*BruteForceNeighbors().pairs(positions, radius))
+    for name in BACKEND_NAMES:
+        result = _canonical(*get_neighbor_search(name).pairs(positions, radius))
+        np.testing.assert_array_equal(result, reference, err_msg=f"backend {name}")
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    m=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=1, max_value=25),
+    box=st.floats(min_value=0.1, max_value=30.0),
+    radius=st.floats(min_value=0.05, max_value=40.0),
+)
+def test_pairs_batch_equals_per_sample_pairs(seed, m, n, box, radius):
+    batch = np.stack([_fuzz_cloud(seed + s, n, box, radius) for s in range(m)])
+    expected_parts = []
+    for s in range(m):
+        si, sj = BruteForceNeighbors().pairs(batch[s], radius)
+        expected_parts.append(_canonical(si, sj) + s * n)
+    expected = np.concatenate(expected_parts) if expected_parts else np.empty((0, 2), int)
+    for name in BACKEND_NAMES:
+        i_idx, j_idx = get_neighbor_search(name).pairs_batch(batch, radius)
+        result = np.column_stack([i_idx, j_idx])
+        # pairs_batch must come out already in lexicographic (sample, i, j)
+        # order — the exact order the sparse segment-sum consumes.
+        np.testing.assert_array_equal(result, expected, err_msg=f"backend {name}")
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    m=st.integers(min_value=1, max_value=3),
+    n=st.integers(min_value=2, max_value=20),
+    radius=st.floats(min_value=0.3, max_value=8.0),
+    force=st.sampled_from(["F1", "F2"]),
+)
+def test_drift_bit_identical_through_both_engines(seed, m, n, radius, force):
+    rng = np.random.default_rng(seed)
+    params = InteractionParams.random(2, rng=rng)
+    types = rng.integers(0, 2, size=n)
+    batch = np.stack([_fuzz_cloud(seed + 7 * s, n, 5.0, radius) for s in range(m)])
+    dense = DenseDriftEngine(types, params, force, radius)
+    reference_batch = dense.drift_batch(batch)
+    reference_single = dense.drift(batch[0])
+    for name in BACKEND_NAMES:
+        sparse = SparseDriftEngine(types, params, force, radius, neighbors=name)
+        np.testing.assert_array_equal(
+            sparse.drift_batch(batch), reference_batch, err_msg=f"backend {name}"
+        )
+        np.testing.assert_array_equal(
+            sparse.drift(batch[0]), reference_single, err_msg=f"backend {name}"
+        )
+
+
+class TestExactCutoffPairs:
+    """Pairs whose distance lands exactly on the radius are kept by every backend."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_lattice_at_exact_radius(self, name):
+        # Unit lattice probed at radius exactly 1.0 and exactly sqrt(2):
+        # axis-aligned (and diagonal) neighbours sit exactly on the cut-off.
+        xs, ys = np.meshgrid(np.arange(4.0), np.arange(4.0))
+        positions = np.column_stack([xs.ravel(), ys.ravel()])
+        for radius in (1.0, float(np.sqrt(2.0))):
+            reference = _canonical(*BruteForceNeighbors().pairs(positions, radius))
+            result = _canonical(*get_neighbor_search(name).pairs(positions, radius))
+            np.testing.assert_array_equal(result, reference)
+            assert len(reference) > 0
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_rotated_exact_radius_pair(self, name):
+        # A rotated offset whose *squared* norm exceeds radius² while its
+        # rounded Euclidean norm equals the radius — the regression case the
+        # sqrt-based comparison contract exists for.
+        radius = 2.0
+        rng = np.random.default_rng(123)
+        for _ in range(10_000):
+            v = rng.normal(size=2)
+            v = v / np.sqrt(v @ v) * radius
+            if v @ v > radius * radius and np.sqrt(v @ v) <= radius:
+                break
+        else:  # pragma: no cover - rng-dependent
+            pytest.skip("no representable boundary pair found")
+        positions = np.array([[0.0, 0.0], v])
+        result = _canonical(*get_neighbor_search(name).pairs(positions, radius))
+        np.testing.assert_array_equal(result, [[0, 1], [1, 0]])
+
+
+class TestBatchedVsLoopedEdgeCases:
+    """The satellite cases: empty neighbourhoods and duplicates in a batch."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_empty_neighbourhood_samples(self, name):
+        # Sample 0: a tight cluster (everything interacts).  Sample 1: points
+        # farther apart than the radius (no pairs at all).  Sample 2: one
+        # isolated particle amid a pair.
+        batch = np.array(
+            [
+                [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1]],
+                [[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]],
+                [[0.0, 0.0], [0.2, 0.0], [30.0, 30.0]],
+            ]
+        )
+        backend = get_neighbor_search(name)
+        i_idx, j_idx = backend.pairs_batch(batch, radius=1.0)
+        expected = {(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)}  # sample 0
+        expected |= {(6, 7), (7, 6)}  # sample 2, flattened offset 2 * 3
+        assert set(zip(i_idx.tolist(), j_idx.tolist())) == expected
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_duplicate_positions_within_and_across_samples(self, name):
+        point = [1.25, -3.5]
+        batch = np.array(
+            [
+                [point, point, [10.0, 10.0]],  # exact duplicate within a sample
+                [point, [10.0, 10.0], [10.0, 10.0]],  # same point reused across samples
+            ]
+        )
+        backend = get_neighbor_search(name)
+        i_idx, j_idx = backend.pairs_batch(batch, radius=0.5)
+        # Duplicates are distance 0 <= radius; no cross-sample pairs appear
+        # even though identical coordinates hash into the same spatial cell.
+        assert set(zip(i_idx.tolist(), j_idx.tolist())) == {
+            (0, 1), (1, 0), (4, 5), (5, 4)
+        }
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_neighbor_lists_batch_matches_per_sample_lists(self, name):
+        rng = np.random.default_rng(17)
+        batch = rng.uniform(-4, 4, size=(3, 12, 2))
+        backend = get_neighbor_search(name)
+        nested = backend.neighbor_lists_batch(batch, radius=2.0)
+        assert len(nested) == 3
+        for s in range(3):
+            per_sample = backend.neighbor_lists(batch[s], radius=2.0)
+            assert len(nested[s]) == 12
+            for mine, ref in zip(nested[s], per_sample):
+                np.testing.assert_array_equal(mine, ref)
+
+    def test_empty_batch_dimensions(self):
+        backend = CellListNeighbors()
+        i_idx, j_idx = backend.pairs_batch(np.zeros((0, 5, 2)), radius=1.0)
+        assert i_idx.size == 0 and j_idx.size == 0
+        i_idx, j_idx = backend.pairs_batch(np.zeros((3, 0, 2)), radius=1.0)
+        assert i_idx.size == 0 and j_idx.size == 0
+        assert backend.neighbor_lists_batch(np.zeros((3, 0, 2)), radius=1.0) == [[], [], []]
+
+
+class TestCellListDegenerateGeometries:
+    """Degenerate cases surfaced by the vectorised spatial hash."""
+
+    def test_all_particles_in_one_cell(self):
+        rng = np.random.default_rng(3)
+        positions = rng.uniform(0.0, 0.05, size=(12, 2))  # one bucket at radius 1
+        reference = _canonical(*BruteForceNeighbors().pairs(positions, 1.0))
+        result = _canonical(*CellListNeighbors().pairs(positions, 1.0))
+        np.testing.assert_array_equal(result, reference)
+        assert len(result) == 12 * 11
+
+    def test_radius_larger_than_bounding_box(self):
+        rng = np.random.default_rng(4)
+        positions = rng.uniform(-1.0, 1.0, size=(9, 2))
+        reference = _canonical(*BruteForceNeighbors().pairs(positions, 100.0))
+        result = _canonical(*CellListNeighbors().pairs(positions, 100.0))
+        np.testing.assert_array_equal(result, reference)
+
+    def test_single_particle(self):
+        i_idx, j_idx = CellListNeighbors().pairs(np.array([[3.0, -2.0]]), radius=1.0)
+        assert i_idx.size == 0 and j_idx.size == 0
+        i_idx, j_idx = CellListNeighbors().pairs_batch(
+            np.array([[[3.0, -2.0]], [[0.5, 0.5]]]), radius=1.0
+        )
+        assert i_idx.size == 0 and j_idx.size == 0
+
+    def test_two_coincident_particles(self):
+        positions = np.array([[1.0, 1.0], [1.0, 1.0]])
+        result = _canonical(*CellListNeighbors().pairs(positions, radius=0.5))
+        np.testing.assert_array_equal(result, [[0, 1], [1, 0]])
+
+    def test_collinear_particles_on_cell_boundaries(self):
+        # Points sitting exactly on cell edges must not be double-counted.
+        positions = np.column_stack([np.arange(6.0), np.zeros(6)])
+        reference = _canonical(*BruteForceNeighbors().pairs(positions, 1.0))
+        result = _canonical(*CellListNeighbors().pairs(positions, 1.0))
+        np.testing.assert_array_equal(result, reference)
+
+    def test_extreme_aspect_ratio_cloud(self):
+        rng = np.random.default_rng(5)
+        positions = np.column_stack(
+            [rng.uniform(-500.0, 500.0, size=40), rng.uniform(-0.01, 0.01, size=40)]
+        )
+        reference = _canonical(*BruteForceNeighbors().pairs(positions, 2.0))
+        result = _canonical(*CellListNeighbors().pairs(positions, 2.0))
+        np.testing.assert_array_equal(result, reference)

@@ -8,9 +8,11 @@ import pytest
 from repro.particles.engine import (
     DRIFT_ENGINES,
     SPARSE_AUTO_MIN_PARTICLES,
+    AdaptiveDriftEngine,
     DenseDriftEngine,
     DriftEngine,
     SparseDriftEngine,
+    collective_radius,
     engine_for_config,
     make_engine,
     resolve_engine,
@@ -148,6 +150,18 @@ class TestConfigIntegration:
             type_counts=(150, 150), params=two_type_params, cutoff=2.0
         )
         assert config.resolved_engine == "sparse"
+        engine = engine_for_config(config)
+        # "auto" with the default re-resolution cadence builds the adaptive
+        # wrapper, initially resolved to the same choice as the static rule.
+        assert isinstance(engine, AdaptiveDriftEngine)
+        assert engine.resolved == "sparse"
+        assert isinstance(engine.active, SparseDriftEngine)
+
+    def test_auto_without_cadence_resolves_statically(self, two_type_params):
+        config = SimulationConfig(
+            type_counts=(150, 150), params=two_type_params, cutoff=2.0,
+            auto_reresolve_every=0,
+        )
         assert isinstance(engine_for_config(config), SparseDriftEngine)
 
     def test_engine_for_config_respects_explicit_choice(self, small_config):
@@ -202,3 +216,75 @@ class TestDriftSingleVsBatchConsistency:
         engine = make_engine("sparse", types=types, params=params, scaling="F1", cutoff=2.0)
         reference = drift_single(batch[0], types, params, "F1", cutoff=2.0)
         np.testing.assert_allclose(engine.drift(batch[0]), reference, rtol=0, atol=1e-10)
+
+
+class TestCollectiveRadius:
+    def test_half_the_longer_bounding_box_side(self):
+        positions = np.array([[-3.0, 0.0], [5.0, 1.0], [0.0, -1.0]])
+        assert collective_radius(positions) == pytest.approx(4.0)  # x-span 8
+
+    def test_batch_spans_all_samples(self):
+        batch = np.array([[[0.0, 0.0], [1.0, 0.0]], [[10.0, 0.0], [11.0, 0.0]]])
+        assert collective_radius(batch) == pytest.approx(5.5)  # x-span 11 over samples
+
+    def test_empty_input(self):
+        assert collective_radius(np.zeros((0, 2))) == 0.0
+
+
+class TestAdaptiveDriftEngine:
+    def _engine(self, n=300, cutoff=2.0, domain_radius=20.0):
+        rng = np.random.default_rng(0)
+        params = InteractionParams.random(2, rng=rng)
+        types = rng.integers(0, 2, size=n)
+        return AdaptiveDriftEngine(
+            types, params, "F1", cutoff, neighbors="cell", domain_radius=domain_radius
+        ), rng
+
+    def test_initial_resolution_uses_domain_radius(self):
+        engine, _ = self._engine(domain_radius=20.0)
+        assert engine.resolved == "sparse"
+        engine, _ = self._engine(domain_radius=1.0)
+        assert engine.resolved == "dense"
+
+    def test_reresolve_tracks_the_bounding_box(self):
+        engine, rng = self._engine(domain_radius=20.0)
+        spread = rng.uniform(-20, 20, size=(300, 2))
+        contracted = rng.uniform(-0.5, 0.5, size=(300, 2))
+        assert engine.reresolve(spread) == "sparse"
+        assert engine.reresolve(contracted) == "dense"
+        assert isinstance(engine.active, DenseDriftEngine)
+        assert engine.reresolve(spread) == "sparse"
+        assert isinstance(engine.active, SparseDriftEngine)
+
+    def test_delegates_are_cached_across_switches(self):
+        engine, rng = self._engine()
+        spread = rng.uniform(-20, 20, size=(300, 2))
+        contracted = rng.uniform(-0.5, 0.5, size=(300, 2))
+        engine.reresolve(spread)
+        sparse_delegate = engine.active
+        engine.reresolve(contracted)
+        dense_delegate = engine.active
+        engine.reresolve(spread)
+        assert engine.active is sparse_delegate
+        engine.reresolve(contracted)
+        assert engine.active is dense_delegate
+
+    def test_drift_identical_across_switch(self):
+        engine, rng = self._engine()
+        positions = rng.uniform(-20, 20, size=(300, 2))
+        batch = positions[None, ...]
+        engine.reresolve(positions)  # sparse
+        sparse_drift = engine.drift(positions)
+        sparse_batch = engine.drift_batch(batch)
+        engine.reresolve(np.zeros((300, 2)))  # force the dense delegate
+        np.testing.assert_array_equal(engine.drift(positions), sparse_drift)
+        np.testing.assert_array_equal(engine.drift_batch(batch), sparse_batch)
+
+    def test_make_engine_adaptive_only_wraps_auto(self):
+        rng = np.random.default_rng(1)
+        params = InteractionParams.random(2, rng=rng)
+        types = rng.integers(0, 2, size=50)
+        common = dict(types=types, params=params, scaling="F1", cutoff=2.0)
+        assert isinstance(make_engine("auto", adaptive=True, **common), AdaptiveDriftEngine)
+        assert isinstance(make_engine("sparse", adaptive=True, **common), SparseDriftEngine)
+        assert isinstance(make_engine("dense", adaptive=True, **common), DenseDriftEngine)
