@@ -10,15 +10,50 @@ that analysis on top of :mod:`repro.infotheory.transfer`:
   permutation-reduced representation, exactly as §5.2 cautions.
 * :func:`pairwise_transfer_entropy` estimates the directed transfer-entropy
   matrix between a set of particles.
+* :func:`pairwise_lagged_mutual_information` is its unconditioned (cheaper)
+  screening counterpart.
 * :func:`net_information_flow` summarises directedness (outgoing minus
   incoming transfer) per particle.
+
+Shared-embedding plan
+---------------------
+A naive pairwise analysis calls :func:`~repro.infotheory.transfer
+.transfer_entropy` once per ordered pair, and every call re-derives the
+target's ``embed_history`` blocks and rebuilds their distance structures from
+scratch — n² times what is needed.  The pairwise functions here instead
+compute, **once per particle**, the flattened (future, past, aligned-source)
+embeddings and, **once per matrix row**, the target-side distance structures
+(the dense ``max(d_future, d_past)`` block, or the tree-backed (A, C)/(C)
+count indexes), then sweep the row's sources against them.  The per-pair
+arithmetic is routed through the same estimator kernels as the naive path,
+so the resulting matrices are bit-identical to the per-pair loop — the plan
+is pure reuse, not an approximation.
+
+``backend="dense" | "kdtree" | "auto"`` selects the estimator backend (see
+:mod:`repro.infotheory.transfer`); ``"auto"`` resolves once from the pooled
+sample count and applies to every pair.  ``n_jobs`` fans the matrix rows out
+through :func:`repro.parallel.pool.parallel_starmap`; row order (and hence
+the result) is deterministic for any job count.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.infotheory.transfer import time_lagged_mutual_information, transfer_entropy
+from repro.infotheory.knn import (
+    EuclideanBallCounter,
+    ProductMetricTree,
+    pairwise_euclidean,
+    resolve_estimator_backend,
+)
+from repro.infotheory.transfer import (
+    _cmi_from_dense_blocks,
+    _cmi_kdtree,
+    _ksg1_from_dense_blocks,
+    _ksg1_kdtree,
+    embed_history,
+)
+from repro.parallel.pool import effective_n_jobs, parallel_starmap
 from repro.particles.trajectory import EnsembleTrajectory
 
 __all__ = [
@@ -27,6 +62,19 @@ __all__ = [
     "pairwise_lagged_mutual_information",
     "net_information_flow",
 ]
+
+#: Measured dense/kdtree crossover of the *pairwise TE* plan.  The shared
+#: dense path amortises its distance matrices across a whole matrix row, so
+#: the tree backend overtakes it much later than in a standalone
+#: ``transfer_entropy`` call (where the crossover is
+#: ``repro.infotheory.knn.KDTREE_MIN_SAMPLES``).
+TE_PAIRWISE_KDTREE_MIN_SAMPLES = 3072
+
+#: Measured dense/kdtree crossover of the pairwise lagged-MI plan: the
+#: amortised dense matrices push it above the standalone KSG1 crossover
+#: (``repro.infotheory.transfer.KSG1_KDTREE_MIN_SAMPLES``), but the
+#: list-free marginal counts keep it far below the pairwise-TE one.
+MI_PAIRWISE_KDTREE_MIN_SAMPLES = 640
 
 
 def particle_series(ensemble: EnsembleTrajectory, particle: int) -> np.ndarray:
@@ -41,6 +89,164 @@ def particle_series(ensemble: EnsembleTrajectory, particle: int) -> np.ndarray:
     return np.ascontiguousarray(ensemble.positions[:, :, particle, :].transpose(1, 0, 2))
 
 
+def _selected_particles(
+    ensemble: EnsembleTrajectory, particles: list[int] | np.ndarray | None
+) -> np.ndarray:
+    if particles is None:
+        particles = np.arange(ensemble.n_particles)
+    return np.asarray(particles, dtype=int)
+
+
+def _validate_window_args(
+    ensemble: EnsembleTrajectory, *, step_stride: int, history: int | None = None, lag: int | None = None
+) -> int:
+    """Validate thinning/embedding arguments; returns the thinned step count."""
+    if step_stride < 1:
+        raise ValueError(f"step_stride must be >= 1, got {step_stride}")
+    n_thinned = len(range(0, ensemble.n_steps, step_stride))
+    if history is not None:
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        if n_thinned <= history:
+            raise ValueError(
+                f"history={history} requires at least {history + 1} time steps, but the "
+                f"trajectory keeps only {n_thinned} of {ensemble.n_steps} recorded steps "
+                f"after thinning with step_stride={step_stride}"
+            )
+    if lag is not None:
+        if lag < 0:
+            raise ValueError(f"lag must be non-negative, got {lag}")
+        if n_thinned <= lag:
+            raise ValueError(
+                f"lag={lag} requires at least {lag + 1} time steps, but the trajectory "
+                f"keeps only {n_thinned} of {ensemble.n_steps} recorded steps after "
+                f"thinning with step_stride={step_stride}"
+            )
+    return n_thinned
+
+
+def _self_pair_indices(particles: np.ndarray, i_index: int) -> tuple[int, ...]:
+    """Column indices whose particle id equals row ``i_index``'s particle.
+
+    The matrix diagonal is zero by convention, and that convention is by
+    particle *identity*: a selection with repeated indices must not report
+    self-transfer between the duplicate entries.
+    """
+    return tuple(np.flatnonzero(particles == particles[i_index]))
+
+
+def _te_row(
+    skip_indices: tuple[int, ...],
+    future_i: np.ndarray,
+    past_i: np.ndarray,
+    aligned_blocks: list[np.ndarray],
+    k: int,
+    backend: str,
+    cross_row_cache: dict | None = None,
+) -> np.ndarray:
+    """One row of the transfer-entropy matrix: every source j against target i.
+
+    The target-side structures (``max(d_future, d_past)`` dense block, or the
+    conditioning-space candidate sweep of the tree backend) are built once
+    and reused across the row's sources.  ``cross_row_cache`` (serial mode only)
+    additionally shares the per-source aligned-embedding distance matrices
+    across rows.
+    """
+    n = len(aligned_blocks)
+    row = np.zeros(n)
+    sources = [j_index for j_index in range(n) if j_index not in skip_indices]
+    if not sources:
+        return row
+    if backend == "dense":
+        d_future = pairwise_euclidean(future_i)
+        d_past = pairwise_euclidean(past_i)
+        d_fp = np.maximum(d_future, d_past)
+        for j_index in sources:
+            if cross_row_cache is None:
+                d_source = pairwise_euclidean(aligned_blocks[j_index])
+            else:
+                d_source = cross_row_cache.get(j_index)
+                if d_source is None:
+                    d_source = cross_row_cache.setdefault(
+                        j_index, pairwise_euclidean(aligned_blocks[j_index])
+                    )
+            row[j_index] = _cmi_from_dense_blocks(d_fp, d_source, d_past, k)
+    else:
+        # The (A, C) = (future, past) tree and the conditioning-ball counter
+        # depend only on the target, so one of each serves the whole row.
+        ac_tree = ProductMetricTree([future_i, past_i])
+        c_counter = EuclideanBallCounter(past_i)
+        for j_index in sources:
+            row[j_index] = _cmi_kdtree(
+                future_i,
+                aligned_blocks[j_index],
+                past_i,
+                k,
+                ac_tree=ac_tree,
+                c_counter=c_counter,
+            )
+    return row
+
+
+def _mi_row(
+    skip_indices: tuple[int, ...],
+    target_i: np.ndarray,
+    source_blocks: list[np.ndarray],
+    k: int,
+    backend: str,
+    cross_row_cache: dict | None = None,
+) -> np.ndarray:
+    """One row of the lagged-MI matrix: every source j against target i."""
+    n = len(source_blocks)
+    row = np.zeros(n)
+    sources = [j_index for j_index in range(n) if j_index not in skip_indices]
+    if not sources:
+        return row
+    if backend == "dense":
+        d_target = pairwise_euclidean(target_i)
+        for j_index in sources:
+            if cross_row_cache is None:
+                d_source = pairwise_euclidean(source_blocks[j_index])
+            else:
+                d_source = cross_row_cache.get(j_index)
+                if d_source is None:
+                    d_source = cross_row_cache.setdefault(
+                        j_index, pairwise_euclidean(source_blocks[j_index])
+                    )
+            row[j_index] = _ksg1_from_dense_blocks([d_source, d_target], k)
+    else:
+        # The target-side counter serves the whole row; source counters are
+        # shared across rows through the cache in serial mode.
+        target_counter = EuclideanBallCounter(target_i)
+        for j_index in sources:
+            if cross_row_cache is None:
+                source_counter = EuclideanBallCounter(source_blocks[j_index])
+            else:
+                source_counter = cross_row_cache.get(j_index)
+                if source_counter is None:
+                    source_counter = cross_row_cache.setdefault(
+                        j_index, EuclideanBallCounter(source_blocks[j_index])
+                    )
+            row[j_index] = _ksg1_kdtree(
+                [source_blocks[j_index], target_i],
+                k,
+                block_counters=[source_counter, target_counter],
+            )
+    return row
+
+
+def _fan_out_rows(row_func, payloads: list[tuple], *, n_jobs: int | None) -> np.ndarray:
+    """Run the per-row tasks serially (with a cross-row dense cache) or pooled."""
+    if not payloads:
+        return np.zeros((0, 0))
+    if effective_n_jobs(n_jobs) == 1 or len(payloads) <= 1:
+        cross_row_cache: dict = {}
+        rows = [row_func(*payload, cross_row_cache) for payload in payloads]
+    else:
+        rows = parallel_starmap(row_func, payloads, n_jobs=n_jobs)
+    return np.stack(rows)
+
+
 def pairwise_transfer_entropy(
     ensemble: EnsembleTrajectory,
     particles: list[int] | np.ndarray | None = None,
@@ -48,28 +254,38 @@ def pairwise_transfer_entropy(
     history: int = 1,
     k: int = 4,
     step_stride: int = 1,
+    backend: str = "auto",
+    n_jobs: int | None = None,
 ) -> np.ndarray:
     """Directed transfer-entropy matrix between the selected particles (bits).
 
     Entry ``[i, j]`` is ``T_{particle_j → particle_i}`` (information the past
     of ``j`` adds about the next step of ``i`` beyond ``i``'s own past).  The
     diagonal is zero by convention.  ``step_stride`` thins the trajectories to
-    control cost.
+    control cost; ``backend`` and ``n_jobs`` select the estimator backend and
+    the row fan-out width (see the module docstring) — neither changes the
+    values beyond floating-point backend tolerance.
     """
-    if particles is None:
-        particles = np.arange(ensemble.n_particles)
-    particles = np.asarray(particles, dtype=int)
-    series = {int(p): particle_series(ensemble, int(p))[:, ::step_stride, :] for p in particles}
-    n = particles.size
-    matrix = np.zeros((n, n))
-    for i_index, i in enumerate(particles):
-        for j_index, j in enumerate(particles):
-            if i == j:
-                continue
-            matrix[i_index, j_index] = transfer_entropy(
-                series[int(j)], series[int(i)], history=history, k=k
-            )
-    return matrix
+    particles = _selected_particles(ensemble, particles)
+    _validate_window_args(ensemble, step_stride=step_stride, history=history)
+    futures, pasts, aligneds = [], [], []
+    for p in particles:
+        series = particle_series(ensemble, int(p))[:, ::step_stride, :]
+        future, past, aligned = embed_history(series, history)
+        d = series.shape[2]
+        futures.append(future.reshape(-1, d))
+        pasts.append(past.reshape(-1, history * d))
+        aligneds.append(aligned.reshape(-1, d))
+    if particles.size == 0:
+        return np.zeros((0, 0))
+    resolved = resolve_estimator_backend(
+        backend, n_samples=futures[0].shape[0], min_samples=TE_PAIRWISE_KDTREE_MIN_SAMPLES
+    )
+    payloads = [
+        (_self_pair_indices(particles, i_index), futures[i_index], pasts[i_index], aligneds, k, resolved)
+        for i_index in range(particles.size)
+    ]
+    return _fan_out_rows(_te_row, payloads, n_jobs=n_jobs)
 
 
 def pairwise_lagged_mutual_information(
@@ -79,27 +295,35 @@ def pairwise_lagged_mutual_information(
     lag: int = 1,
     k: int = 4,
     step_stride: int = 1,
+    backend: str = "auto",
+    n_jobs: int | None = None,
 ) -> np.ndarray:
-    """Symmetric-in-construction matrix of lagged mutual informations (bits).
+    """Matrix of lagged mutual informations between the selected particles (bits).
 
     Entry ``[i, j]`` is ``I(particle_j at t ; particle_i at t + lag)`` — the
     unconditioned precursor of the transfer entropy, useful as a cheaper
-    screening quantity.
+    screening quantity.  ``backend``/``n_jobs`` as in
+    :func:`pairwise_transfer_entropy`.
     """
-    if particles is None:
-        particles = np.arange(ensemble.n_particles)
-    particles = np.asarray(particles, dtype=int)
-    series = {int(p): particle_series(ensemble, int(p))[:, ::step_stride, :] for p in particles}
-    n = particles.size
-    matrix = np.zeros((n, n))
-    for i_index, i in enumerate(particles):
-        for j_index, j in enumerate(particles):
-            if i == j:
-                continue
-            matrix[i_index, j_index] = time_lagged_mutual_information(
-                series[int(j)], series[int(i)], lag=lag, k=k
-            )
-    return matrix
+    particles = _selected_particles(ensemble, particles)
+    _validate_window_args(ensemble, step_stride=step_stride, lag=lag)
+    sources, targets = [], []
+    for p in particles:
+        series = particle_series(ensemble, int(p))[:, ::step_stride, :]
+        n_thinned = series.shape[1]
+        d = series.shape[2]
+        sources.append(series[:, : n_thinned - lag, :].reshape(-1, d))
+        targets.append(series[:, lag:, :].reshape(-1, d))
+    if particles.size == 0:
+        return np.zeros((0, 0))
+    resolved = resolve_estimator_backend(
+        backend, n_samples=sources[0].shape[0], min_samples=MI_PAIRWISE_KDTREE_MIN_SAMPLES
+    )
+    payloads = [
+        (_self_pair_indices(particles, i_index), targets[i_index], sources, k, resolved)
+        for i_index in range(particles.size)
+    ]
+    return _fan_out_rows(_mi_row, payloads, n_jobs=n_jobs)
 
 
 def net_information_flow(transfer_matrix: np.ndarray) -> np.ndarray:

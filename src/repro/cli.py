@@ -7,9 +7,15 @@ without writing Python::
     python -m repro.cli run fig5                   # run one figure's experiment(s)
     python -m repro.cli run fig9 --full --output results/
     python -m repro.cli curves                     # Fig. 2 force-scaling curves
+    python -m repro.cli analyze fig5               # §7.3 pairwise transfer entropy
 
 ``run`` prints the multi-information series as an ASCII plot and writes the
 measurement JSON (plus a CSV of the series) into the output directory.
+``analyze`` runs the information-dynamics pipeline (pairwise transfer entropy
+and/or lagged mutual information between particles) on a figure's simulated
+ensemble or on a saved ``.npz`` trajectory, with ``--backend`` selecting the
+estimator backend and ``--n-jobs`` fanning the pair matrix out across
+processes.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from repro.core.pipeline import run_experiment
 from repro.io.storage import save_measurement
 from repro.particles.engine import DRIFT_ENGINES
 from repro.particles.neighbors import NEIGHBOR_BACKENDS
-from repro.viz import line_plot, save_series_csv
+from repro.viz import line_plot, save_json, save_series_csv
 
 __all__ = ["main", "build_parser"]
 
@@ -68,6 +74,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     curves_parser = subparsers.add_parser("curves", help="print the Fig. 2 force-scaling curves")
     curves_parser.add_argument("--output", type=Path, default=None, help="optional CSV output path")
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="pairwise information dynamics (§7.3): transfer entropy between particles",
+    )
+    analyze_parser.add_argument(
+        "figure", nargs="?", default=None,
+        help="figure id whose first spec provides the simulated ensemble (omit with --ensemble)",
+    )
+    analyze_parser.add_argument(
+        "--ensemble", type=Path, default=None,
+        help="analyze a saved EnsembleTrajectory .npz instead of simulating a figure spec",
+    )
+    analyze_parser.add_argument(
+        "--quantity", choices=("te", "lagged-mi", "both"), default="te",
+        help="which pairwise matrix to compute (default: te)",
+    )
+    analyze_parser.add_argument(
+        "--particles", type=str, default=None, metavar="I,J,...",
+        help="comma-separated particle indices (default: the first --max-particles)",
+    )
+    analyze_parser.add_argument(
+        "--max-particles", type=int, default=6,
+        help="when --particles is omitted, analyze the first this-many particles (default: 6)",
+    )
+    analyze_parser.add_argument("--history", type=int, default=1, help="target own-history length for TE")
+    analyze_parser.add_argument("--lag", type=int, default=1, help="lag for the lagged-MI matrix")
+    analyze_parser.add_argument("--k", type=int, default=4, help="neighbour order of the kNN estimators")
+    analyze_parser.add_argument(
+        "--step-stride", type=int, default=1,
+        help="thin the trajectories to every this-many recorded steps before embedding",
+    )
+    analyze_parser.add_argument(
+        "--backend", choices=("dense", "kdtree", "auto"), default="auto",
+        help="estimator backend: dense O(m^2) matrices, tree-backed queries, or pick by sample count",
+    )
+    analyze_parser.add_argument("--n-jobs", type=int, default=None, help="process-pool width for the pair fan-out")
+    analyze_parser.add_argument("--full", action="store_true", help="use the paper's scale for the figure spec")
+    analyze_parser.add_argument("--seed", type=int, default=None, help="override the figure spec's seed")
+    analyze_parser.add_argument("--output", type=Path, default=Path("results"), help="output directory")
+    analyze_parser.add_argument("--quiet", action="store_true", help="suppress the matrix table")
 
     return parser
 
@@ -159,6 +206,109 @@ def _command_run(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def _parse_particles(spec: str | None, n_particles: int, max_particles: int) -> list[int]:
+    if spec is None:
+        if max_particles < 1:
+            raise SystemExit(f"--max-particles must be >= 1, got {max_particles}")
+        return list(range(min(max_particles, n_particles)))
+    try:
+        indices = [int(token) for token in spec.split(",") if token.strip() != ""]
+    except ValueError as exc:
+        raise SystemExit(f"--particles must be a comma-separated list of integers, got {spec!r}") from exc
+    if not indices:
+        raise SystemExit("--particles must name at least one particle")
+    out_of_range = [index for index in indices if not 0 <= index < n_particles]
+    if out_of_range:
+        raise SystemExit(
+            f"--particles indices {out_of_range} out of range [0, {n_particles}) "
+            f"for this {n_particles}-particle ensemble"
+        )
+    return indices
+
+
+def _matrix_table(matrix: np.ndarray, particles: list[int], value_name: str) -> str:
+    from repro.viz import series_table
+
+    columns = {"target \\ source": np.asarray(particles, dtype=float)}
+    for j_index, j in enumerate(particles):
+        columns[f"{value_name}<-{j}"] = matrix[:, j_index]
+    return series_table(columns, float_format="{:.3f}")
+
+
+def _command_analyze(args: argparse.Namespace, stream) -> int:
+    from repro.analysis.information_dynamics import (
+        net_information_flow,
+        pairwise_lagged_mutual_information,
+        pairwise_transfer_entropy,
+    )
+    from repro.particles.trajectory import EnsembleTrajectory
+
+    if args.ensemble is not None:
+        ensemble = EnsembleTrajectory.load(args.ensemble)
+        name = args.ensemble.stem
+    elif args.figure is not None:
+        from repro.core.pipeline import run_simulation_only
+
+        registry = all_figure_specs(full=args.full)
+        figure = args.figure.lower()
+        if figure not in registry:
+            stream.write(
+                f"unknown figure {args.figure!r}; available: {', '.join(registry)}\n"
+            )
+            return 2
+        spec = registry[figure][0]
+        simulation = _apply_engine_overrides(spec.simulation, args)
+        seed = spec.seed if args.seed is None else args.seed
+        ensemble, _simulator = run_simulation_only(
+            simulation, spec.n_samples, seed=seed, n_jobs=args.n_jobs
+        )
+        name = spec.name
+    else:
+        stream.write("analyze needs a figure id or --ensemble PATH\n")
+        return 2
+
+    particles = _parse_particles(args.particles, ensemble.n_particles, args.max_particles)
+    common = dict(
+        particles=particles,
+        k=args.k,
+        step_stride=args.step_stride,
+        backend=args.backend,
+        n_jobs=args.n_jobs,
+    )
+    payload: dict = {
+        "source": name,
+        "particles": particles,
+        "k": args.k,
+        "step_stride": args.step_stride,
+        "backend": args.backend,
+        "n_samples": ensemble.n_samples,
+        "n_steps": ensemble.n_steps,
+    }
+    if args.quantity in ("te", "both"):
+        te = pairwise_transfer_entropy(ensemble, history=args.history, **common)
+        flow = net_information_flow(te)
+        payload["history"] = args.history
+        payload["transfer_entropy_bits"] = te.tolist()
+        payload["net_information_flow_bits"] = flow.tolist()
+        if not args.quiet:
+            stream.write(_matrix_table(te, particles, "T") + "\n")
+        ranked = sorted(zip(particles, flow), key=lambda item: -item[1])
+        stream.write(
+            f"{name}: strongest net source is particle {ranked[0][0]} "
+            f"({ranked[0][1]:+.3f} bits), strongest sink is particle {ranked[-1][0]} "
+            f"({ranked[-1][1]:+.3f} bits)\n"
+        )
+    if args.quantity in ("lagged-mi", "both"):
+        lagged = pairwise_lagged_mutual_information(ensemble, lag=args.lag, **common)
+        payload["lag"] = args.lag
+        payload["lagged_mutual_information_bits"] = lagged.tolist()
+        if not args.quiet:
+            stream.write(_matrix_table(lagged, particles, "I") + "\n")
+    path = save_json(args.output / f"{name}_infodynamics.json", payload)
+    stream.write(f"information-dynamics results written to {path}\n")
+    return 0
+
+
 def _command_curves(args: argparse.Namespace, stream) -> int:
     curves = fig2_force_curves()
     stream.write(
@@ -188,6 +338,8 @@ def main(argv: list[str] | None = None, stream=None) -> int:
         return _command_run(args, stream)
     if args.command == "curves":
         return _command_curves(args, stream)
+    if args.command == "analyze":
+        return _command_analyze(args, stream)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

@@ -27,12 +27,17 @@ from repro.infotheory.histograms import (
 )
 from repro.infotheory.kde import kde_entropy, kde_multi_information
 from repro.infotheory.knn import (
+    ESTIMATOR_BACKENDS,
+    KDTREE_MIN_SAMPLES,
+    EuclideanBallCounter,
+    ProductMetricTree,
     chebyshev_over_variables,
     kozachenko_leonenko_entropy,
     kth_neighbor_distances,
     kth_neighbor_indices,
     pairwise_euclidean,
     per_variable_distances,
+    resolve_estimator_backend,
 )
 from repro.infotheory.ksg import (
     KSGDiagnostics,
@@ -77,6 +82,11 @@ __all__ = [
     "kth_neighbor_indices",
     "kth_neighbor_distances",
     "kozachenko_leonenko_entropy",
+    "ESTIMATOR_BACKENDS",
+    "KDTREE_MIN_SAMPLES",
+    "resolve_estimator_backend",
+    "ProductMetricTree",
+    "EuclideanBallCounter",
     "ksg_multi_information",
     "ksg_multi_information_with_diagnostics",
     "KSGDiagnostics",

@@ -7,9 +7,25 @@ neighbour under a particular norm.  For the ensemble sizes used in the paper
 fastest option in NumPy, so that is the default backend; a
 :class:`scipy.spatial.cKDTree` backend is provided for the Euclidean case and
 for larger sample counts.
+
+Two families of backends coexist:
+
+* the *dense* helpers (:func:`pairwise_euclidean`,
+  :func:`per_variable_distances`, …) materialise ``(m, m)`` distance
+  matrices — O(m²) time and memory, unbeatable for small ``m``;
+* :class:`ProductMetricTree` answers the same queries in O(m log m)-ish time
+  under the paper's joint metric (Eq. 19: the maximum over variable blocks of
+  the per-block Euclidean distance) by pruning with a Chebyshev
+  :class:`~scipy.spatial.cKDTree` over the concatenated coordinates and
+  re-ranking candidates with the exact block metric.  Both backends compute
+  the *same* quantities, so estimators built on either agree to floating-point
+  tolerance — :func:`resolve_estimator_backend` picks between them by sample
+  count, mirroring ``engine="auto"`` on the simulation side.
 """
 
 from __future__ import annotations
+
+from itertools import chain
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -22,7 +38,44 @@ __all__ = [
     "kth_neighbor_indices",
     "kth_neighbor_distances",
     "kozachenko_leonenko_entropy",
+    "ESTIMATOR_BACKENDS",
+    "KDTREE_MIN_SAMPLES",
+    "resolve_estimator_backend",
+    "ProductMetricTree",
+    "EuclideanBallCounter",
 ]
+
+#: Concrete estimator backends (``"auto"`` resolves to one of these).
+ESTIMATOR_BACKENDS = ("dense", "kdtree")
+
+#: Default sample count at which ``backend="auto"`` switches from the dense
+#: O(m²) distance matrices to the tree-backed queries.  Below this the
+#: matrix construction is faster than the per-query tree overhead; above it
+#: the dense path's quadratic memory and argpartition cost dominate.  The
+#: default is the measured crossover of the Frenzel–Pompe CMI; estimators
+#: with different query mixes pass their own ``min_samples`` (the KSG1
+#: lagged-MI path crosses much earlier because its marginal counts are
+#: list-free, and the shared-embedding pairwise plan much later because its
+#: dense path amortises the distance matrices across pairs).
+KDTREE_MIN_SAMPLES = 1024
+
+
+def resolve_estimator_backend(
+    backend: str, *, n_samples: int, min_samples: int = KDTREE_MIN_SAMPLES
+) -> str:
+    """Resolve ``"dense" | "kdtree" | "auto"`` to a concrete backend.
+
+    ``"auto"`` picks ``"kdtree"`` once ``n_samples >= min_samples``, the
+    analogue of ``engine="auto"`` for the drift kernels.
+    """
+    if backend == "auto":
+        return "kdtree" if n_samples >= min_samples else "dense"
+    if backend not in ESTIMATOR_BACKENDS:
+        raise ValueError(
+            f"unknown estimator backend {backend!r}; expected one of "
+            f"{ESTIMATOR_BACKENDS + ('auto',)}"
+        )
+    return backend
 
 
 def pairwise_euclidean(samples: np.ndarray) -> np.ndarray:
@@ -96,6 +149,151 @@ def kth_neighbor_distances(samples: np.ndarray, k: int, *, backend: str = "dense
     distance_matrix = pairwise_euclidean(samples)
     np.fill_diagonal(distance_matrix, np.inf)
     return np.partition(distance_matrix, kth=k - 1, axis=1)[:, k - 1]
+
+
+class ProductMetricTree:
+    """Exact neighbour queries under the paper's product metric, tree-backed.
+
+    The joint metric of Eq. 19 is ``d(x, y) = max_i ||x_i - y_i||_2`` over
+    variable blocks ``i``.  A :class:`~scipy.spatial.cKDTree` cannot search
+    that metric directly, but the Chebyshev (L∞) distance over the
+    concatenated coordinates is a *lower bound* for it (each block's L2 norm
+    dominates the largest coordinate difference inside the block).  Both
+    queries below therefore use the L∞ tree to produce a candidate superset
+    and re-rank / filter the candidates with the exact block metric, so the
+    results are identical to what the dense ``(m, m)`` matrices would give —
+    only the tie-breaking of *indices* (never of distance values) can differ.
+
+    Parameters
+    ----------
+    blocks:
+        List of ``(m, d_i)`` sample matrices, one per variable block.  A
+        single block makes the metric plain Euclidean.
+    """
+
+    def __init__(self, blocks: list[np.ndarray]) -> None:
+        blocks = [np.atleast_2d(np.asarray(b, dtype=float)) for b in blocks]
+        if not blocks:
+            raise ValueError("need at least one variable block")
+        m = blocks[0].shape[0]
+        if any(b.ndim != 2 or b.shape[0] != m for b in blocks):
+            raise ValueError("all blocks must be 2-D with the same number of samples")
+        self.blocks = blocks
+        self.n_samples = m
+        self._coords = np.concatenate(blocks, axis=1) if len(blocks) > 1 else blocks[0]
+        self._tree = cKDTree(self._coords)
+
+    def _block_distances(self, query_idx: np.ndarray, candidate_idx: np.ndarray) -> np.ndarray:
+        """Exact product-metric distances for ``(u,)`` queries × ``(u, c)`` candidates."""
+        result: np.ndarray | None = None
+        for block in self.blocks:
+            diff = block[query_idx][:, None, :] - block[candidate_idx]
+            dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+            result = dist if result is None else np.maximum(result, dist, out=result)
+        return result
+
+    def kth_neighbor_distances(self, k: int) -> np.ndarray:
+        """Distance of every sample to its k-th nearest neighbour (self excluded).
+
+        Adaptive candidate search: query the L∞ tree for a growing number of
+        neighbours until the k-th *exact* candidate distance is strictly below
+        the L∞ radius covered by the retrieved set — at that point every point
+        that could beat it has been examined, so the value is exact.
+        """
+        m = self.n_samples
+        if not 1 <= k <= m - 1:
+            raise ValueError(f"k must be in [1, m-1] = [1, {m - 1}], got {k}")
+        eps = np.empty(m)
+        pending = np.arange(m)
+        n_candidates = min(m, 2 * (k + 1))
+        while pending.size:
+            dist_inf, idx = self._tree.query(self._coords[pending], k=n_candidates, p=np.inf)
+            exact = self._block_distances(pending, idx)
+            exact[idx == pending[:, None]] = np.inf  # exclude self by index
+            kth = np.partition(exact, k - 1, axis=1)[:, k - 1]
+            if n_candidates >= m:
+                resolved = np.ones(pending.size, dtype=bool)
+            else:
+                # Strict, with an ulp guard: with ties at the L∞ frontier the
+                # retrieved set may be an arbitrary subset, and the tree's
+                # internally computed L∞ distances can differ from the exact
+                # block distances in the last ulp, so only values clearly
+                # inside the covered radius are accepted as final.
+                resolved = kth * (1.0 + 1e-12) < dist_inf[:, -1]
+            eps[pending[resolved]] = kth[resolved]
+            pending = pending[~resolved]
+            n_candidates = min(m, 2 * n_candidates)
+        return eps
+
+    def candidate_pairs_within(self, radii: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``(query_idx, neighbor_idx)`` pairs of the per-sample L∞ balls.
+
+        The L∞ ball is a superset of the product-metric ball of the same
+        radius, so the returned pairs cover every point the exact metric
+        could admit; self-pairs are included and the radii are inflated by a
+        relative ulp margin so the tree's internal rounding can never exclude
+        a point the exact (NumPy-computed) distance comparison would count.
+        Callers apply the exact strict filter themselves.
+        """
+        radii = np.asarray(radii, dtype=float)
+        if radii.shape != (self.n_samples,):
+            raise ValueError(f"radii must have shape ({self.n_samples},), got {radii.shape}")
+        lists = self._tree.query_ball_point(self._coords, r=radii * (1.0 + 1e-12), p=np.inf)
+        sizes = np.fromiter((len(lst) for lst in lists), dtype=np.intp, count=self.n_samples)
+        flat_neighbor = np.fromiter(chain.from_iterable(lists), dtype=np.intp, count=int(sizes.sum()))
+        flat_query = np.repeat(np.arange(self.n_samples), sizes)
+        return flat_query, flat_neighbor
+
+    def counts_within(self, radii: np.ndarray) -> np.ndarray:
+        """Per-sample count of points *strictly* inside ``radii`` (self excluded).
+
+        Candidates come from :meth:`candidate_pairs_within` and are filtered
+        with the exact metric — strict inequality included, which is what the
+        Frenzel–Pompe / KSG counting rules require.
+        """
+        radii = np.asarray(radii, dtype=float)
+        flat_query, flat_neighbor = self.candidate_pairs_within(radii)
+        inside = flat_query != flat_neighbor
+        bound = radii[flat_query]
+        for block in self.blocks:
+            diff = block[flat_query] - block[flat_neighbor]
+            inside &= np.sqrt(np.einsum("ij,ij->i", diff, diff)) < bound
+        return np.bincount(flat_query[inside], minlength=self.n_samples)
+
+
+class EuclideanBallCounter:
+    """List-free strict ball counts for a *single* variable block.
+
+    For one block the product metric degenerates to plain Euclidean distance,
+    so per-sample counts of points strictly inside per-sample radii can use
+    ``cKDTree.query_ball_point(..., return_length=True)`` — no Python
+    candidate lists.  Strictness comes from shrinking each radius by one ulp:
+    for doubles ``d < r  ⇔  d <= pred(r)``, so the tree's inclusive test at
+    the shrunk radius counts exactly the strict ball (distances that are
+    exactly representable, e.g. on integer grids, are handled exactly; for
+    generic data the tree's internal rounding can differ from the dense
+    path's in the last ulp, the same caveat as everywhere else).
+    """
+
+    def __init__(self, block: np.ndarray) -> None:
+        block = np.atleast_2d(np.asarray(block, dtype=float))
+        if block.ndim != 2:
+            raise ValueError("block must be a 2-D sample matrix")
+        self.block = block
+        self.n_samples = block.shape[0]
+        self._tree = cKDTree(block)
+
+    def counts_within(self, radii: np.ndarray) -> np.ndarray:
+        """Per-sample count of points with ``||x_i - x_j||_2 < radii[i]`` (self excluded)."""
+        radii = np.asarray(radii, dtype=float)
+        if radii.shape != (self.n_samples,):
+            raise ValueError(f"radii must have shape ({self.n_samples},), got {radii.shape}")
+        positive = radii > 0
+        shrunk = np.where(positive, np.nextafter(radii, -np.inf), 0.0)
+        lengths = self._tree.query_ball_point(self.block, r=shrunk, p=2.0, return_length=True)
+        # A positive radius always admits the self-pair (distance 0); a zero
+        # radius admits nothing under the strict comparison.
+        return np.where(positive, lengths - 1, 0)
 
 
 def kozachenko_leonenko_entropy(samples: np.ndarray, k: int = 5, *, backend: str = "dense") -> float:

@@ -15,6 +15,25 @@ that programme:
 Transfer entropy requires identifiable particles over time, so it operates on
 the **raw** (unpermuted) trajectories — exactly the caveat §5.2 raises about
 the permutation-reduced representation.
+
+Backends
+--------
+Every estimator takes ``backend="dense" | "kdtree" | "auto"``:
+
+``"dense"``
+    Materialises the O(m²) per-variable distance matrices.  Fastest for
+    small pooled sample counts and the historical reference implementation.
+``"kdtree"``
+    Answers the same k-th-neighbour / strict-ball-count queries through
+    :class:`repro.infotheory.knn.ProductMetricTree` — a Chebyshev
+    :class:`~scipy.spatial.cKDTree` candidate search re-ranked with the exact
+    product metric.  O(m log m)-ish; the only differences from ``"dense"``
+    are last-ulp floating-point effects, so the two agree to tight tolerance
+    (bit-exactly on inputs whose distances are exactly representable).
+``"auto"`` (default)
+    Picks by pooled sample count via
+    :func:`repro.infotheory.knn.resolve_estimator_backend`, mirroring
+    ``engine="auto"`` on the simulation side.
 """
 
 from __future__ import annotations
@@ -22,7 +41,13 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import digamma
 
-from repro.infotheory.knn import chebyshev_over_variables, k_nearest_neighbor_indices, per_variable_distances
+from repro.infotheory.knn import (
+    EuclideanBallCounter,
+    ProductMetricTree,
+    k_nearest_neighbor_indices,
+    per_variable_distances,
+    resolve_estimator_backend,
+)
 
 __all__ = [
     "conditional_mutual_information",
@@ -33,12 +58,26 @@ __all__ = [
 
 _LN2 = float(np.log(2.0))
 
+#: Measured dense/kdtree crossover of the KSG1 lagged-MI path: its marginal
+#: counts are list-free tree queries, so the tree backend wins far earlier
+#: than for the Frenzel–Pompe CMI (whose product-metric counts must filter
+#: candidate lists).
+KSG1_KDTREE_MIN_SAMPLES = 256
+
 
 def _counts_within(per_var_block: np.ndarray, epsilon: np.ndarray) -> np.ndarray:
-    """Count, per sample, the points strictly inside ``epsilon`` for a block metric."""
+    """Count, per sample, the points strictly inside ``epsilon`` for a block metric.
+
+    The self-pair is excluded explicitly (the diagonal's contribution is
+    subtracted) rather than by writing into the comparison result, so the
+    helper never mutates shared distance blocks and repeated calls on the
+    same block are idempotent.
+    """
+    per_var_block = np.asarray(per_var_block)
     inside = per_var_block < epsilon[:, None]
-    np.fill_diagonal(inside, False)
-    return inside.sum(axis=1)
+    counts = inside.sum(axis=1)
+    self_inside = np.diagonal(per_var_block) < epsilon
+    return counts - self_inside.astype(counts.dtype)
 
 
 def _as_samples(x: np.ndarray) -> np.ndarray:
@@ -51,11 +90,82 @@ def _as_samples(x: np.ndarray) -> np.ndarray:
     raise ValueError("samples must be 1-D or 2-D")
 
 
+def _cmi_value_from_counts(n_ac: np.ndarray, n_bc: np.ndarray, n_c: np.ndarray, k: int) -> float:
+    """Frenzel–Pompe digamma average, shared by every backend/plan so the
+    arithmetic (and hence the result) is bit-identical across them."""
+    value_nats = float(
+        digamma(k) - np.mean(digamma(n_ac + 1) + digamma(n_bc + 1) - digamma(n_c + 1))
+    )
+    return value_nats / _LN2
+
+
+def _ksg1_value_from_counts(per_block_counts: list[np.ndarray], k: int, m: int) -> float:
+    """KSG algorithm-1 digamma average (strict counts, ``ψ(c_i + 1)``)."""
+    psi_terms = sum(digamma(counts + 1) for counts in per_block_counts)
+    value_nats = float(digamma(k) + (len(per_block_counts) - 1) * digamma(m) - np.mean(psi_terms))
+    return value_nats / _LN2
+
+
+def _cmi_from_dense_blocks(
+    d_ac: np.ndarray,
+    d_b: np.ndarray,
+    d_c: np.ndarray,
+    k: int,
+) -> float:
+    """Frenzel–Pompe value from precomputed dense blocks.
+
+    ``d_ac = max(d_A, d_C)`` is the target-side block (pair-independent in
+    the pairwise analysis), ``d_b`` the source block, ``d_c`` the
+    conditioning block.  Shared by :func:`conditional_mutual_information` and
+    the shared-embedding pairwise plan, which is what makes the two paths
+    bit-identical.
+    """
+    m = d_ac.shape[0]
+    joint = np.maximum(d_ac, d_b)
+    kth_idx = k_nearest_neighbor_indices(joint, k)[:, -1]
+    epsilon = joint[np.arange(m), kth_idx]
+    n_ac = _counts_within(d_ac, epsilon)
+    n_bc = _counts_within(np.maximum(d_b, d_c), epsilon)
+    n_c = _counts_within(d_c, epsilon)
+    return _cmi_value_from_counts(n_ac, n_bc, n_c, k)
+
+
+def _cmi_kdtree(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    k: int,
+    *,
+    ac_tree: ProductMetricTree | None = None,
+    c_counter: EuclideanBallCounter | None = None,
+) -> float:
+    """Tree-backed Frenzel–Pompe value.
+
+    The joint k-th-neighbour radius comes from the product-metric tree; the
+    conditioning count ``n_C`` is a single-block count and uses the list-free
+    :class:`EuclideanBallCounter`; the (A, C) and (B, C) counts use
+    product-metric candidate filtering.  The (A, C) tree and the C counter
+    depend only on the target side, so the pairwise analysis builds them once
+    per matrix row and passes them in — a fresh structure yields the same
+    counts, which keeps the shared path bit-identical to the per-pair one.
+    """
+    joint = ProductMetricTree([a, b, c])
+    epsilon = joint.kth_neighbor_distances(k)
+    ac = ac_tree if ac_tree is not None else ProductMetricTree([a, c])
+    cc = c_counter if c_counter is not None else EuclideanBallCounter(c)
+    n_ac = ac.counts_within(epsilon)
+    n_bc = ProductMetricTree([b, c]).counts_within(epsilon)
+    n_c = cc.counts_within(epsilon)
+    return _cmi_value_from_counts(n_ac, n_bc, n_c, k)
+
+
 def conditional_mutual_information(
     a: np.ndarray,
     b: np.ndarray,
     c: np.ndarray,
     k: int = 4,
+    *,
+    backend: str = "auto",
 ) -> float:
     """Frenzel–Pompe kNN estimate of ``I(A; B | C)`` in bits.
 
@@ -65,6 +175,9 @@ def conditional_mutual_information(
     the (A, C), (B, C) and (C) subspaces:
 
     ``I(A; B | C) ≈ ψ(k) - ⟨ψ(n_{AC} + 1) + ψ(n_{BC} + 1) - ψ(n_C + 1)⟩``.
+
+    ``backend`` selects the dense-matrix or tree-backed implementation (see
+    the module docstring); ``"auto"`` picks by sample count.
     """
     a = _as_samples(a)
     b = _as_samples(b)
@@ -74,23 +187,44 @@ def conditional_mutual_information(
         raise ValueError("a, b, c must have the same number of samples")
     if not 1 <= k <= m - 1:
         raise ValueError(f"k must satisfy 1 <= k <= m-1 (m={m}), got {k}")
-
+    if resolve_estimator_backend(backend, n_samples=m) == "kdtree":
+        return _cmi_kdtree(a, b, c, k)
     per_var = per_variable_distances([a, b, c])  # (3, m, m)
     d_a, d_b, d_c = per_var[0], per_var[1], per_var[2]
-    joint = chebyshev_over_variables(per_var)
+    return _cmi_from_dense_blocks(np.maximum(d_a, d_c), d_b, d_c, k)
+
+
+def _ksg1_from_dense_blocks(per_var_blocks: list[np.ndarray], k: int) -> float:
+    """KSG algorithm 1 from precomputed per-variable dense distance blocks."""
+    n_vars = len(per_var_blocks)
+    m = per_var_blocks[0].shape[0]
+    joint = np.maximum.reduce(per_var_blocks)
     kth_idx = k_nearest_neighbor_indices(joint, k)[:, -1]
     epsilon = joint[np.arange(m), kth_idx]
+    counts = [_counts_within(block, epsilon) for block in per_var_blocks]
+    return _ksg1_value_from_counts(counts, k, m)
 
-    d_ac = np.maximum(d_a, d_c)
-    d_bc = np.maximum(d_b, d_c)
-    n_ac = _counts_within(d_ac, epsilon)
-    n_bc = _counts_within(d_bc, epsilon)
-    n_c = _counts_within(d_c, epsilon)
 
-    value_nats = float(
-        digamma(k) - np.mean(digamma(n_ac + 1) + digamma(n_bc + 1) - digamma(n_c + 1))
+def _ksg1_kdtree(
+    blocks: list[np.ndarray],
+    k: int,
+    *,
+    block_counters: list[EuclideanBallCounter] | None = None,
+) -> float:
+    """Tree-backed KSG algorithm 1 (strict counts, ``ψ(c_i + 1)`` average).
+
+    Every marginal is a single block, so all counts use the list-free
+    :class:`EuclideanBallCounter`; only the joint k-th-neighbour search needs
+    the product-metric tree.
+    """
+    m = blocks[0].shape[0]
+    joint = ProductMetricTree(blocks)
+    epsilon = joint.kth_neighbor_distances(k)
+    counters = (
+        block_counters if block_counters is not None else [EuclideanBallCounter(b) for b in blocks]
     )
-    return value_nats / _LN2
+    counts = [counter.counts_within(epsilon) for counter in counters]
+    return _ksg1_value_from_counts(counts, k, m)
 
 
 def embed_history(series: np.ndarray, history: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -125,12 +259,15 @@ def time_lagged_mutual_information(
     *,
     lag: int = 1,
     k: int = 4,
+    backend: str = "auto",
 ) -> float:
     """``I(source_t ; target_{t+lag})`` pooled over realisations and time, in bits.
 
     Both inputs have shape ``(n_realizations, n_steps, d)``.  This is the
     (unconditioned) precursor of the transfer entropy; it does not remove the
-    target's own history.
+    target's own history.  Estimated with KSG algorithm 1 on the pooled
+    (source-past, target-future) pairs; ``backend`` selects the dense or
+    tree-backed implementation.
     """
     from repro.infotheory.ksg import ksg_multi_information
 
@@ -145,6 +282,11 @@ def time_lagged_mutual_information(
         raise ValueError("need more time steps than the lag")
     past = source[:, : n_steps - lag, :].reshape(-1, source.shape[2])
     future = target[:, lag:, :].reshape(-1, target.shape[2])
+    resolved = resolve_estimator_backend(
+        backend, n_samples=past.shape[0], min_samples=KSG1_KDTREE_MIN_SAMPLES
+    )
+    if resolved == "kdtree":
+        return _ksg1_kdtree([past, future], k)
     return ksg_multi_information([past, future], k=k, variant="ksg1")
 
 
@@ -154,13 +296,15 @@ def transfer_entropy(
     *,
     history: int = 1,
     k: int = 4,
+    backend: str = "auto",
 ) -> float:
     """Transfer entropy ``T_{source → target}`` in bits.
 
     ``T = I(target_{t+1} ; source_t | target_t^{(history)})`` with samples
     pooled over realisations and time steps.  ``source`` and ``target`` have
     shape ``(n_realizations, n_steps, d)`` and must use the *raw* particle
-    trajectories (identity preserved over time).
+    trajectories (identity preserved over time).  ``backend`` is forwarded to
+    :func:`conditional_mutual_information`.
     """
     source = np.asarray(source, dtype=float)
     target = np.asarray(target, dtype=float)
@@ -172,4 +316,4 @@ def transfer_entropy(
     a = future.reshape(-1, d)
     b = source_aligned.reshape(-1, d)
     c = target_past.reshape(-1, history * d)
-    return conditional_mutual_information(a, b, c, k=k)
+    return conditional_mutual_information(a, b, c, k=k, backend=backend)

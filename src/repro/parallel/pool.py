@@ -13,7 +13,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["parallel_map", "chunk_indices", "effective_n_jobs"]
+__all__ = ["parallel_map", "parallel_starmap", "chunk_indices", "effective_n_jobs"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -74,3 +74,26 @@ def parallel_map(
         return [func(item) for item in items]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         return list(pool.map(func, items, chunksize=max(1, chunksize)))
+
+
+def parallel_starmap(
+    func: Callable[..., R],
+    items: Sequence[tuple] | Iterable[tuple],
+    *,
+    n_jobs: int | None = None,
+) -> list[R]:
+    """Map ``func(*item)`` over an iterable of argument tuples, in input order.
+
+    The parallel variant submits every task individually and collects the
+    results in submission order, so the output is deterministic regardless of
+    worker scheduling — the property the pairwise information-dynamics
+    fan-out relies on.  Serial execution (``n_jobs in (None, 1)``) unpacks in
+    a plain loop and therefore also works with non-picklable arguments.
+    """
+    items = [tuple(item) for item in items]
+    jobs = effective_n_jobs(n_jobs)
+    if jobs == 1 or len(items) <= 1:
+        return [func(*item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(func, *item) for item in items]
+        return [future.result() for future in futures]

@@ -74,3 +74,39 @@ class TestPairwiseLaggedMI:
         assert matrix.shape == (3, 3)
         # I(particle 0 at t ; particle 1 at t+1) exceeds the uncoupled pair (0, 2).
         assert matrix[1, 0] > matrix[2, 0] + 0.05
+
+
+class TestArgumentValidation:
+    @pytest.fixture(scope="class")
+    def ensemble(self):
+        return _driven_ensemble(n_samples=6, n_steps=12)
+
+    @pytest.mark.parametrize("bad_stride", [0, -1])
+    def test_step_stride_below_one_rejected(self, ensemble, bad_stride):
+        with pytest.raises(ValueError, match="step_stride must be >= 1"):
+            pairwise_transfer_entropy(ensemble, step_stride=bad_stride)
+        with pytest.raises(ValueError, match="step_stride must be >= 1"):
+            pairwise_lagged_mutual_information(ensemble, step_stride=bad_stride)
+
+    def test_history_longer_than_thinned_series_rejected(self, ensemble):
+        # 12 steps thinned by 6 leave 2 frames; history 2 needs 3.
+        with pytest.raises(ValueError, match="history=2 requires at least 3 time steps"):
+            pairwise_transfer_entropy(ensemble, history=2, step_stride=6)
+
+    def test_history_below_one_rejected(self, ensemble):
+        with pytest.raises(ValueError, match="history must be >= 1"):
+            pairwise_transfer_entropy(ensemble, history=0)
+
+    def test_lag_validation(self, ensemble):
+        with pytest.raises(ValueError, match="lag must be non-negative"):
+            pairwise_lagged_mutual_information(ensemble, lag=-1)
+        with pytest.raises(ValueError, match="lag=12 requires at least 13 time steps"):
+            pairwise_lagged_mutual_information(ensemble, lag=12)
+
+    def test_error_message_names_thinning(self, ensemble):
+        with pytest.raises(ValueError, match="step_stride=6"):
+            pairwise_transfer_entropy(ensemble, history=3, step_stride=6)
+
+    def test_unknown_backend_rejected(self, ensemble):
+        with pytest.raises(ValueError, match="unknown estimator backend"):
+            pairwise_transfer_entropy(ensemble, backend="warp")

@@ -21,6 +21,11 @@ class TestParser:
         assert not args.full
         assert args.max_specs is None
 
+    def test_help_text_lists_every_command(self):
+        help_text = build_parser().format_help()
+        for command in ("list", "run", "curves", "analyze"):
+            assert command in help_text
+
 
 class TestListCommand:
     def test_lists_every_figure(self):
@@ -95,6 +100,123 @@ class TestRunCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig5", "--engine", "warp"])
 
+class TestAnalyzeCommand:
+    @staticmethod
+    def _tiny_ensemble(path, n_particles=3, seed=0):
+        import numpy as np
+
+        from repro.particles.trajectory import EnsembleTrajectory
+
+        rng = np.random.default_rng(seed)
+        positions = rng.standard_normal((12, 20, n_particles, 2)).cumsum(axis=0)
+        ensemble = EnsembleTrajectory(positions=positions, types=np.zeros(n_particles, dtype=int))
+        ensemble.save(path)
+        return ensemble
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["analyze", "fig5"])
+        assert args.figure == "fig5"
+        assert args.quantity == "te"
+        assert args.backend == "auto"
+        assert args.history == 1
+        assert args.step_stride == 1
+        assert args.n_jobs is None
+
+    def test_invalid_backend_is_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "fig5", "--backend", "warp"])
+
+    def test_requires_figure_or_ensemble(self, tmp_path):
+        stream = io.StringIO()
+        assert main(["analyze", "--output", str(tmp_path)], stream=stream) == 2
+        assert "figure id or --ensemble" in stream.getvalue()
+
+    def test_unknown_figure_is_an_error(self, tmp_path):
+        stream = io.StringIO()
+        assert main(["analyze", "fig99", "--output", str(tmp_path)], stream=stream) == 2
+        assert "unknown figure" in stream.getvalue()
+
+    def test_analyzes_saved_ensemble_and_writes_json(self, tmp_path):
+        import numpy as np
+
+        ensemble_path = tmp_path / "ens.npz"
+        self._tiny_ensemble(ensemble_path)
+        stream = io.StringIO()
+        code = main(
+            [
+                "analyze", "--ensemble", str(ensemble_path), "--particles", "0,1,2",
+                "--quantity", "both", "--backend", "dense", "--output", str(tmp_path),
+                "--quiet",
+            ],
+            stream=stream,
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "ens_infodynamics.json").read_text())
+        assert np.asarray(payload["transfer_entropy_bits"]).shape == (3, 3)
+        assert np.asarray(payload["lagged_mutual_information_bits"]).shape == (3, 3)
+        assert len(payload["net_information_flow_bits"]) == 3
+        assert "strongest net source" in stream.getvalue()
+
+    def test_matrix_table_printed_unless_quiet(self, tmp_path):
+        ensemble_path = tmp_path / "ens.npz"
+        self._tiny_ensemble(ensemble_path)
+        stream = io.StringIO()
+        code = main(
+            ["analyze", "--ensemble", str(ensemble_path), "--particles", "0,1",
+             "--backend", "dense", "--output", str(tmp_path)],
+            stream=stream,
+        )
+        assert code == 0
+        assert "target \\ source" in stream.getvalue()
+
+    def test_nonpositive_max_particles_is_rejected(self, tmp_path):
+        ensemble_path = tmp_path / "ens.npz"
+        self._tiny_ensemble(ensemble_path)
+        with pytest.raises(SystemExit, match="--max-particles"):
+            main(
+                ["analyze", "--ensemble", str(ensemble_path), "--max-particles", "0",
+                 "--output", str(tmp_path)],
+                stream=io.StringIO(),
+            )
+
+    def test_bad_particles_spec_is_rejected(self, tmp_path):
+        ensemble_path = tmp_path / "ens.npz"
+        self._tiny_ensemble(ensemble_path)
+        with pytest.raises(SystemExit):
+            main(
+                ["analyze", "--ensemble", str(ensemble_path), "--particles", "a,b",
+                 "--output", str(tmp_path)],
+                stream=io.StringIO(),
+            )
+
+    def test_out_of_range_particles_are_rejected(self, tmp_path):
+        ensemble_path = tmp_path / "ens.npz"
+        self._tiny_ensemble(ensemble_path)  # 3 particles
+        with pytest.raises(SystemExit, match="out of range"):
+            main(
+                ["analyze", "--ensemble", str(ensemble_path), "--particles", "0,99",
+                 "--output", str(tmp_path)],
+                stream=io.StringIO(),
+            )
+
+    def test_runs_figure_spec_simulation(self, tmp_path, monkeypatch):
+        from repro.core import experiments as exp_mod
+
+        tiny = exp_mod.ExperimentScale(n_samples=16, n_steps=10, step_stride=2, sweep_repeats=1)
+        monkeypatch.setattr(exp_mod, "default_scale", lambda full=None: tiny)
+
+        stream = io.StringIO()
+        code = main(
+            ["analyze", "fig5", "--max-particles", "2", "--backend", "dense",
+             "--output", str(tmp_path), "--quiet"],
+            stream=stream,
+        )
+        assert code == 0
+        json_files = list(tmp_path.glob("*_infodynamics.json"))
+        assert len(json_files) == 1
+
+
+class TestRunCommandWarnings:
     def test_neighbor_backend_without_sparse_engine_warns(self, tmp_path, monkeypatch):
         # Paper-scale specs resolve "auto" to the dense engine, where a
         # backend override is inert — the CLI must say so rather than let the

@@ -8,11 +8,15 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.parallel.pool import chunk_indices, effective_n_jobs, parallel_map
+from repro.parallel.pool import chunk_indices, effective_n_jobs, parallel_map, parallel_starmap
 
 
 def _square(x: int) -> int:
     return x * x
+
+
+def _weighted_sum(x: int, y: int, w: int = 1) -> int:
+    return x + w * y
 
 
 class TestEffectiveNJobs:
@@ -85,3 +89,26 @@ class TestParallelMap:
     def test_single_item_never_spawns_pool(self):
         # Works with a non-picklable closure even when n_jobs > 1.
         assert parallel_map(lambda x: x - 1, [5], n_jobs=4) == [4]
+
+
+class TestParallelStarmap:
+    def test_serial_unpacks_tuples_in_order(self):
+        items = [(1, 2), (3, 4), (5, 6)]
+        assert parallel_starmap(_weighted_sum, items) == [3, 7, 11]
+
+    def test_serial_supports_closures(self):
+        offset = 10
+        assert parallel_starmap(lambda x, y: x + y + offset, [(1, 2)], n_jobs=1) == [13]
+
+    def test_empty_input(self):
+        assert parallel_starmap(_weighted_sum, []) == []
+
+    def test_parallel_matches_serial_and_preserves_order(self):
+        items = [(i, i + 1) for i in range(15)]
+        serial = parallel_starmap(_weighted_sum, items, n_jobs=1)
+        pooled = parallel_starmap(_weighted_sum, items, n_jobs=2)
+        assert pooled == serial == [2 * i + 1 for i in range(15)]
+
+    def test_accepts_any_iterable_of_tuples(self):
+        result = parallel_starmap(_weighted_sum, ((i, i) for i in range(4)))
+        assert result == [0, 2, 4, 6]
