@@ -1,11 +1,17 @@
 """Shared helpers for the figure-reproduction benchmarks.
 
 Every benchmark module regenerates one figure of the paper: it runs the
-corresponding experiment spec (at reduced, laptop-friendly scale by default —
-set ``REPRO_FULL=1`` for the paper's scale), prints the series the figure
-plots, writes them to ``benchmarks/output/`` as CSV/JSON, and records the
-headline numbers in ``benchmark.extra_info`` so they appear in the
-pytest-benchmark report.
+corresponding experiment through the declarative plan layer
+(:mod:`repro.core.plan`) — at reduced, laptop-friendly scale by default; set
+``REPRO_FULL=1`` for the paper's scale — prints the series the figure plots,
+writes them to ``benchmarks/output/`` as CSV/JSON, and records the headline
+numbers in ``benchmark.extra_info`` so they appear in the pytest-benchmark
+report.
+
+``run_spec`` executes a single spec as a one-unit plan; ``execute_plan``
+executes a whole figure plan, optionally against a
+:class:`~repro.io.artifacts.RunStore` so repeated local runs of a sweep
+benchmark hit the content-addressed cache instead of recomputing.
 """
 
 from __future__ import annotations
@@ -16,16 +22,16 @@ import numpy as np
 
 
 def run_spec(spec, *, keep_ensemble: bool = False):
-    """Run one experiment spec through the standard pipeline."""
-    from repro.core.pipeline import run_experiment
+    """Run one experiment spec through the standard (one-unit plan) pipeline."""
+    from repro.core.plan import ExperimentPlan
 
-    return run_experiment(
-        spec.simulation,
-        spec.n_samples,
-        analysis_config=spec.analysis,
-        seed=spec.seed,
-        keep_ensemble=keep_ensemble,
-    )
+    execution = ExperimentPlan.single(spec).execute(store=None, keep_ensembles=keep_ensemble)
+    return execution.results[0]
+
+
+def execute_plan(plan, *, store=None, n_jobs=None):
+    """Execute an experiment plan; returns the :class:`~repro.core.plan.PlanExecution`."""
+    return plan.execute(store, n_jobs=n_jobs)
 
 
 def announce(title: str, body: str) -> None:

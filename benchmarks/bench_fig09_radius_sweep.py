@@ -5,18 +5,19 @@ random preferred distances r_αβ ∈ [2, 8] with k = 1, and varies the
 interaction cut-off radius r_c ∈ {2.5, 5, 7.5, 10, 15, ∞}.  The finding:
 self-organization increases with the cut-off radius — unconstrained
 interactions organise most even though the configurations show no obvious
-spatial structure.  The benchmark regenerates the family of curves and checks
-the ordering between small and large radii.
+spatial structure.  The benchmark regenerates the family of curves through
+the declarative plan API (``fig9_radius_sweep_plan``: a cut-off grid per
+random-matrix repeat) and checks the ordering between small and large radii.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.experiments import fig9_radius_sweep
+from repro.core.experiments import fig9_radius_sweep_plan
 from repro.viz import line_plot, save_series_csv
 
-from bench_common import announce, run_spec
+from bench_common import announce, execute_plan
 
 #: Cut-off radii used at reduced scale (the full run uses all six of the paper's values).
 REDUCED_CUTOFFS: tuple[float | None, ...] = (2.5, 7.5, 15.0, None)
@@ -29,11 +30,15 @@ def _label(cutoff: float | None) -> str:
 
 def _run_sweep(full_scale: bool):
     cutoffs = FULL_CUTOFFS if full_scale else REDUCED_CUTOFFS
+    plan = fig9_radius_sweep_plan(full=full_scale, cutoffs=cutoffs)
+    # Pure compute path, no store: the recorded timing stays comparable
+    # across pushes and with the other figure benches (the store/resume seam
+    # is pinned by tests/test_core_plan.py and tests/test_cli.py).
+    execution = execute_plan(plan)
     curves: dict[str, list[np.ndarray]] = {}
     steps = None
-    for spec in fig9_radius_sweep(full=full_scale, cutoffs=cutoffs):
-        result = run_spec(spec)
-        label = _label(spec.simulation.cutoff)
+    for unit, result in zip(execution.units, execution.results):
+        label = _label(unit.spec.simulation.cutoff)
         curves.setdefault(label, []).append(result.measurement.multi_information)
         steps = result.measurement.steps
     averaged = {label: np.mean(np.stack(series), axis=0) for label, series in curves.items()}

@@ -6,18 +6,19 @@ motivates §7.2: when interactions are local (finite r_c), the collective with
 *fewer* types self-organises more — homogeneous same-type clusters act as
 larger units and restore effective long-range interactions — whereas with
 unconstrained interactions the many-type collective is at least as organised.
-The benchmark regenerates the six curves and checks the local-interaction
-ordering.
+The benchmark regenerates the six curves through the declarative plan API
+(``fig10_types_and_radius_plan``: a cut-off grid per (type-count, repeat)
+base spec) and checks the local-interaction ordering.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.experiments import fig10_types_and_radius
+from repro.core.experiments import fig10_types_and_radius_plan
 from repro.viz import line_plot, save_series_csv
 
-from bench_common import announce, run_spec
+from bench_common import announce, execute_plan
 
 REDUCED_CUTOFFS: tuple[float | None, ...] = (10.0, None)
 FULL_CUTOFFS: tuple[float | None, ...] = (10.0, 15.0, None)
@@ -29,11 +30,12 @@ def _label(n_types: int, cutoff: float | None) -> str:
 
 def _run_sweep(full_scale: bool):
     cutoffs = FULL_CUTOFFS if full_scale else REDUCED_CUTOFFS
+    plan = fig10_types_and_radius_plan(full=full_scale, cutoffs=cutoffs)
+    execution = execute_plan(plan)
     curves: dict[str, list[np.ndarray]] = {}
     steps = None
-    for spec in fig10_types_and_radius(full=full_scale, cutoffs=cutoffs):
-        result = run_spec(spec)
-        label = _label(spec.simulation.n_types, spec.simulation.cutoff)
+    for unit, result in zip(execution.units, execution.results):
+        label = _label(unit.spec.simulation.n_types, unit.spec.simulation.cutoff)
         curves.setdefault(label, []).append(result.measurement.multi_information)
         steps = result.measurement.steps
     averaged = {label: np.mean(np.stack(series), axis=0) for label, series in curves.items()}

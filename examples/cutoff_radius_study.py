@@ -11,30 +11,39 @@ spread through it:
   larger-scale units and restore long-range structural interactions.
 
 This example sweeps the cut-off radius for a many-type and a few-type
-collective (sharing the same random preferred distances) and prints the
-increase of multi-information ΔI for each combination.
+collective (sharing the same random preferred distances) through the
+declarative plan API: each collective is a base spec, the cut-off radius is a
+``grid`` axis, and the two sweeps are ``chain``-ed into one plan that is
+executed against a content-addressed run store — re-running the script serves
+every combination from cache instead of recomputing it.
 
-Run with ``python examples/cutoff_radius_study.py`` (about a minute).
+Run with ``python examples/cutoff_radius_study.py`` (about a minute cold,
+seconds warm; pass a different store directory as ``argv[1]`` if desired).
 """
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
-from repro import AnalysisConfig, SimulationConfig, run_experiment
-from repro.core.experiments import random_preferred_distance_params
+from repro import AnalysisConfig, SimulationConfig
+from repro.core.experiments import ExperimentSpec, random_preferred_distance_params
+from repro.core.plan import ConsoleObserver, ExperimentPlan, chain, grid
+from repro.io import RunStore
 from repro.viz import bar_chart, series_table
 
 
 N_PARTICLES = 16
 CUTOFFS: tuple[float | None, ...] = (2.5, 7.5, None)
 TYPE_COUNTS = (4, 16)  # few types vs one type per particle
+DEFAULT_STORE = "results/cutoff_study_store"
 
 
-def run_sweep(seed: int = 0) -> dict[tuple[int, float | None], float]:
-    """Return ΔI for every (number of types, cut-off radius) combination."""
-    results: dict[tuple[int, float | None], float] = {}
+def build_plan(seed: int = 0) -> ExperimentPlan:
+    """One plan covering every (number of types, cut-off radius) combination."""
     analysis = AnalysisConfig(step_stride=10, k_neighbors=4)
+    sweeps = []
     for n_types in TYPE_COUNTS:
         params = random_preferred_distance_params(
             n_types, force="F1", r_range=(2.0, 6.0), k_value=1.0, rng=seed
@@ -43,24 +52,41 @@ def run_sweep(seed: int = 0) -> dict[tuple[int, float | None], float]:
             N_PARTICLES // n_types + (1 if i < N_PARTICLES % n_types else 0)
             for i in range(n_types)
         )
-        for cutoff in CUTOFFS:
-            config = SimulationConfig(
+        base = ExperimentSpec(
+            name=f"cutoff_study_l{n_types}",
+            description=f"cut-off sweep, {n_types} types",
+            simulation=SimulationConfig(
                 type_counts=counts,
                 params=params,
                 force="F1",
-                cutoff=cutoff,
+                cutoff=None,
                 dt=0.02,
                 substeps=5,
                 n_steps=50,
                 init_radius=3.5,
-            )
-            result = run_experiment(config, n_samples=64, analysis_config=analysis, seed=seed)
-            results[(n_types, cutoff)] = result.delta_multi_information
+            ),
+            n_samples=64,
+            analysis=analysis,
+            seed=seed,
+        )
+        sweeps.append(grid(base, **{"simulation.cutoff": list(CUTOFFS)}))
+    return chain(*sweeps)
+
+
+def run_sweep(seed: int = 0, store_dir: str = DEFAULT_STORE) -> dict[tuple[int, float | None], float]:
+    """Return ΔI for every (number of types, cut-off radius) combination."""
+    plan = build_plan(seed)
+    execution = plan.execute(RunStore(store_dir), observer=ConsoleObserver(sys.stdout))
+    results: dict[tuple[int, float | None], float] = {}
+    for unit, result in zip(execution.units, execution.results):
+        key = (unit.spec.simulation.n_types, unit.spec.simulation.cutoff)
+        results[key] = result.delta_multi_information
     return results
 
 
 def main() -> None:
-    results = run_sweep()
+    store_dir = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_STORE
+    results = run_sweep(store_dir=store_dir)
 
     labels = {None: "inf"}
     rows = {

@@ -50,14 +50,23 @@ from repro.infotheory import (
 from repro.cluster import kmeans, coarse_grain_snapshot
 from repro.core import (
     AnalysisConfig,
+    ExperimentPlan,
     ExperimentResult,
     ExperimentSpec,
+    RunUnit,
     SelfOrganizationAnalysis,
     SelfOrganizationResult,
+    all_figure_plans,
     all_figure_specs,
+    chain,
+    figure_plan,
+    grid,
     measure_self_organization,
     run_experiment,
+    single,
+    zip_,
 )
+from repro.io import RunStore
 
 __all__ = [
     "__version__",
@@ -85,4 +94,13 @@ __all__ = [
     "ExperimentSpec",
     "run_experiment",
     "all_figure_specs",
+    "ExperimentPlan",
+    "RunUnit",
+    "RunStore",
+    "single",
+    "chain",
+    "grid",
+    "zip_",
+    "figure_plan",
+    "all_figure_plans",
 ]

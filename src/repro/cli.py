@@ -5,12 +5,22 @@ without writing Python::
 
     python -m repro.cli list                       # show every figure experiment
     python -m repro.cli run fig5                   # run one figure's experiment(s)
-    python -m repro.cli run fig9 --full --output results/
+    python -m repro.cli sweep fig9 --store results/store --n-jobs 4
+    python -m repro.cli status fig9 --store results/store
+    python -m repro.cli resume fig9 --store results/store
     python -m repro.cli curves                     # Fig. 2 force-scaling curves
     python -m repro.cli analyze fig5               # §7.3 pairwise transfer entropy
 
 ``run`` prints the multi-information series as an ASCII plot and writes the
-measurement JSON (plus a CSV of the series) into the output directory.
+measurement JSON (plus a CSV of the series) into the output directory; it is
+a thin wrapper over one-unit experiment plans (:mod:`repro.core.plan`).
+``sweep`` executes a whole figure plan against a content-addressed
+:class:`~repro.io.artifacts.RunStore`: units already in the store are served
+from cache bit-identically, freshly computed units are persisted as they
+finish, and ``--n-jobs`` fans the units out across processes.  ``status``
+reports which units of a figure plan are cached/missing without running
+anything, and ``resume`` re-executes a previously started sweep, computing
+only the missing units (it refuses to create a new store).
 ``analyze`` runs the information-dynamics pipeline (pairwise transfer entropy
 and/or lagged mutual information between particles) on a figure's simulated
 ensemble or on a saved ``.npz`` trajectory, with ``--backend`` selecting the
@@ -26,14 +36,17 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.experiments import ExperimentSpec, all_figure_specs, fig2_force_curves
-from repro.core.pipeline import run_experiment
+from repro.core.experiments import ExperimentSpec, all_figure_specs, fig2_force_curves, figure_plan
+from repro.core.plan import ConsoleObserver, ExperimentPlan, PlanObserver
+from repro.io.artifacts import RunStore, RunStoreError
 from repro.io.storage import save_measurement
 from repro.particles.engine import DRIFT_ENGINES
 from repro.particles.neighbors import NEIGHBOR_BACKENDS
 from repro.viz import line_plot, save_json, save_series_csv
 
 __all__ = ["main", "build_parser"]
+
+DEFAULT_STORE = Path("results/run_store")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +60,21 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = subparsers.add_parser("list", help="list the available figure experiments")
     list_parser.add_argument("--full", action="store_true", help="show the full-scale parameters")
 
+    def add_engine_flags(sub) -> None:
+        sub.add_argument(
+            "--engine", choices=list(DRIFT_ENGINES), default=None,
+            help="override the drift engine (dense all-pairs, sparse neighbour-pair, or auto)",
+        )
+        sub.add_argument(
+            "--neighbor-backend", choices=sorted(NEIGHBOR_BACKENDS), default=None,
+            help="override the neighbour-search backend of the sparse engine",
+        )
+        sub.add_argument(
+            "--auto-reresolve-every", type=int, default=None, metavar="K",
+            help="re-check the auto engine's dense/sparse choice every K recorded "
+            "steps from the current bounding box (0 disables adaptivity)",
+        )
+
     run_parser = subparsers.add_parser("run", help="run the experiment(s) behind one figure")
     run_parser.add_argument("figure", help="figure id, e.g. fig4, fig5, fig9")
     run_parser.add_argument("--full", action="store_true", help="use the paper's scale (m=500, t_max=250)")
@@ -57,20 +85,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="run at most this many specs of a sweep figure (default: all)",
     )
     run_parser.add_argument("--n-jobs", type=int, default=None, help="process-pool width for the simulation")
-    run_parser.add_argument(
-        "--engine", choices=list(DRIFT_ENGINES), default=None,
-        help="override the drift engine (dense all-pairs, sparse neighbour-pair, or auto)",
-    )
-    run_parser.add_argument(
-        "--neighbor-backend", choices=sorted(NEIGHBOR_BACKENDS), default=None,
-        help="override the neighbour-search backend of the sparse engine",
-    )
-    run_parser.add_argument(
-        "--auto-reresolve-every", type=int, default=None, metavar="K",
-        help="re-check the auto engine's dense/sparse choice every K recorded "
-        "steps from the current bounding box (0 disables adaptivity)",
-    )
+    add_engine_flags(run_parser)
     run_parser.add_argument("--quiet", action="store_true", help="suppress the ASCII plot")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="execute a figure's experiment plan against a content-addressed run store",
+    )
+    resume_parser = subparsers.add_parser(
+        "resume",
+        help="re-execute an interrupted sweep: compute only the units missing from the store",
+    )
+    for sub in (sweep_parser, resume_parser):
+        sub.add_argument("figure", help="figure id, e.g. fig8, fig9, fig10")
+        sub.add_argument(
+            "--store", type=Path, default=DEFAULT_STORE,
+            help=f"run-store directory (default: {DEFAULT_STORE})",
+        )
+        sub.add_argument("--full", action="store_true", help="use the paper's scale (m=500, t_max=250)")
+        sub.add_argument("--n-jobs", type=int, default=None, help="process-pool width for the unit fan-out")
+        sub.add_argument(
+            "--max-units", type=int, default=None,
+            help="execute at most this many units of the plan (default: all)",
+        )
+        sub.add_argument(
+            "--fresh", action="store_true",
+            help="ignore cache hits and recompute every unit (conflicts with 'resume')",
+        )
+        sub.add_argument(
+            "--keep-ensembles", action="store_true",
+            help="persist raw ensemble trajectories as .npz next to the JSON documents",
+        )
+        add_engine_flags(sub)
+        sub.add_argument("--quiet", action="store_true", help="suppress the per-unit progress lines")
+
+    status_parser = subparsers.add_parser(
+        "status", help="show which units of a figure plan are cached in a run store"
+    )
+    status_parser.add_argument("figure", help="figure id, e.g. fig8, fig9, fig10")
+    status_parser.add_argument(
+        "--store", type=Path, default=DEFAULT_STORE,
+        help=f"run-store directory (default: {DEFAULT_STORE})",
+    )
+    status_parser.add_argument("--full", action="store_true", help="use the paper's scale")
+    status_parser.add_argument(
+        "--max-units", type=int, default=None,
+        help="inspect at most this many units of the plan (default: all)",
+    )
+    # Engine knobs enter the content hash, so status must accept the same
+    # overrides as the sweep it inspects to look up the same units.
+    add_engine_flags(status_parser)
 
     curves_parser = subparsers.add_parser("curves", help="print the Fig. 2 force-scaling curves")
     curves_parser.add_argument("--output", type=Path, default=None, help="optional CSV output path")
@@ -145,15 +209,11 @@ def _apply_engine_overrides(simulation, args: argparse.Namespace):
 
 
 def _run_spec(spec: ExperimentSpec, args: argparse.Namespace, stream) -> dict:
+    # `run` is a thin wrapper over a one-unit plan (no store: always compute).
     seed = spec.seed if args.seed is None else args.seed
-    simulation = _apply_engine_overrides(spec.simulation, args)
-    result = run_experiment(
-        simulation,
-        spec.n_samples,
-        analysis_config=spec.analysis,
-        seed=seed,
-        n_jobs=args.n_jobs,
-    )
+    spec = spec.with_updates(simulation=_apply_engine_overrides(spec.simulation, args), seed=seed)
+    execution = ExperimentPlan.single(spec).execute(store=None, n_jobs=args.n_jobs)
+    result = execution.results[0]
     measurement = result.measurement
     output_dir: Path = args.output
     save_measurement(output_dir / f"{spec.name}.json", measurement)
@@ -203,6 +263,111 @@ def _command_run(args: argparse.Namespace, stream) -> int:
     if len(summaries) > 1:
         mean_delta = float(np.mean([s["delta"] for s in summaries]))
         stream.write(f"{figure}: mean delta I over {len(summaries)} specs = {mean_delta:+.3f} bits\n")
+    return 0
+
+
+def _figure_plan(args: argparse.Namespace, stream) -> ExperimentPlan | None:
+    """Build the (possibly limited, engine-overridden) plan of ``args.figure``."""
+    try:
+        plan = figure_plan(args.figure, full=getattr(args, "full", False))
+    except KeyError as exc:
+        stream.write(f"{exc.args[0]}\n")
+        return None
+    if getattr(args, "engine", None) or getattr(args, "neighbor_backend", None) or (
+        getattr(args, "auto_reresolve_every", None) is not None
+    ):
+        plan = plan.map_specs(
+            lambda spec: spec.with_updates(simulation=_apply_engine_overrides(spec.simulation, args))
+        )
+    max_units = getattr(args, "max_units", None)
+    if max_units is not None:
+        if max_units < 1:
+            stream.write(f"--max-units must be >= 1, got {max_units}\n")
+            return None
+        plan = plan.limit(max_units)
+    return plan
+
+
+def _open_store(args: argparse.Namespace, stream, *, create: bool) -> RunStore | None:
+    try:
+        return RunStore(args.store, create=create)
+    except RunStoreError as exc:
+        stream.write(f"{exc}\n")
+        if not create:
+            stream.write("start the sweep first: repro sweep "
+                         f"{args.figure} --store {args.store}\n")
+        return None
+
+
+def _command_sweep(args: argparse.Namespace, stream, *, resuming: bool = False) -> int:
+    if resuming and args.fresh:
+        stream.write(
+            "conflicting flags: resume computes only missing units, --fresh recomputes "
+            "everything; use 'sweep --fresh' to rebuild the store\n"
+        )
+        return 2
+    plan = _figure_plan(args, stream)
+    if plan is None:
+        return 2
+    store = _open_store(args, stream, create=not resuming)
+    if store is None:
+        return 2
+    if resuming and len(store) > 0 and plan.status(store).n_cached == 0:
+        # The store holds results, yet none match this plan's hashes — the
+        # classic cause is a flag mismatch with the original sweep, which
+        # would silently recompute everything resume exists to preserve.
+        stream.write(
+            f"warning: none of this plan's {len(plan)} unit(s) are in {args.store} "
+            f"({len(store)} unrelated unit(s) present); if this store was produced by "
+            "this figure's sweep, re-check --full and the engine flags.\n"
+        )
+    observer = PlanObserver() if args.quiet else ConsoleObserver(stream)
+    try:
+        execution = plan.execute(
+            store,
+            n_jobs=args.n_jobs,
+            observer=observer,
+            recompute=args.fresh,
+            keep_ensembles=args.keep_ensembles,
+        )
+    except RunStoreError as exc:
+        stream.write(f"{exc}\nthe store holds a damaged document; delete it and resume.\n")
+        return 2
+    stream.write(
+        f"{args.figure.lower()}: {len(execution.units)} unit(s), "
+        f"{execution.n_cached} cached, {execution.n_computed} computed; "
+        f"mean delta I = {execution.mean_delta_multi_information():+.3f} bits "
+        f"({execution.wall_time_seconds:.1f} s); store: {args.store}\n"
+    )
+    return 0
+
+
+def _command_status(args: argparse.Namespace, stream) -> int:
+    plan = _figure_plan(args, stream)
+    if plan is None:
+        return 2
+    store = _open_store(args, stream, create=False)
+    if store is None:
+        return 2
+    status = plan.status(store)
+    try:
+        # Surface damaged documents before a resume trips on them — the full
+        # reconstruction, not just JSON decoding, is what resume will do.
+        for unit in status.cached:
+            store.load(unit.content_hash, with_ensemble=False)
+    except RunStoreError as exc:
+        stream.write(f"{exc}\n")
+        return 2
+    stream.write(
+        f"{args.figure.lower()}: {status.n_cached}/{status.n_units} unit(s) cached "
+        f"in {args.store}\n"
+    )
+    for unit in status.missing:
+        stream.write(f"  missing  {unit.name} ({unit.content_hash[:12]})\n")
+    if status.complete:
+        stream.write("plan complete; 'sweep' or 'resume' would recompute nothing.\n")
+    else:
+        stream.write(f"run: repro resume {args.figure.lower()} --store {args.store}\n")
     return 0
 
 
@@ -336,6 +501,12 @@ def main(argv: list[str] | None = None, stream=None) -> int:
         return _command_list(args, stream)
     if args.command == "run":
         return _command_run(args, stream)
+    if args.command == "sweep":
+        return _command_sweep(args, stream)
+    if args.command == "resume":
+        return _command_sweep(args, stream, resuming=True)
+    if args.command == "status":
+        return _command_status(args, stream)
     if args.command == "curves":
         return _command_curves(args, stream)
     if args.command == "analyze":

@@ -1,0 +1,563 @@
+"""Declarative experiment plans: composable sweeps, content-addressed caching.
+
+The one-shot entry point :func:`repro.core.pipeline.run_experiment` recomputes
+everything on every call.  This module turns experiment orchestration into a
+*data structure*:
+
+1. an :class:`ExperimentPlan` is a composable tree of sweep nodes —
+   :func:`single` specs, :func:`chain` concatenation, :func:`grid` cartesian
+   products and :func:`zip_` aligned sweeps over spec fields;
+2. the tree *lowers* to a flat list of :class:`RunUnit`\\ s, each carrying a
+   stable content hash derived from the unit's full
+   :class:`~repro.particles.model.SimulationConfig`,
+   :class:`~repro.core.self_organization.AnalysisConfig`, seed and ensemble
+   size (cosmetic fields — name, description, tags — do not enter the hash);
+3. :meth:`ExperimentPlan.execute` fans the units out through
+   :func:`repro.parallel.pool.parallel_starmap`, skips units whose hash is
+   already present in a :class:`~repro.io.artifacts.RunStore`, and persists
+   every freshly computed result under its hash.
+
+Because a unit's hash is a pure function of its specification, re-executing a
+plan against the same store after an interruption runs *only* the missing
+units and returns results bit-identical to an uninterrupted run — the store
+documents are deterministic (volatile wall-time diagnostics are stripped).
+Progress is observable through the pluggable :class:`PlanObserver` hook.
+
+Sweep axes are dotted paths into the spec: top-level
+:class:`~repro.core.experiments.ExperimentSpec` fields (``"n_samples"``,
+``"seed"``), or nested ``"simulation.<field>"`` / ``"analysis.<field>"``
+updates (``__`` may be used instead of ``.`` so axes can be passed as plain
+keyword arguments)::
+
+    plan = grid(base_spec, **{"simulation.cutoff": [2.5, 7.5, None]})
+    execution = plan.execute(store=RunStore("results/store"), n_jobs=4)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import time
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import ExperimentResult, run_experiment
+from repro.parallel.pool import parallel_starmap_unordered
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.core.experiments import ExperimentSpec
+    from repro.io.artifacts import RunStore
+
+__all__ = [
+    "RunUnit",
+    "ExperimentPlan",
+    "PlanExecution",
+    "PlanStatus",
+    "PlanObserver",
+    "ConsoleObserver",
+    "single",
+    "chain",
+    "grid",
+    "zip_",
+    "unit_content_hash",
+]
+
+
+# --------------------------------------------------------------------------- #
+# run units and content hashing
+# --------------------------------------------------------------------------- #
+def unit_content_hash(spec: "ExperimentSpec") -> str:
+    """Stable content hash of a fully specified experiment.
+
+    The hash covers everything that determines the numbers an execution
+    produces — the full simulation config (including performance knobs such
+    as ``engine``, which never change results but are hashed conservatively),
+    the full analysis config, the seed and the ensemble size.  Cosmetic
+    fields (name, description, expectation, tags) are excluded, so renaming a
+    sweep point never invalidates its cache entry.
+    """
+    payload = {
+        "simulation": spec.simulation.to_dict(),
+        "analysis": spec.analysis.to_dict(),
+        "n_samples": int(spec.n_samples),
+        "seed": int(spec.seed),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunUnit:
+    """One executable cell of a plan: a spec plus its content hash."""
+
+    spec: "ExperimentSpec"
+
+    @cached_property
+    def content_hash(self) -> str:
+        """Content hash of the unit (see :func:`unit_content_hash`)."""
+        return unit_content_hash(self.spec)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def execute(self, *, n_jobs: int | None = None, keep_ensemble: bool = False) -> ExperimentResult:
+        """Run the unit through the standard pipeline (no caching involved)."""
+        return _execute_spec(self.spec, keep_ensemble, n_jobs)
+
+
+def _execute_spec(
+    spec: "ExperimentSpec", keep_ensemble: bool = False, n_jobs: int | None = None
+) -> ExperimentResult:
+    """Top-level worker so plan execution can fan units out across processes."""
+    return run_experiment(
+        spec.simulation,
+        spec.n_samples,
+        analysis_config=spec.analysis,
+        seed=spec.seed,
+        n_jobs=n_jobs,
+        keep_ensemble=keep_ensemble,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# sweep axes
+# --------------------------------------------------------------------------- #
+def _normalise_axis(path: str) -> str:
+    """Allow ``simulation__cutoff`` as a keyword-friendly alias of ``simulation.cutoff``."""
+    return path.replace("__", ".")
+
+
+def _apply_axis(spec: "ExperimentSpec", path: str, value: Any) -> "ExperimentSpec":
+    """Return a copy of ``spec`` with the dotted-path field replaced."""
+    head, dot, leaf = path.partition(".")
+    try:
+        if not dot:
+            return spec.with_updates(**{head: value})
+        if head == "simulation":
+            return spec.with_updates(simulation=spec.simulation.with_updates(**{leaf: value}))
+        if head == "analysis":
+            return spec.with_updates(analysis=replace(spec.analysis, **{leaf: value}))
+    except TypeError as exc:
+        raise ValueError(f"unknown sweep axis {path!r}: {exc}") from exc
+    raise ValueError(
+        f"unknown sweep axis {path!r}; use a top-level ExperimentSpec field, "
+        f"'simulation.<field>' or 'analysis.<field>'"
+    )
+
+
+def _axis_token(path: str, value: Any) -> str:
+    """Compact ``<leaf><value>`` token used to derive swept spec names."""
+    leaf = path.rpartition(".")[2]
+    if value is None:
+        text = "none"
+    elif isinstance(value, float):
+        text = f"{value:g}"
+    else:
+        text = str(value)
+    return f"{leaf}{text.replace(' ', '')}"
+
+
+def _apply_combination(
+    spec: "ExperimentSpec", paths: Sequence[str], values: Sequence[Any]
+) -> "ExperimentSpec":
+    out = spec
+    for path, value in zip(paths, values):
+        out = _apply_axis(out, path, value)
+    tokens = "_".join(_axis_token(path, value) for path, value in zip(paths, values))
+    return out.with_updates(name=f"{spec.name}__{tokens}")
+
+
+# --------------------------------------------------------------------------- #
+# plan tree nodes
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _PlanNode:
+    """Base node; subclasses lower themselves to a flat spec list."""
+
+    def specs(self) -> list["ExperimentSpec"]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class _Single(_PlanNode):
+    spec: "ExperimentSpec"
+
+    def specs(self) -> list["ExperimentSpec"]:
+        return [self.spec]
+
+
+@dataclass(frozen=True)
+class _Chain(_PlanNode):
+    children: tuple[_PlanNode, ...]
+
+    def specs(self) -> list["ExperimentSpec"]:
+        out: list["ExperimentSpec"] = []
+        for child in self.children:
+            out.extend(child.specs())
+        return out
+
+
+@dataclass(frozen=True)
+class _Sweep(_PlanNode):
+    base: _PlanNode
+    paths: tuple[str, ...]
+    values: tuple[tuple[Any, ...], ...]  # one tuple of axis values per combination
+
+    def specs(self) -> list["ExperimentSpec"]:
+        out: list["ExperimentSpec"] = []
+        for spec in self.base.specs():
+            for combination in self.values:
+                out.append(_apply_combination(spec, self.paths, combination))
+        return out
+
+
+def _as_node(plan_or_spec: "ExperimentPlan | ExperimentSpec") -> _PlanNode:
+    if isinstance(plan_or_spec, ExperimentPlan):
+        return plan_or_spec._root
+    return _Single(plan_or_spec)
+
+
+def _combinations(axes: dict[str, Any], mode: str) -> tuple[tuple[str, ...], tuple[tuple[Any, ...], ...]]:
+    if not axes:
+        raise ValueError("a sweep needs at least one axis")
+    paths = tuple(_normalise_axis(path) for path in axes)
+    value_lists = [list(values) for values in axes.values()]
+    if any(len(values) == 0 for values in value_lists):
+        raise ValueError("sweep axes must be non-empty")
+    if mode == "zip":
+        lengths = {len(values) for values in value_lists}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"zip_ axes must have equal lengths, got {[len(v) for v in value_lists]}"
+            )
+        combos = tuple(zip(*value_lists))
+    else:
+        combos = tuple(itertools.product(*value_lists))
+    return paths, combos
+
+
+# --------------------------------------------------------------------------- #
+# observers
+# --------------------------------------------------------------------------- #
+class PlanObserver:
+    """Pluggable progress hook for plan execution (all methods are no-ops).
+
+    ``on_unit_start`` fires before a unit is (or a batch of units are)
+    submitted; ``on_unit_complete`` fires once its result is available, with
+    ``cached=True`` when the result was served from the store without
+    recomputation.  Under a process pool the start hooks for one batch fire
+    before the completion hooks, and completions arrive in *completion*
+    order (nondeterministic across workers); serial execution completes in
+    plan order.  :class:`PlanExecution` results are always in plan order.
+    """
+
+    def on_plan_start(self, units: list[RunUnit], missing: list[RunUnit]) -> None:
+        """Called once, with the deduplicated units and the subset to be computed."""
+
+    def on_unit_start(self, unit: RunUnit, index: int, total: int) -> None:
+        """Called before unit ``index`` (0-based, of ``total`` to compute) runs."""
+
+    def on_unit_complete(self, unit: RunUnit, result: ExperimentResult, cached: bool) -> None:
+        """Called when a unit's result is available (freshly computed or cached)."""
+
+    def on_plan_complete(self, execution: "PlanExecution") -> None:
+        """Called once with the finished execution."""
+
+
+class ConsoleObserver(PlanObserver):
+    """Writes one progress line per unit to a stream (the CLI's observer)."""
+
+    def __init__(self, stream) -> None:
+        self.stream = stream
+
+    def on_plan_start(self, units: list[RunUnit], missing: list[RunUnit]) -> None:
+        cached = len(units) - len(missing)
+        self.stream.write(
+            f"plan: {len(units)} unit(s), {cached} cached, {len(missing)} to compute\n"
+        )
+
+    def on_unit_complete(self, unit: RunUnit, result: ExperimentResult, cached: bool) -> None:
+        origin = "cached  " if cached else "computed"
+        self.stream.write(
+            f"  [{origin}] {unit.name} ({unit.content_hash[:12]}): "
+            f"delta I = {result.delta_multi_information:+.3f} bits\n"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# execution results
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PlanStatus:
+    """Cache status of a plan against a store (nothing is executed)."""
+
+    units: tuple[RunUnit, ...]
+    cached: tuple[RunUnit, ...]
+    missing: tuple[RunUnit, ...]
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def n_cached(self) -> int:
+        return len(self.cached)
+
+    @property
+    def n_missing(self) -> int:
+        return len(self.missing)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+@dataclass(frozen=True)
+class PlanExecution:
+    """Results of one :meth:`ExperimentPlan.execute` call.
+
+    ``results`` is aligned with the plan's unit order (duplicated units share
+    one result object).  ``computed`` / ``cached`` hold the content hashes
+    that were freshly run vs. served from the store.
+    """
+
+    units: tuple[RunUnit, ...]
+    results: tuple[ExperimentResult, ...]
+    computed: tuple[str, ...]
+    cached: tuple[str, ...]
+    wall_time_seconds: float = 0.0
+
+    @property
+    def n_computed(self) -> int:
+        return len(self.computed)
+
+    @property
+    def n_cached(self) -> int:
+        return len(self.cached)
+
+    def summaries(self) -> list[dict[str, Any]]:
+        """Compact per-unit summaries (see :meth:`ExperimentResult.summary`)."""
+        return [result.summary() for result in self.results]
+
+    def mean_delta_multi_information(self) -> float:
+        """Mean ΔI over the plan's units — the quantity the sweep figures average."""
+        return float(np.mean([r.delta_multi_information for r in self.results]))
+
+
+# --------------------------------------------------------------------------- #
+# the plan
+# --------------------------------------------------------------------------- #
+class ExperimentPlan:
+    """A composable tree of experiment sweeps that lowers to run units.
+
+    Construct plans with :func:`single`, :func:`grid`, :func:`zip_` and
+    :func:`chain` (or the equivalent classmethods/operators: ``plan + plan``
+    chains).  Plans are immutable; every combinator returns a new plan.
+    """
+
+    def __init__(self, root: _PlanNode) -> None:
+        self._root = root
+
+    # construction ------------------------------------------------------- #
+    @classmethod
+    def single(cls, spec: "ExperimentSpec") -> "ExperimentPlan":
+        """A one-unit plan."""
+        return cls(_Single(spec))
+
+    @classmethod
+    def from_specs(cls, specs: Iterable["ExperimentSpec"]) -> "ExperimentPlan":
+        """Chain a flat list of specs into a plan (one unit per spec)."""
+        return cls(_Chain(tuple(_Single(spec) for spec in specs)))
+
+    def grid(self, **axes: Iterable[Any]) -> "ExperimentPlan":
+        """Cartesian-product sweep of the given axes over every spec of this plan."""
+        paths, combos = _combinations(axes, "grid")
+        return ExperimentPlan(_Sweep(self._root, paths, combos))
+
+    def zip_(self, **axes: Iterable[Any]) -> "ExperimentPlan":
+        """Aligned (position-wise) sweep of equal-length axes over this plan."""
+        paths, combos = _combinations(axes, "zip")
+        return ExperimentPlan(_Sweep(self._root, paths, combos))
+
+    def chain(self, *others: "ExperimentPlan") -> "ExperimentPlan":
+        """Concatenate this plan with others (units run in order)."""
+        return ExperimentPlan(_Chain((self._root, *(o._root for o in others))))
+
+    def __add__(self, other: "ExperimentPlan") -> "ExperimentPlan":
+        return self.chain(other)
+
+    def map_specs(self, fn: Callable[["ExperimentSpec"], "ExperimentSpec"]) -> "ExperimentPlan":
+        """Apply ``fn`` to every lowered spec (e.g. engine overrides); returns a new plan."""
+        return ExperimentPlan.from_specs(fn(spec) for spec in self.specs())
+
+    def limit(self, n_units: int) -> "ExperimentPlan":
+        """Keep only the first ``n_units`` units (useful for smoke runs)."""
+        if n_units < 1:
+            raise ValueError("n_units must be >= 1")
+        return ExperimentPlan.from_specs(self.specs()[:n_units])
+
+    # lowering ----------------------------------------------------------- #
+    def specs(self) -> list["ExperimentSpec"]:
+        """Lower the tree to the flat spec list (plan order)."""
+        return self._root.specs()
+
+    def units(self) -> list[RunUnit]:
+        """Lower the tree to the flat list of content-hashed run units."""
+        return [RunUnit(spec) for spec in self.specs()]
+
+    def __len__(self) -> int:
+        return len(self.specs())
+
+    def __iter__(self) -> Iterator[RunUnit]:
+        return iter(self.units())
+
+    # cache interrogation ------------------------------------------------ #
+    def status(self, store: "RunStore | None") -> PlanStatus:
+        """Which units are already in the store, without executing anything."""
+        units = self._unique_units()
+        if store is None:
+            return PlanStatus(units=tuple(units), cached=(), missing=tuple(units))
+        cached = tuple(u for u in units if store.has(u.content_hash))
+        missing = tuple(u for u in units if not store.has(u.content_hash))
+        return PlanStatus(units=tuple(units), cached=cached, missing=missing)
+
+    def _unique_units(self, units: list[RunUnit] | None = None) -> list[RunUnit]:
+        seen: dict[str, RunUnit] = {}
+        for unit in self.units() if units is None else units:
+            seen.setdefault(unit.content_hash, unit)
+        return list(seen.values())
+
+    # execution ---------------------------------------------------------- #
+    def execute(
+        self,
+        store: "RunStore | None" = None,
+        *,
+        n_jobs: int | None = None,
+        observer: PlanObserver | None = None,
+        recompute: bool = False,
+        keep_ensembles: bool = False,
+    ) -> PlanExecution:
+        """Execute the plan, skipping units already present in ``store``.
+
+        Parameters
+        ----------
+        store:
+            Content-addressed result cache.  Units whose hash is present are
+            *not* recomputed — their persisted results are loaded
+            bit-identically.  Freshly computed units are persisted as their
+            results arrive (not after the whole batch), so an interrupted
+            execution loses at most the in-flight units and resumes where it
+            stopped.  ``None`` disables caching entirely (every unit runs).
+        n_jobs:
+            Process-pool width for the unit fan-out (``None``/1 = serial).
+            Each unit's own simulation runs serially inside its worker; the
+            per-sample RNG streams make results independent of this knob.
+        observer:
+            Progress hook; defaults to the silent :class:`PlanObserver`.
+        recompute:
+            Ignore cache hits and recompute (and re-persist) every unit.
+        keep_ensembles:
+            Attach raw trajectories to results and persist them as ``.npz``
+            next to the JSON documents (memory- and disk-heavy).  A cached
+            unit without a persisted ensemble does not satisfy this request
+            and is recomputed (its document is rewritten with the ensemble
+            reference).
+        """
+        observer = observer or PlanObserver()
+        t0 = time.perf_counter()
+        all_units = self.units()
+        unique_units = self._unique_units(all_units)
+
+        def is_cached(unit: RunUnit) -> bool:
+            if store is None or recompute or not store.has(unit.content_hash):
+                return False
+            # A cache hit must satisfy the *whole* request: when ensembles
+            # are asked for, a document without its .npz is treated as
+            # missing and recomputed.
+            return not keep_ensembles or store.ensemble_path_for(unit.content_hash).is_file()
+
+        cache_flags = {unit.content_hash: is_cached(unit) for unit in unique_units}
+        cached_units = [u for u in unique_units if cache_flags[u.content_hash]]
+        missing_units = [u for u in unique_units if not cache_flags[u.content_hash]]
+        observer.on_plan_start(unique_units, missing_units)
+
+        results_by_hash: dict[str, ExperimentResult] = {}
+        for unit in cached_units:
+            # Skip the (potentially huge) raw-ensemble .npz unless this
+            # execution actually asked for ensembles.
+            result = store.load(unit.content_hash, with_ensemble=keep_ensembles)
+            results_by_hash[unit.content_hash] = result
+            observer.on_unit_complete(unit, result, cached=True)
+
+        if missing_units:
+            for index, unit in enumerate(missing_units):
+                observer.on_unit_start(unit, index, len(missing_units))
+            if len(missing_units) == 1:
+                # A lone unit gets the whole budget as *inner* (simulation
+                # batch) parallelism instead of a pointless one-task pool —
+                # this keeps `run --n-jobs` behaving as before the plan layer.
+                computed = iter([(0, _execute_spec(missing_units[0].spec, keep_ensembles, n_jobs))])
+            else:
+                computed = parallel_starmap_unordered(
+                    _execute_spec,
+                    [(unit.spec, keep_ensembles) for unit in missing_units],
+                    n_jobs=n_jobs,
+                )
+            # Results surface in *completion* order and every unit is
+            # persisted the moment its result arrives — a slow early unit
+            # never holds finished ones hostage, so an interruption (Ctrl-C,
+            # crash, pre-emption) loses only the genuinely in-flight units.
+            # The execution's result list stays in plan order regardless.
+            for index, result in computed:
+                unit = missing_units[index]
+                if store is not None:
+                    store.save(unit, result)
+                results_by_hash[unit.content_hash] = result
+                observer.on_unit_complete(unit, result, cached=False)
+
+        execution = PlanExecution(
+            units=tuple(all_units),
+            results=tuple(results_by_hash[u.content_hash] for u in all_units),
+            computed=tuple(u.content_hash for u in missing_units),
+            cached=tuple(u.content_hash for u in cached_units),
+            wall_time_seconds=time.perf_counter() - t0,
+        )
+        observer.on_plan_complete(execution)
+        return execution
+
+
+# --------------------------------------------------------------------------- #
+# combinator functions (the public construction vocabulary)
+# --------------------------------------------------------------------------- #
+def single(spec: "ExperimentSpec") -> ExperimentPlan:
+    """Plan with exactly one unit."""
+    return ExperimentPlan.single(spec)
+
+
+def chain(*plans: "ExperimentPlan | ExperimentSpec") -> ExperimentPlan:
+    """Concatenate plans (or bare specs) into one plan; units run in order."""
+    if not plans:
+        raise ValueError("chain needs at least one plan")
+    return ExperimentPlan(_Chain(tuple(_as_node(p) for p in plans)))
+
+
+def grid(base: "ExperimentPlan | ExperimentSpec", **axes: Iterable[Any]) -> ExperimentPlan:
+    """Cartesian-product sweep: every combination of axis values applied to ``base``.
+
+    Axes are dotted paths (``"simulation.cutoff"``; ``simulation__cutoff``
+    works as a plain keyword).  ``base`` may itself be a plan, in which case
+    the product is taken over *each* of its specs.
+    """
+    paths, combos = _combinations(axes, "grid")
+    return ExperimentPlan(_Sweep(_as_node(base), paths, combos))
+
+
+def zip_(base: "ExperimentPlan | ExperimentSpec", **axes: Iterable[Any]) -> ExperimentPlan:
+    """Aligned sweep: axis value lists of equal length are applied position-wise."""
+    paths, combos = _combinations(axes, "zip")
+    return ExperimentPlan(_Sweep(_as_node(base), paths, combos))

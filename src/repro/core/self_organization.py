@@ -104,6 +104,27 @@ class AnalysisConfig:
         """Construct the ICP engine described by this config."""
         return TypeAwareICP(max_iterations=self.icp_max_iterations, tolerance=self.icp_tolerance)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (used by the run-unit content hash)."""
+        return {
+            "k_neighbors": self.k_neighbors,
+            "estimator_variant": self.estimator_variant,
+            "observer_mode": ObserverMode(self.observer_mode).value,
+            "n_clusters": self.n_clusters,
+            "step_stride": self.step_stride,
+            "reference_strategy": self.reference_strategy,
+            "compute_entropies": self.compute_entropies,
+            "compute_decomposition": self.compute_decomposition,
+            "icp_max_iterations": self.icp_max_iterations,
+            "icp_tolerance": self.icp_tolerance,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AnalysisConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**dict(data))
+
 
 @dataclass
 class SelfOrganizationResult:
@@ -191,7 +212,35 @@ class SelfOrganizationResult:
             payload["decomposition"] = {
                 key: values.tolist() for key, values in self.decomposition_series().items()
             }
+            # Full per-step decomposition objects, so save -> load round-trips
+            # losslessly (the flattened "decomposition" series above is kept
+            # for plotting consumers).
+            payload["decompositions"] = [dec.to_dict() for dec in self.decompositions]
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SelfOrganizationResult":
+        """Inverse of :meth:`to_dict`: restore every series, including decompositions."""
+        from repro.infotheory.decomposition import DecompositionResult
+
+        def optional(name: str) -> np.ndarray | None:
+            return np.asarray(payload[name], dtype=float) if name in payload else None
+
+        decompositions = None
+        if payload.get("decompositions"):
+            decompositions = [DecompositionResult.from_dict(d) for d in payload["decompositions"]]
+        return cls(
+            steps=np.asarray(payload["steps"], dtype=int),
+            times=np.asarray(payload["times"], dtype=float),
+            multi_information=np.asarray(payload["multi_information"], dtype=float),
+            marginal_entropy_sum=optional("marginal_entropy_sum"),
+            joint_entropy=optional("joint_entropy"),
+            decompositions=decompositions,
+            alignment_rmse=optional("alignment_rmse"),
+            observer_mode=payload.get("observer_mode", ObserverMode.PARTICLES.value),
+            n_observers=int(payload.get("n_observers", 0)),
+            metadata=dict(payload.get("metadata", {})),
+        )
 
 
 class SelfOrganizationAnalysis:

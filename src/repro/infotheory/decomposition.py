@@ -114,6 +114,25 @@ class DecompositionResult:
             contributions[f"within_{j}"] = value / self.total
         return contributions
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (used by the measurement round-trip)."""
+        return {
+            "total": float(self.total),
+            "between_groups": float(self.between_groups),
+            "within_groups": [float(v) for v in self.within_groups],
+            "groups": [list(group) for group in self.groups],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecompositionResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            total=float(data["total"]),
+            between_groups=float(data["between_groups"]),
+            within_groups=tuple(float(v) for v in data["within_groups"]),
+            groups=tuple(tuple(int(i) for i in group) for group in data["groups"]),
+        )
+
 
 def decompose_multi_information(
     variables: list[np.ndarray] | np.ndarray,

@@ -134,15 +134,23 @@ def kth_neighbor_indices(distance_matrix: np.ndarray, k: int) -> np.ndarray:
     return k_nearest_neighbor_indices(distance_matrix, k)[:, k - 1]
 
 
-def kth_neighbor_distances(samples: np.ndarray, k: int, *, backend: str = "dense") -> np.ndarray:
-    """Euclidean distance of every sample to its k-th nearest neighbour."""
+def kth_neighbor_distances(
+    samples: np.ndarray, k: int, *, backend: str = "dense", workers: int = 1
+) -> np.ndarray:
+    """Euclidean distance of every sample to its k-th nearest neighbour.
+
+    ``workers`` threads the kdtree query (scipy semantics, ``-1`` = all
+    cores); it never changes the returned distances, only throughput, and
+    defaults to 1 so CI runs stay single-threaded.  Ignored by the dense
+    backend.
+    """
     samples = np.atleast_2d(np.asarray(samples, dtype=float))
     m = samples.shape[0]
     if not 1 <= k <= m - 1:
         raise ValueError(f"k must be in [1, m-1] = [1, {m - 1}], got {k}")
     if backend == "kdtree":
         tree = cKDTree(samples)
-        dist, _idx = tree.query(samples, k=k + 1)
+        dist, _idx = tree.query(samples, k=k + 1, workers=workers)
         return dist[:, -1]
     if backend != "dense":
         raise ValueError(f"unknown backend {backend!r}")
@@ -169,9 +177,14 @@ class ProductMetricTree:
     blocks:
         List of ``(m, d_i)`` sample matrices, one per variable block.  A
         single block makes the metric plain Euclidean.
+    workers:
+        Thread count forwarded to every :class:`~scipy.spatial.cKDTree`
+        query (``-1`` = all cores).  Thread scheduling never changes the
+        returned distances or counts, so this is purely a throughput knob;
+        the default of 1 keeps CI runs determinism-auditable.
     """
 
-    def __init__(self, blocks: list[np.ndarray]) -> None:
+    def __init__(self, blocks: list[np.ndarray], *, workers: int = 1) -> None:
         blocks = [np.atleast_2d(np.asarray(b, dtype=float)) for b in blocks]
         if not blocks:
             raise ValueError("need at least one variable block")
@@ -180,6 +193,7 @@ class ProductMetricTree:
             raise ValueError("all blocks must be 2-D with the same number of samples")
         self.blocks = blocks
         self.n_samples = m
+        self.workers = int(workers)
         self._coords = np.concatenate(blocks, axis=1) if len(blocks) > 1 else blocks[0]
         self._tree = cKDTree(self._coords)
 
@@ -207,7 +221,9 @@ class ProductMetricTree:
         pending = np.arange(m)
         n_candidates = min(m, 2 * (k + 1))
         while pending.size:
-            dist_inf, idx = self._tree.query(self._coords[pending], k=n_candidates, p=np.inf)
+            dist_inf, idx = self._tree.query(
+                self._coords[pending], k=n_candidates, p=np.inf, workers=self.workers
+            )
             exact = self._block_distances(pending, idx)
             exact[idx == pending[:, None]] = np.inf  # exclude self by index
             kth = np.partition(exact, k - 1, axis=1)[:, k - 1]
@@ -238,7 +254,9 @@ class ProductMetricTree:
         radii = np.asarray(radii, dtype=float)
         if radii.shape != (self.n_samples,):
             raise ValueError(f"radii must have shape ({self.n_samples},), got {radii.shape}")
-        lists = self._tree.query_ball_point(self._coords, r=radii * (1.0 + 1e-12), p=np.inf)
+        lists = self._tree.query_ball_point(
+            self._coords, r=radii * (1.0 + 1e-12), p=np.inf, workers=self.workers
+        )
         sizes = np.fromiter((len(lst) for lst in lists), dtype=np.intp, count=self.n_samples)
         flat_neighbor = np.fromiter(chain.from_iterable(lists), dtype=np.intp, count=int(sizes.sum()))
         flat_query = np.repeat(np.arange(self.n_samples), sizes)
@@ -275,12 +293,13 @@ class EuclideanBallCounter:
     path's in the last ulp, the same caveat as everywhere else).
     """
 
-    def __init__(self, block: np.ndarray) -> None:
+    def __init__(self, block: np.ndarray, *, workers: int = 1) -> None:
         block = np.atleast_2d(np.asarray(block, dtype=float))
         if block.ndim != 2:
             raise ValueError("block must be a 2-D sample matrix")
         self.block = block
         self.n_samples = block.shape[0]
+        self.workers = int(workers)
         self._tree = cKDTree(block)
 
     def counts_within(self, radii: np.ndarray) -> np.ndarray:
@@ -290,13 +309,17 @@ class EuclideanBallCounter:
             raise ValueError(f"radii must have shape ({self.n_samples},), got {radii.shape}")
         positive = radii > 0
         shrunk = np.where(positive, np.nextafter(radii, -np.inf), 0.0)
-        lengths = self._tree.query_ball_point(self.block, r=shrunk, p=2.0, return_length=True)
+        lengths = self._tree.query_ball_point(
+            self.block, r=shrunk, p=2.0, return_length=True, workers=self.workers
+        )
         # A positive radius always admits the self-pair (distance 0); a zero
         # radius admits nothing under the strict comparison.
         return np.where(positive, lengths - 1, 0)
 
 
-def kozachenko_leonenko_entropy(samples: np.ndarray, k: int = 5, *, backend: str = "dense") -> float:
+def kozachenko_leonenko_entropy(
+    samples: np.ndarray, k: int = 5, *, backend: str = "dense", workers: int = 1
+) -> float:
     """Kozachenko–Leonenko differential entropy estimate, in bits.
 
     ``h(X) ≈ ψ(m) - ψ(k) + log(c_d) + (d/m) Σ log ε_i`` with ``ε_i`` the
@@ -309,7 +332,7 @@ def kozachenko_leonenko_entropy(samples: np.ndarray, k: int = 5, *, backend: str
 
     samples = np.atleast_2d(np.asarray(samples, dtype=float))
     m, d = samples.shape
-    eps = kth_neighbor_distances(samples, k, backend=backend)
+    eps = kth_neighbor_distances(samples, k, backend=backend, workers=workers)
     eps = np.maximum(eps, 1e-300)
     log_ball_volume = (d / 2.0) * np.log(np.pi) - gammaln(d / 2.0 + 1.0)
     nats = digamma(m) - digamma(k) + log_ball_volume + d * np.mean(np.log(eps))

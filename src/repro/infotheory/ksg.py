@@ -34,6 +34,22 @@ Three variants are exposed:
     *shape* of the curves but carries a positive offset of a few bits; kept
     for fidelity to the text and for the estimator-comparison benchmarks.
 
+Backends
+--------
+Like the simulation engines and the §7.3 estimators, the estimator takes
+``backend="dense" | "kdtree" | "auto"``.  The tree backend answers the KSG1
+queries through :class:`~repro.infotheory.knn.ProductMetricTree` (joint
+k-th-neighbour radii under the exact Eq. 19 product metric) and
+:class:`~repro.infotheory.knn.EuclideanBallCounter` (list-free strict
+per-observer ball counts), so it computes the *same* counts as the dense
+``(n_vars, m, m)`` matrices — the two agree to floating-point tolerance,
+bit-exactly on inputs whose distances are exactly representable.  ``"auto"``
+switches to the tree at :data:`KSG1_KDTREE_MIN_SAMPLES` pooled samples.
+``"ksg2"`` and ``"paper"`` need *inclusive* rectangle counts (and KSG2
+additionally neighbour identities), which the ball counter does not provide;
+requesting ``backend="kdtree"`` for them raises, and ``"auto"`` resolves to
+the dense path (the ROADMAP tracks the KSG2 tree variant as a follow-up).
+
 All results are converted to **bits** (the digamma identities are in nats).
 """
 
@@ -45,15 +61,72 @@ import numpy as np
 from scipy.special import digamma
 
 from repro.infotheory.knn import (
+    EuclideanBallCounter,
+    ProductMetricTree,
     chebyshev_over_variables,
     k_nearest_neighbor_indices,
     per_variable_distances,
+    resolve_estimator_backend,
 )
 from repro.infotheory.variables import as_variable_list
 
-__all__ = ["ksg_multi_information", "KSGDiagnostics", "ksg_multi_information_with_diagnostics"]
+__all__ = [
+    "ksg_multi_information",
+    "KSGDiagnostics",
+    "ksg_multi_information_with_diagnostics",
+    "KSG1_KDTREE_MIN_SAMPLES",
+]
 
 _LN2 = float(np.log(2.0))
+
+#: Measured dense/kdtree crossover of the KSG1 estimator: its marginal counts
+#: are list-free tree queries, so the tree backend wins far earlier than for
+#: the Frenzel–Pompe CMI (whose product-metric counts must filter candidate
+#: lists).
+KSG1_KDTREE_MIN_SAMPLES = 256
+
+
+def _ksg1_value_from_counts(per_block_counts: list[np.ndarray], k: int, m: int) -> float:
+    """KSG algorithm-1 digamma average (strict counts, ``ψ(c_i + 1)``).
+
+    Shared by the dense and tree backends (and the §7.3 lagged-MI path) so
+    the arithmetic — and hence the result — is identical across them.
+    """
+    psi_terms = sum(digamma(counts + 1) for counts in per_block_counts)
+    value_nats = float(digamma(k) + (len(per_block_counts) - 1) * digamma(m) - np.mean(psi_terms))
+    return value_nats / _LN2
+
+
+def _ksg1_tree_counts(
+    blocks: list[np.ndarray],
+    k: int,
+    block_counters: list[EuclideanBallCounter] | None = None,
+) -> list[np.ndarray]:
+    """Per-block strict neighbour counts of the tree-backed KSG1 path.
+
+    Every marginal is a single block, so all counts use the list-free
+    :class:`EuclideanBallCounter`; only the joint k-th-neighbour search needs
+    the product-metric tree.  ``block_counters`` lets the pairwise analysis
+    reuse target-side counters across matrix rows — a fresh counter yields
+    the same counts, which keeps the shared path bit-identical.
+    """
+    joint = ProductMetricTree(blocks)
+    epsilon = joint.kth_neighbor_distances(k)
+    counters = (
+        block_counters if block_counters is not None else [EuclideanBallCounter(b) for b in blocks]
+    )
+    return [counter.counts_within(epsilon) for counter in counters]
+
+
+def _ksg1_kdtree(
+    blocks: list[np.ndarray],
+    k: int,
+    *,
+    block_counters: list[EuclideanBallCounter] | None = None,
+) -> float:
+    """Tree-backed KSG algorithm 1 (strict counts, ``ψ(c_i + 1)`` average)."""
+    counts = _ksg1_tree_counts(blocks, k, block_counters)
+    return _ksg1_value_from_counts(counts, k, blocks[0].shape[0])
 
 
 @dataclass(frozen=True)
@@ -88,6 +161,7 @@ def ksg_multi_information(
     k: int = 5,
     *,
     variant: str = "ksg2",
+    backend: str = "dense",
 ) -> float:
     """KSG estimate of the multi-information ``I(W_1, …, W_n)`` in bits.
 
@@ -102,8 +176,27 @@ def ksg_multi_information(
         range.
     variant:
         ``"ksg2"`` (default), ``"ksg1"`` or ``"paper"`` — see module docstring.
+    backend:
+        ``"dense"`` (default), ``"kdtree"`` (KSG1 only) or ``"auto"`` — see
+        the *Backends* section of the module docstring.
     """
-    return ksg_multi_information_with_diagnostics(variables, k, variant=variant).value_bits
+    return ksg_multi_information_with_diagnostics(
+        variables, k, variant=variant, backend=backend
+    ).value_bits
+
+
+def _resolve_ksg_backend(backend: str, variant: str, m: int) -> str:
+    """Resolve the backend request for a variant (tree path exists for KSG1 only)."""
+    if variant == "ksg1":
+        return resolve_estimator_backend(backend, n_samples=m, min_samples=KSG1_KDTREE_MIN_SAMPLES)
+    if backend == "kdtree":
+        raise ValueError(
+            f"backend='kdtree' is implemented for variant='ksg1' only (got {variant!r}); "
+            "the inclusive rectangle counts of 'ksg2'/'paper' need neighbour identities "
+            "(tracked as a ROADMAP follow-up)"
+        )
+    resolve_estimator_backend(backend, n_samples=m)  # validates the name
+    return "dense"
 
 
 def ksg_multi_information_with_diagnostics(
@@ -111,6 +204,7 @@ def ksg_multi_information_with_diagnostics(
     k: int = 5,
     *,
     variant: str = "ksg2",
+    backend: str = "dense",
 ) -> KSGDiagnostics:
     """Same as :func:`ksg_multi_information` but returning intermediate counts."""
     var_list = as_variable_list(variables)
@@ -119,6 +213,15 @@ def ksg_multi_information_with_diagnostics(
     _validate_k(k, m)
     if variant not in ("paper", "ksg1", "ksg2"):
         raise ValueError(f"unknown variant {variant!r}; expected 'paper', 'ksg1' or 'ksg2'")
+
+    if _resolve_ksg_backend(backend, variant, m) == "kdtree":
+        tree_counts = _ksg1_tree_counts(var_list, k)
+        return KSGDiagnostics(
+            value_bits=_ksg1_value_from_counts(tree_counts, k, m),
+            counts=np.stack(tree_counts),
+            k=k,
+            variant=variant,
+        )
 
     per_var = per_variable_distances(var_list)  # (n_vars, m, m)
     joint = chebyshev_over_variables(per_var)  # (m, m)

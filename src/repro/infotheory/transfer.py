@@ -49,6 +49,15 @@ from repro.infotheory.knn import (
     resolve_estimator_backend,
 )
 
+# The KSG1 tree path and its crossover live with the estimator itself
+# (repro.infotheory.ksg) and are shared here so the lagged-MI path and the
+# pairwise shared-embedding plan use bit-identical arithmetic.
+from repro.infotheory.ksg import (  # noqa: F401  (re-exported for the pairwise analysis)
+    KSG1_KDTREE_MIN_SAMPLES,
+    _ksg1_kdtree,
+    _ksg1_value_from_counts,
+)
+
 __all__ = [
     "conditional_mutual_information",
     "time_lagged_mutual_information",
@@ -57,12 +66,6 @@ __all__ = [
 ]
 
 _LN2 = float(np.log(2.0))
-
-#: Measured dense/kdtree crossover of the KSG1 lagged-MI path: its marginal
-#: counts are list-free tree queries, so the tree backend wins far earlier
-#: than for the Frenzel–Pompe CMI (whose product-metric counts must filter
-#: candidate lists).
-KSG1_KDTREE_MIN_SAMPLES = 256
 
 
 def _counts_within(per_var_block: np.ndarray, epsilon: np.ndarray) -> np.ndarray:
@@ -96,13 +99,6 @@ def _cmi_value_from_counts(n_ac: np.ndarray, n_bc: np.ndarray, n_c: np.ndarray, 
     value_nats = float(
         digamma(k) - np.mean(digamma(n_ac + 1) + digamma(n_bc + 1) - digamma(n_c + 1))
     )
-    return value_nats / _LN2
-
-
-def _ksg1_value_from_counts(per_block_counts: list[np.ndarray], k: int, m: int) -> float:
-    """KSG algorithm-1 digamma average (strict counts, ``ψ(c_i + 1)``)."""
-    psi_terms = sum(digamma(counts + 1) for counts in per_block_counts)
-    value_nats = float(digamma(k) + (len(per_block_counts) - 1) * digamma(m) - np.mean(psi_terms))
     return value_nats / _LN2
 
 
@@ -205,28 +201,6 @@ def _ksg1_from_dense_blocks(per_var_blocks: list[np.ndarray], k: int) -> float:
     return _ksg1_value_from_counts(counts, k, m)
 
 
-def _ksg1_kdtree(
-    blocks: list[np.ndarray],
-    k: int,
-    *,
-    block_counters: list[EuclideanBallCounter] | None = None,
-) -> float:
-    """Tree-backed KSG algorithm 1 (strict counts, ``ψ(c_i + 1)`` average).
-
-    Every marginal is a single block, so all counts use the list-free
-    :class:`EuclideanBallCounter`; only the joint k-th-neighbour search needs
-    the product-metric tree.
-    """
-    m = blocks[0].shape[0]
-    joint = ProductMetricTree(blocks)
-    epsilon = joint.kth_neighbor_distances(k)
-    counters = (
-        block_counters if block_counters is not None else [EuclideanBallCounter(b) for b in blocks]
-    )
-    counts = [counter.counts_within(epsilon) for counter in counters]
-    return _ksg1_value_from_counts(counts, k, m)
-
-
 def embed_history(series: np.ndarray, history: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Build (future, present-history, shifted-source-ready) views of a trajectory set.
 
@@ -282,12 +256,9 @@ def time_lagged_mutual_information(
         raise ValueError("need more time steps than the lag")
     past = source[:, : n_steps - lag, :].reshape(-1, source.shape[2])
     future = target[:, lag:, :].reshape(-1, target.shape[2])
-    resolved = resolve_estimator_backend(
-        backend, n_samples=past.shape[0], min_samples=KSG1_KDTREE_MIN_SAMPLES
-    )
-    if resolved == "kdtree":
-        return _ksg1_kdtree([past, future], k)
-    return ksg_multi_information([past, future], k=k, variant="ksg1")
+    # The estimator owns the KSG1 backend registry (including the measured
+    # crossover), so the backend request is simply forwarded.
+    return ksg_multi_information([past, future], k=k, variant="ksg1", backend=backend)
 
 
 def transfer_entropy(

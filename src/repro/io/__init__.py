@@ -1,5 +1,24 @@
-"""Result persistence (JSON summaries; ensembles use npz via their own save/load)."""
+"""Result persistence: JSON summaries, measurement round-trips, run-unit cache.
 
-from repro.io.storage import load_measurement, save_experiment_summary, save_measurement
+:mod:`repro.io.storage` holds the document (de)serialisation of measurements
+and experiment results; :mod:`repro.io.artifacts` builds the content-addressed
+:class:`RunStore` cache on top of it (ensembles use ``.npz`` via their own
+save/load).
+"""
 
-__all__ = ["save_measurement", "load_measurement", "save_experiment_summary"]
+from repro.io.artifacts import RunStore, RunStoreError
+from repro.io.storage import (
+    load_experiment_summary,
+    load_measurement,
+    save_experiment_summary,
+    save_measurement,
+)
+
+__all__ = [
+    "save_measurement",
+    "load_measurement",
+    "save_experiment_summary",
+    "load_experiment_summary",
+    "RunStore",
+    "RunStoreError",
+]

@@ -1,0 +1,195 @@
+"""Content-addressed persistence of plan run units.
+
+A :class:`RunStore` is the on-disk cache behind
+:meth:`repro.core.plan.ExperimentPlan.execute`: every executed
+:class:`~repro.core.plan.RunUnit` is persisted under its content hash as a
+JSON document (``units/<hash>.json``), with the raw ensemble optionally kept
+as a sibling ``units/<hash>.npz``.
+
+Design points:
+
+* **Deterministic documents** — the stored JSON is a pure function of the
+  unit's specification and its (seeded, hence reproducible) result: volatile
+  wall-time diagnostics are stripped before writing.  Re-executing a plan
+  against a warm store therefore leaves every byte of the store untouched,
+  which is what makes resumed sweeps bit-identical to uninterrupted ones.
+* **Atomic writes** — documents are written to a temporary sibling and
+  renamed into place, so an interrupted execution never leaves a truncated
+  document behind; at worst the unit is simply missing and is recomputed on
+  resume.
+* **Readable layout** — documents are indented, sorted JSON carrying the full
+  configs, so a store can be inspected (and diffed) with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.core.pipeline import ExperimentResult
+from repro.io.storage import experiment_result_from_dict, experiment_result_to_dict
+from repro.particles.trajectory import EnsembleTrajectory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.plan import RunUnit
+
+__all__ = ["RunStore", "RunStoreError"]
+
+_HASH_LENGTH = 64  # sha256 hexdigest
+
+
+class RunStoreError(RuntimeError):
+    """A store directory or document is missing, truncated or malformed."""
+
+
+def _as_hash(unit_or_hash: "RunUnit | str") -> str:
+    content_hash = getattr(unit_or_hash, "content_hash", unit_or_hash)
+    if not isinstance(content_hash, str) or len(content_hash) != _HASH_LENGTH:
+        raise ValueError(f"expected a RunUnit or a sha256 hex digest, got {unit_or_hash!r}")
+    return content_hash
+
+
+class RunStore:
+    """Content-addressed on-disk cache of experiment results.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with a format marker) unless ``create`` is
+        False, in which case a missing or unmarked directory raises
+        :class:`RunStoreError` — the behaviour the CLI's ``status``/``resume``
+        commands rely on to catch typos before running anything.
+    """
+
+    MARKER_NAME = "run_store.json"
+    FORMAT = {"format": "repro-run-store", "version": 1}
+
+    def __init__(self, root: str | Path, *, create: bool = True) -> None:
+        self.root = Path(root)
+        self.units_dir = self.root / "units"
+        marker = self.root / self.MARKER_NAME
+        if create:
+            try:
+                self.units_dir.mkdir(parents=True, exist_ok=True)
+                if not marker.exists():
+                    _atomic_write(marker, json.dumps(self.FORMAT, indent=2, sort_keys=True))
+            except OSError as exc:
+                raise RunStoreError(f"cannot create run store at {self.root}: {exc}") from exc
+        else:
+            if not self.root.is_dir():
+                raise RunStoreError(f"run store {self.root} does not exist")
+            if not marker.is_file():
+                raise RunStoreError(
+                    f"{self.root} is not a run store (missing {self.MARKER_NAME} marker)"
+                )
+
+    # paths -------------------------------------------------------------- #
+    def path_for(self, unit_or_hash: "RunUnit | str") -> Path:
+        """Path of the unit's JSON document (whether or not it exists)."""
+        return self.units_dir / f"{_as_hash(unit_or_hash)}.json"
+
+    def ensemble_path_for(self, unit_or_hash: "RunUnit | str") -> Path:
+        """Path of the unit's optional raw-ensemble archive."""
+        return self.units_dir / f"{_as_hash(unit_or_hash)}.npz"
+
+    # interrogation ------------------------------------------------------ #
+    def has(self, unit_or_hash: "RunUnit | str") -> bool:
+        """Whether a completed result for this unit is present."""
+        return self.path_for(unit_or_hash).is_file()
+
+    def __contains__(self, unit_or_hash: "RunUnit | str") -> bool:
+        return self.has(unit_or_hash)
+
+    def keys(self) -> list[str]:
+        """Content hashes of every persisted unit (sorted for determinism)."""
+        if not self.units_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.units_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    # persistence -------------------------------------------------------- #
+    def save(self, unit: "RunUnit", result: ExperimentResult) -> Path:
+        """Persist a unit's result under its content hash; returns the JSON path.
+
+        The document is deterministic: wall-time diagnostics are stripped so
+        the bytes depend only on the unit's specification and its seeded
+        result.  When the result carries its raw ensemble, the trajectory is
+        written as a sibling ``.npz`` (the JSON never embeds arrays of that
+        size).
+        """
+        document = experiment_result_to_dict(result)
+        document["wall_time_seconds"] = {}
+        document["summary"]["wall_time_seconds"] = {}
+        document["unit"] = {
+            "name": unit.spec.name,
+            "description": unit.spec.description,
+            "tags": list(unit.spec.tags),
+            "content_hash": unit.content_hash,
+        }
+        path = self.path_for(unit)
+        if result.ensemble is not None:
+            ensemble_path = self.ensemble_path_for(unit)
+            # Same write-then-rename discipline (and pid-unique temp name) as
+            # the JSON documents; the .npz suffix on the temp name keeps
+            # numpy from appending a second extension.
+            tmp = ensemble_path.with_name(f"{ensemble_path.stem}.{os.getpid()}.tmp.npz")
+            result.ensemble.save(tmp)
+            os.replace(tmp, ensemble_path)
+            document["unit"]["ensemble"] = ensemble_path.name
+        _atomic_write(path, json.dumps(document, indent=2, sort_keys=True))
+        return path
+
+    def load_document(self, unit_or_hash: "RunUnit | str") -> dict[str, Any]:
+        """Raw JSON document of a persisted unit."""
+        path = self.path_for(unit_or_hash)
+        if not path.is_file():
+            raise RunStoreError(f"no persisted result for {_as_hash(unit_or_hash)[:12]}… in {self.root}")
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise RunStoreError(f"corrupt run-store document {path}: {exc}") from exc
+
+    def load(self, unit_or_hash: "RunUnit | str", *, with_ensemble: bool = True) -> ExperimentResult:
+        """Reconstruct the full :class:`ExperimentResult` of a persisted unit.
+
+        ``with_ensemble=False`` skips reading a sibling ``.npz`` even when one
+        exists — callers that only need the summaries (e.g. a warm sweep that
+        did not ask for ensembles) avoid pulling whole raw trajectories into
+        memory.
+        """
+        document = self.load_document(unit_or_hash)
+        try:
+            result = experiment_result_from_dict(document)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RunStoreError(
+                f"corrupt run-store document {self.path_for(unit_or_hash)}: {exc}"
+            ) from exc
+        if with_ensemble:
+            ensemble_path = self.ensemble_path_for(unit_or_hash)
+            if ensemble_path.is_file():
+                try:
+                    result.ensemble = EnsembleTrajectory.load(ensemble_path)
+                except Exception as exc:  # zipfile/OSError zoo from a damaged archive
+                    raise RunStoreError(
+                        f"corrupt run-store ensemble {ensemble_path}: {exc}"
+                    ) from exc
+        return result
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write-then-rename so readers never observe a partially written file.
+
+    The temp name carries the pid so concurrent writers of the same unit
+    (two sweeps sharing a store) cannot race on one temp file — last rename
+    wins, and both renamed documents are complete and identical anyway.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)

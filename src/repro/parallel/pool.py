@@ -10,10 +10,17 @@ negligible.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["parallel_map", "parallel_starmap", "chunk_indices", "effective_n_jobs"]
+__all__ = [
+    "parallel_map",
+    "parallel_starmap",
+    "parallel_starmap_iter",
+    "parallel_starmap_unordered",
+    "chunk_indices",
+    "effective_n_jobs",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -90,10 +97,72 @@ def parallel_starmap(
     fan-out relies on.  Serial execution (``n_jobs in (None, 1)``) unpacks in
     a plain loop and therefore also works with non-picklable arguments.
     """
+    return list(parallel_starmap_iter(func, items, n_jobs=n_jobs))
+
+
+def parallel_starmap_iter(
+    func: Callable[..., R],
+    items: Sequence[tuple] | Iterable[tuple],
+    *,
+    n_jobs: int | None = None,
+) -> Iterable[R]:
+    """Like :func:`parallel_starmap`, but *yield* results in submission order.
+
+    Results become available to the caller as soon as their (in-order) task
+    finishes instead of after the whole batch, while keeping the
+    deterministic input ordering; see :func:`parallel_starmap_unordered` for
+    the completion-order variant checkpointing workloads want.  Ordering and
+    results are identical to :func:`parallel_starmap`.
+    """
     items = [tuple(item) for item in items]
     jobs = effective_n_jobs(n_jobs)
     if jobs == 1 or len(items) <= 1:
-        return [func(*item) for item in items]
+        for item in items:
+            yield func(*item)
+        return
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [pool.submit(func, *item) for item in items]
-        return [future.result() for future in futures]
+        try:
+            for future in futures:
+                yield future.result()
+        except BaseException:
+            # A task error (or the consumer abandoning the generator) must
+            # not wait for the whole queue to drain: drop what hasn't started.
+            for future in futures:
+                future.cancel()
+            raise
+
+
+def parallel_starmap_unordered(
+    func: Callable[..., R],
+    items: Sequence[tuple] | Iterable[tuple],
+    *,
+    n_jobs: int | None = None,
+) -> Iterable[tuple[int, R]]:
+    """Yield ``(index, result)`` pairs as tasks *complete*, in completion order.
+
+    Unlike :func:`parallel_starmap_iter`, a slow early task does not hold
+    back the results of later tasks — each pair is surfaced the moment its
+    worker finishes, which is what incremental checkpointing needs to lose
+    only genuinely in-flight work on interruption.  The index identifies the
+    input item, so callers needing deterministic output reassemble by index.
+    Serial execution (``n_jobs in (None, 1)``) yields in input order.
+    """
+    items = [tuple(item) for item in items]
+    jobs = effective_n_jobs(n_jobs)
+    if jobs == 1 or len(items) <= 1:
+        for index, item in enumerate(items):
+            yield index, func(*item)
+        return
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        future_to_index = {pool.submit(func, *item): index for index, item in enumerate(items)}
+        try:
+            for future in as_completed(future_to_index):
+                yield future_to_index[future], future.result()
+        except BaseException:
+            # Same early-exit discipline as parallel_starmap_iter: an error
+            # (e.g. a failed checkpoint write in the consumer) surfaces
+            # immediately instead of after every queued task has run.
+            for future in future_to_index:
+                future.cancel()
+            raise

@@ -23,8 +23,20 @@ class TestParser:
 
     def test_help_text_lists_every_command(self):
         help_text = build_parser().format_help()
-        for command in ("list", "run", "curves", "analyze"):
+        for command in ("list", "run", "sweep", "status", "resume", "curves", "analyze"):
             assert command in help_text
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "fig9"])
+        assert args.figure == "fig9"
+        assert not args.fresh and not args.full and not args.keep_ensembles
+        assert args.max_units is None and args.n_jobs is None
+
+    def test_status_accepts_the_same_engine_overrides_as_sweep(self):
+        # Engine knobs enter the content hash, so status must be able to
+        # build the exact plan an engine-overridden sweep executed.
+        args = build_parser().parse_args(["status", "fig9", "--engine", "sparse"])
+        assert args.engine == "sparse"
 
 
 class TestListCommand:
@@ -214,6 +226,130 @@ class TestAnalyzeCommand:
         assert code == 0
         json_files = list(tmp_path.glob("*_infodynamics.json"))
         assert len(json_files) == 1
+
+
+@pytest.fixture
+def tiny_scale(monkeypatch):
+    """Shrink the reduced experiment scale so CLI sweeps stay fast."""
+    from repro.core import experiments as exp_mod
+
+    tiny = exp_mod.ExperimentScale(n_samples=12, n_steps=6, step_stride=3, sweep_repeats=1)
+    monkeypatch.setattr(exp_mod, "default_scale", lambda full=None: tiny)
+    return tiny
+
+
+class TestSweepStatusResume:
+    @staticmethod
+    def _store_bytes(store_dir):
+        from pathlib import Path
+
+        return {p.name: p.read_bytes() for p in (Path(store_dir) / "units").glob("*.json")}
+
+    def test_unknown_figure_is_an_error(self, tmp_path):
+        for command in ("sweep", "status", "resume"):
+            stream = io.StringIO()
+            assert main([command, "fig99", "--store", str(tmp_path / "s")], stream=stream) == 2
+            assert "unknown figure" in stream.getvalue()
+
+    def test_status_and_resume_require_an_existing_store(self, tmp_path, tiny_scale):
+        for command in ("status", "resume"):
+            stream = io.StringIO()
+            code = main([command, "fig9", "--store", str(tmp_path / "missing")], stream=stream)
+            assert code == 2
+            assert "does not exist" in stream.getvalue()
+
+    def test_status_rejects_a_directory_that_is_not_a_store(self, tmp_path, tiny_scale):
+        (tmp_path / "plain").mkdir()
+        stream = io.StringIO()
+        assert main(["status", "fig9", "--store", str(tmp_path / "plain")], stream=stream) == 2
+        assert "not a run store" in stream.getvalue()
+
+    def test_resume_rejects_fresh_flag(self, tmp_path, tiny_scale):
+        stream = io.StringIO()
+        code = main(["resume", "fig9", "--store", str(tmp_path / "s"), "--fresh"], stream=stream)
+        assert code == 2
+        assert "conflicting flags" in stream.getvalue()
+
+    def test_nonpositive_max_units_is_an_error(self, tmp_path, tiny_scale):
+        stream = io.StringIO()
+        code = main(
+            ["sweep", "fig9", "--store", str(tmp_path / "s"), "--max-units", "0"], stream=stream
+        )
+        assert code == 2
+        assert "--max-units" in stream.getvalue()
+
+    def test_sweep_interrupt_resume_is_bit_identical(self, tmp_path, tiny_scale):
+        store = str(tmp_path / "store")
+        reference = str(tmp_path / "reference")
+        # the uninterrupted run, for the byte-level comparison
+        assert main(["sweep", "fig9", "--store", reference, "--quiet"], stream=io.StringIO()) == 0
+        # "interrupted" sweep: only 2 of the 6 reduced-scale units complete
+        stream = io.StringIO()
+        assert main(["sweep", "fig9", "--store", store, "--max-units", "2"], stream=stream) == 0
+        assert "2 computed" in stream.getvalue()
+        stream = io.StringIO()
+        assert main(["status", "fig9", "--store", store], stream=stream) == 0
+        assert "2/6 unit(s) cached" in stream.getvalue()
+        assert "missing" in stream.getvalue()
+        stream = io.StringIO()
+        assert main(["resume", "fig9", "--store", store], stream=stream) == 0
+        assert "2 cached, 4 computed" in stream.getvalue()
+        assert self._store_bytes(store) == self._store_bytes(reference)
+
+    def test_second_sweep_recomputes_nothing_and_leaves_identical_json(self, tmp_path, tiny_scale):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "fig4", "--store", store, "--quiet"], stream=io.StringIO()) == 0
+        before = self._store_bytes(store)
+        stream = io.StringIO()
+        assert main(["sweep", "fig4", "--store", store], stream=stream) == 0
+        assert "1 cached, 0 computed" in stream.getvalue()
+        assert self._store_bytes(store) == before
+
+    def test_corrupt_store_document_is_reported(self, tmp_path, tiny_scale):
+        from repro.io import RunStore
+
+        store = str(tmp_path / "store")
+        assert main(["sweep", "fig4", "--store", store, "--quiet"], stream=io.StringIO()) == 0
+        opened = RunStore(store)
+        opened.path_for(opened.keys()[0]).write_text("{ truncated")
+        stream = io.StringIO()
+        assert main(["status", "fig4", "--store", store], stream=stream) == 2
+        assert "corrupt run-store document" in stream.getvalue()
+        stream = io.StringIO()
+        assert main(["resume", "fig4", "--store", store], stream=stream) == 2
+        assert "corrupt" in stream.getvalue()
+
+    def test_resume_warns_when_no_unit_matches_a_nonempty_store(self, tmp_path, tiny_scale):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "fig4", "--store", store, "--quiet"], stream=io.StringIO()) == 0
+        # Resuming a *different* figure against the same store matches no
+        # hashes — the flag-mismatch warning must fire before recomputing.
+        stream = io.StringIO()
+        assert main(["resume", "fig12", "--store", store, "--quiet"], stream=stream) == 0
+        assert "warning: none of this plan's" in stream.getvalue()
+
+    def test_status_catches_semantically_damaged_documents(self, tmp_path, tiny_scale):
+        import json
+
+        from repro.io import RunStore
+
+        store = str(tmp_path / "store")
+        assert main(["sweep", "fig4", "--store", store, "--quiet"], stream=io.StringIO()) == 0
+        opened = RunStore(store)
+        path = opened.path_for(opened.keys()[0])
+        payload = json.loads(path.read_text())
+        del payload["measurement"]  # valid JSON, broken schema
+        path.write_text(json.dumps(payload))
+        stream = io.StringIO()
+        assert main(["status", "fig4", "--store", store], stream=stream) == 2
+        assert "corrupt run-store document" in stream.getvalue()
+
+    def test_status_on_complete_plan_says_so(self, tmp_path, tiny_scale):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "fig4", "--store", store, "--quiet"], stream=io.StringIO()) == 0
+        stream = io.StringIO()
+        assert main(["status", "fig4", "--store", store], stream=stream) == 0
+        assert "plan complete" in stream.getvalue()
 
 
 class TestRunCommandWarnings:

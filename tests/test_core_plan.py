@@ -1,0 +1,316 @@
+"""Tests for the declarative experiment-plan layer (repro.core.plan)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import (
+    ExperimentSpec,
+    all_figure_plans,
+    all_figure_specs,
+    fig9_radius_sweep,
+    fig9_radius_sweep_plan,
+    figure_plan,
+)
+from repro.core.plan import (
+    ConsoleObserver,
+    ExperimentPlan,
+    PlanObserver,
+    RunUnit,
+    chain,
+    grid,
+    single,
+    unit_content_hash,
+    zip_,
+)
+from repro.core.self_organization import AnalysisConfig
+from repro.io.artifacts import RunStore
+from repro.particles.model import SimulationConfig
+from repro.particles.types import InteractionParams
+
+
+def tiny_spec(name: str = "tiny", seed: int = 1, n_samples: int = 10) -> ExperimentSpec:
+    params = InteractionParams.clustering(2, self_distance=1.0, cross_distance=2.0)
+    simulation = SimulationConfig(
+        type_counts=(4, 4), params=params, force="F1", dt=0.02, n_steps=6, init_radius=2.0
+    )
+    return ExperimentSpec(
+        name=name,
+        description="tiny plan test spec",
+        simulation=simulation,
+        n_samples=n_samples,
+        analysis=AnalysisConfig(step_stride=3, k_neighbors=2),
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def spec() -> ExperimentSpec:
+    return tiny_spec()
+
+
+class TestLowering:
+    def test_single_lowers_to_one_unit(self, spec):
+        plan = single(spec)
+        units = plan.units()
+        assert len(units) == 1 and len(plan) == 1
+        assert units[0].spec == spec
+        assert units[0].name == "tiny"
+
+    def test_chain_concatenates_in_order(self, spec):
+        other = tiny_spec(name="other", seed=2)
+        plan = chain(single(spec), other)  # bare specs allowed
+        assert [u.name for u in plan.units()] == ["tiny", "other"]
+        assert [u.name for u in (single(spec) + single(other)).units()] == ["tiny", "other"]
+
+    def test_grid_is_a_cartesian_product(self, spec):
+        plan = grid(spec, **{"simulation.cutoff": [None, 3.0], "n_samples": [10, 12]})
+        units = plan.units()
+        assert len(units) == 4
+        combos = {(u.spec.simulation.cutoff, u.spec.n_samples) for u in units}
+        assert combos == {(None, 10), (None, 12), (3.0, 10), (3.0, 12)}
+        # swept names stay distinct and derived from the base name
+        assert len({u.name for u in units}) == 4
+        assert all(u.name.startswith("tiny__") for u in units)
+
+    def test_zip_is_positional(self, spec):
+        plan = zip_(spec, **{"simulation.cutoff": [2.0, 4.0], "seed": [10, 20]})
+        combos = [(u.spec.simulation.cutoff, u.spec.seed) for u in plan.units()]
+        assert combos == [(2.0, 10), (4.0, 20)]
+
+    def test_zip_rejects_unequal_lengths(self, spec):
+        with pytest.raises(ValueError, match="equal lengths"):
+            zip_(spec, **{"simulation.cutoff": [2.0, 4.0], "seed": [10]})
+
+    def test_empty_axes_are_rejected(self, spec):
+        with pytest.raises(ValueError, match="at least one axis"):
+            grid(spec)
+        with pytest.raises(ValueError, match="non-empty"):
+            grid(spec, seed=[])
+
+    def test_unknown_axis_is_rejected(self, spec):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            grid(spec, **{"simulation.warp_factor": [1]}).units()
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            grid(spec, **{"banana.cutoff": [1]}).units()
+
+    def test_dunder_axis_alias(self, spec):
+        plan = grid(spec, simulation__cutoff=[2.0, 3.0])
+        assert [u.spec.simulation.cutoff for u in plan.units()] == [2.0, 3.0]
+
+    def test_grid_over_a_plan_applies_to_every_spec(self, spec):
+        base = chain(single(spec), single(tiny_spec(name="other", seed=2)))
+        plan = grid(base, **{"simulation.cutoff": [2.0, 3.0]})
+        assert len(plan) == 4
+
+    def test_analysis_axis(self, spec):
+        plan = grid(spec, **{"analysis.k_neighbors": [2, 3]})
+        assert [u.spec.analysis.k_neighbors for u in plan.units()] == [2, 3]
+
+    def test_limit_and_map_specs(self, spec):
+        plan = grid(spec, **{"simulation.cutoff": [None, 2.0, 3.0]})
+        assert len(plan.limit(2)) == 2
+        mapped = plan.map_specs(lambda s: s.with_updates(n_samples=99))
+        assert all(u.spec.n_samples == 99 for u in mapped.units())
+        with pytest.raises(ValueError):
+            plan.limit(0)
+
+
+class TestContentHash:
+    def test_cosmetic_fields_do_not_enter_the_hash(self, spec):
+        renamed = spec.with_updates(name="renamed", description="x", tags=("a",), expectation="y")
+        assert unit_content_hash(spec) == unit_content_hash(renamed)
+
+    def test_physics_fields_change_the_hash(self, spec):
+        assert unit_content_hash(spec) != unit_content_hash(spec.with_updates(seed=2))
+        assert unit_content_hash(spec) != unit_content_hash(spec.with_updates(n_samples=11))
+        assert unit_content_hash(spec) != unit_content_hash(
+            spec.with_updates(simulation=spec.simulation.with_updates(cutoff=3.0))
+        )
+        assert unit_content_hash(spec) != unit_content_hash(
+            spec.with_updates(analysis=AnalysisConfig(step_stride=3, k_neighbors=3))
+        )
+
+    def test_hash_is_stable_across_equal_specs(self, spec):
+        assert RunUnit(spec).content_hash == RunUnit(tiny_spec()).content_hash
+        assert len(RunUnit(spec).content_hash) == 64
+
+
+class TestFigurePlanCounterparts:
+    def test_every_figure_has_a_plan(self):
+        plans = all_figure_plans()
+        specs = all_figure_specs()
+        assert set(plans) == set(specs)
+
+    def test_plans_lower_to_the_same_hashes_as_the_spec_lists(self):
+        plans = all_figure_plans()
+        specs = all_figure_specs()
+        for figure in specs:
+            plan_hashes = {u.content_hash for u in plans[figure].units()}
+            spec_hashes = {unit_content_hash(s) for s in specs[figure]}
+            assert plan_hashes == spec_hashes, f"{figure} plan diverges from its spec list"
+
+    def test_fig9_plan_unit_count(self):
+        plan = fig9_radius_sweep_plan(cutoffs=(2.5, None))
+        assert len(plan) == 2 * len(fig9_radius_sweep(cutoffs=(2.5,)))
+
+    def test_figure_plan_lookup(self):
+        assert len(figure_plan("FIG4")) == 1
+        with pytest.raises(KeyError):
+            figure_plan("fig99")
+
+
+class RecordingObserver(PlanObserver):
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def on_plan_start(self, units, missing):
+        self.events.append(("plan_start", len(units), len(missing)))
+
+    def on_unit_start(self, unit, index, total):
+        self.events.append(("unit_start", unit.name))
+
+    def on_unit_complete(self, unit, result, cached):
+        self.events.append(("unit_complete", unit.name, cached))
+
+    def on_plan_complete(self, execution):
+        self.events.append(("plan_complete", execution.n_computed, execution.n_cached))
+
+
+class TestExecution:
+    @pytest.fixture
+    def plan(self, spec) -> ExperimentPlan:
+        return grid(spec, **{"simulation.cutoff": [None, 3.0]})
+
+    def test_execute_without_store_computes_everything(self, plan):
+        execution = plan.execute()
+        assert execution.n_computed == 2 and execution.n_cached == 0
+        assert len(execution.results) == len(execution.units) == 2
+        assert len(execution.summaries()) == 2
+        assert np.isfinite(execution.mean_delta_multi_information())
+
+    def test_cache_hits_skip_recomputation_bit_identically(self, plan, tmp_path):
+        store = RunStore(tmp_path / "store")
+        first = plan.execute(store)
+        snapshot = {p.name: p.read_bytes() for p in store.units_dir.glob("*.json")}
+        second = plan.execute(store)
+        assert second.n_computed == 0 and second.n_cached == 2
+        assert snapshot == {p.name: p.read_bytes() for p in store.units_dir.glob("*.json")}
+        for r1, r2 in zip(first.results, second.results):
+            np.testing.assert_array_equal(
+                r1.measurement.multi_information, r2.measurement.multi_information
+            )
+            np.testing.assert_array_equal(r1.mean_force_norm, r2.mean_force_norm)
+
+    def test_interrupted_sweep_resumes_with_only_missing_units(self, plan, tmp_path):
+        store = RunStore(tmp_path / "store")
+        uninterrupted = plan.execute(RunStore(tmp_path / "reference"))
+        reference = {
+            p.name: p.read_bytes() for p in RunStore(tmp_path / "reference").units_dir.glob("*.json")
+        }
+        # "interrupt": only the first unit completes
+        partial = plan.limit(1).execute(store)
+        assert partial.n_computed == 1
+        resumed = plan.execute(store)
+        assert resumed.n_computed == 1 and resumed.n_cached == 1
+        resumed_bytes = {p.name: p.read_bytes() for p in store.units_dir.glob("*.json")}
+        assert resumed_bytes == reference, "resumed store must be bit-identical to an uninterrupted run"
+        for r1, r2 in zip(uninterrupted.results, resumed.results):
+            np.testing.assert_array_equal(
+                r1.measurement.multi_information, r2.measurement.multi_information
+            )
+
+    def test_status_reports_cached_and_missing(self, plan, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert plan.status(store).n_missing == 2
+        plan.limit(1).execute(store)
+        status = plan.status(store)
+        assert status.n_cached == 1 and status.n_missing == 1 and not status.complete
+        plan.execute(store)
+        assert plan.status(store).complete
+        assert plan.status(None).n_missing == 2
+
+    def test_recompute_ignores_the_cache(self, plan, tmp_path):
+        store = RunStore(tmp_path / "store")
+        plan.execute(store)
+        execution = plan.execute(store, recompute=True)
+        assert execution.n_computed == 2 and execution.n_cached == 0
+
+    def test_duplicate_units_are_computed_once(self, spec):
+        plan = chain(single(spec), single(spec))
+        execution = plan.execute()
+        assert len(execution.units) == 2
+        assert execution.n_computed == 1
+        assert execution.results[0] is execution.results[1]
+
+    def test_parallel_fanout_matches_serial(self, plan):
+        serial = plan.execute()
+        parallel = plan.execute(n_jobs=2)
+        for r1, r2 in zip(serial.results, parallel.results):
+            np.testing.assert_array_equal(
+                r1.measurement.multi_information, r2.measurement.multi_information
+            )
+
+    def test_observer_sees_the_lifecycle(self, plan, tmp_path):
+        store = RunStore(tmp_path / "store")
+        plan.limit(1).execute(store)
+        observer = RecordingObserver()
+        plan.execute(store, observer=observer)
+        kinds = [event[0] for event in observer.events]
+        assert kinds[0] == "plan_start" and kinds[-1] == "plan_complete"
+        completes = [event for event in observer.events if event[0] == "unit_complete"]
+        assert sorted(event[2] for event in completes) == [False, True]
+
+    def test_console_observer_output(self, plan):
+        stream = io.StringIO()
+        plan.execute(observer=ConsoleObserver(stream))
+        text = stream.getvalue()
+        assert "2 unit(s)" in text and "computed" in text and "delta I" in text
+
+    def test_units_are_persisted_as_they_complete(self, plan, tmp_path):
+        class Interrupt(Exception):
+            pass
+
+        class InterruptingObserver(PlanObserver):
+            def on_unit_complete(self, unit, result, cached):
+                raise Interrupt  # "crash" right after the first unit finishes
+
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(Interrupt):
+            plan.execute(store, observer=InterruptingObserver())
+        # The completed unit must already be on disk despite the crash.
+        assert plan.status(store).n_cached == 1
+        resumed = plan.execute(store)
+        assert resumed.n_cached == 1 and resumed.n_computed == 1
+
+    def test_keep_ensembles_recomputes_cached_units_without_an_ensemble(self, spec, tmp_path):
+        store = RunStore(tmp_path / "store")
+        plan = single(spec)
+        plan.execute(store)  # cached without .npz
+        execution = plan.execute(store, keep_ensembles=True)
+        assert execution.n_computed == 1 and execution.n_cached == 0
+        assert execution.results[0].ensemble is not None
+        assert store.ensemble_path_for(plan.units()[0]).is_file()
+        # Now the request is satisfiable from cache.
+        warm = plan.execute(store, keep_ensembles=True)
+        assert warm.n_computed == 0 and warm.results[0].ensemble is not None
+
+    def test_keep_ensembles_round_trips_the_trajectory(self, spec, tmp_path):
+        store = RunStore(tmp_path / "store")
+        plan = single(spec)
+        first = plan.execute(store, keep_ensembles=True)
+        assert first.results[0].ensemble is not None
+        assert store.ensemble_path_for(plan.units()[0]).is_file()
+        second = plan.execute(store, keep_ensembles=True)
+        assert second.n_computed == 0
+        np.testing.assert_array_equal(
+            second.results[0].ensemble.positions, first.results[0].ensemble.positions
+        )
+        # A warm execution that does not ask for ensembles must not pull the
+        # (potentially huge) .npz into memory.
+        summaries_only = plan.execute(store)
+        assert summaries_only.n_computed == 0
+        assert summaries_only.results[0].ensemble is None

@@ -7,6 +7,8 @@ import pytest
 from scipy.spatial.distance import cdist
 
 from repro.infotheory.knn import (
+    EuclideanBallCounter,
+    ProductMetricTree,
     chebyshev_over_variables,
     k_nearest_neighbor_indices,
     kozachenko_leonenko_entropy,
@@ -123,3 +125,48 @@ class TestKozachenkoLeonenkoEntropy:
         base = kozachenko_leonenko_entropy(samples, k=4)
         scaled = kozachenko_leonenko_entropy(4.0 * samples, k=4)
         assert scaled - base == pytest.approx(2.0, abs=0.1)
+
+
+class TestWorkers:
+    """workers= threads the scipy queries without changing any result."""
+
+    def test_product_metric_tree_is_workers_invariant(self):
+        rng = np.random.default_rng(21)
+        blocks = [rng.standard_normal((300, 2)) for _ in range(3)]
+        eps_serial = ProductMetricTree(blocks).kth_neighbor_distances(4)
+        eps_threaded = ProductMetricTree(blocks, workers=-1).kth_neighbor_distances(4)
+        np.testing.assert_array_equal(eps_serial, eps_threaded)
+        counts_serial = ProductMetricTree(blocks).counts_within(eps_serial)
+        counts_threaded = ProductMetricTree(blocks, workers=2).counts_within(eps_serial)
+        np.testing.assert_array_equal(counts_serial, counts_threaded)
+
+    def test_euclidean_ball_counter_is_workers_invariant(self):
+        rng = np.random.default_rng(22)
+        block = rng.standard_normal((400, 2))
+        radii = np.abs(rng.standard_normal(400)) + 0.1
+        np.testing.assert_array_equal(
+            EuclideanBallCounter(block).counts_within(radii),
+            EuclideanBallCounter(block, workers=-1).counts_within(radii),
+        )
+
+    def test_kth_neighbor_distances_is_workers_invariant(self):
+        rng = np.random.default_rng(23)
+        samples = rng.standard_normal((500, 3))
+        np.testing.assert_array_equal(
+            kth_neighbor_distances(samples, 5, backend="kdtree"),
+            kth_neighbor_distances(samples, 5, backend="kdtree", workers=2),
+        )
+
+    def test_entropy_accepts_workers(self):
+        rng = np.random.default_rng(24)
+        samples = rng.standard_normal((300, 2))
+        serial = kozachenko_leonenko_entropy(samples, k=4, backend="kdtree")
+        threaded = kozachenko_leonenko_entropy(samples, k=4, backend="kdtree", workers=2)
+        assert serial == threaded
+
+    def test_workers_default_is_serial(self):
+        rng = np.random.default_rng(25)
+        tree = ProductMetricTree([rng.standard_normal((50, 2))])
+        assert tree.workers == 1
+        counter = EuclideanBallCounter(rng.standard_normal((50, 2)))
+        assert counter.workers == 1

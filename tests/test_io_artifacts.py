@@ -1,0 +1,155 @@
+"""Tests for the content-addressed run store (repro.io.artifacts)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.plan import RunUnit, single
+from repro.io.artifacts import RunStore, RunStoreError
+
+from test_core_plan import tiny_spec
+
+
+@pytest.fixture
+def unit() -> RunUnit:
+    return RunUnit(tiny_spec())
+
+
+@pytest.fixture
+def executed(unit):
+    return unit, unit.execute()
+
+
+class TestStoreLifecycle:
+    def test_creates_directory_and_marker(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert store.units_dir.is_dir()
+        marker = json.loads((tmp_path / "store" / RunStore.MARKER_NAME).read_text())
+        assert marker["format"] == "repro-run-store"
+
+    def test_create_false_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(RunStoreError, match="does not exist"):
+            RunStore(tmp_path / "nope", create=False)
+
+    def test_create_false_rejects_unmarked_directory(self, tmp_path):
+        (tmp_path / "plain").mkdir()
+        with pytest.raises(RunStoreError, match="not a run store"):
+            RunStore(tmp_path / "plain", create=False)
+
+    def test_reopening_an_existing_store_is_idempotent(self, tmp_path):
+        RunStore(tmp_path / "store")
+        store = RunStore(tmp_path / "store", create=False)
+        assert store.keys() == []
+
+    def test_create_over_an_existing_file_raises_a_store_error(self, tmp_path):
+        (tmp_path / "occupied").write_text("not a directory")
+        with pytest.raises(RunStoreError, match="cannot create run store"):
+            RunStore(tmp_path / "occupied")
+
+
+class TestSaveLoad:
+    def test_round_trips_the_full_experiment_result(self, tmp_path, executed):
+        unit, result = executed
+        store = RunStore(tmp_path / "store")
+        path = store.save(unit, result)
+        assert path == store.path_for(unit) and store.has(unit) and unit.content_hash in store
+        loaded = store.load(unit.content_hash)
+        np.testing.assert_array_equal(
+            loaded.measurement.multi_information, result.measurement.multi_information
+        )
+        np.testing.assert_array_equal(loaded.mean_force_norm, result.mean_force_norm)
+        assert loaded.simulation_config.to_dict() == result.simulation_config.to_dict()
+        assert loaded.analysis_config == result.analysis_config
+        assert loaded.n_samples == result.n_samples and loaded.seed == result.seed
+        assert loaded.fraction_at_equilibrium == result.fraction_at_equilibrium
+
+    def test_documents_are_deterministic(self, tmp_path, executed):
+        unit, result = executed
+        store = RunStore(tmp_path / "store")
+        store.save(unit, result)
+        first = store.path_for(unit).read_bytes()
+        # A second execution has different wall times; the document must not.
+        store.save(unit, unit.execute())
+        assert store.path_for(unit).read_bytes() == first
+        document = store.load_document(unit)
+        assert document["wall_time_seconds"] == {}
+        assert document["summary"]["wall_time_seconds"] == {}
+        assert document["unit"]["content_hash"] == unit.content_hash
+
+    def test_no_tmp_files_left_behind(self, tmp_path, executed):
+        unit, result = executed
+        store = RunStore(tmp_path / "store")
+        store.save(unit, result)
+        assert not list(store.units_dir.glob("*.tmp"))
+
+    def test_keys_lists_persisted_hashes(self, tmp_path, executed):
+        unit, result = executed
+        store = RunStore(tmp_path / "store")
+        assert len(store) == 0
+        store.save(unit, result)
+        assert store.keys() == [unit.content_hash] and list(store) == [unit.content_hash]
+
+
+class TestErrorPaths:
+    def test_missing_document_raises(self, tmp_path, unit):
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(RunStoreError, match="no persisted result"):
+            store.load(unit)
+
+    def test_corrupt_json_raises_a_clear_error(self, tmp_path, executed):
+        unit, result = executed
+        store = RunStore(tmp_path / "store")
+        store.save(unit, result)
+        store.path_for(unit).write_text("{ not json")
+        with pytest.raises(RunStoreError, match="corrupt run-store document"):
+            store.load(unit)
+
+    def test_valid_json_with_missing_fields_raises(self, tmp_path, executed):
+        unit, result = executed
+        store = RunStore(tmp_path / "store")
+        store.save(unit, result)
+        store.path_for(unit).write_text(json.dumps({"summary": {}}))
+        with pytest.raises(RunStoreError, match="corrupt run-store document"):
+            store.load(unit)
+
+    def test_rejects_non_hash_keys(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="sha256"):
+            store.has("short")
+
+
+class TestEnsemblePersistence:
+    def test_ensemble_saved_and_reattached(self, tmp_path, unit):
+        result = unit.execute(keep_ensemble=True)
+        store = RunStore(tmp_path / "store")
+        store.save(unit, result)
+        assert store.ensemble_path_for(unit).is_file()
+        assert not list(store.units_dir.glob("*.tmp.npz"))
+        loaded = store.load(unit)
+        np.testing.assert_array_equal(loaded.ensemble.positions, result.ensemble.positions)
+
+    def test_with_ensemble_false_skips_the_archive(self, tmp_path, unit):
+        result = unit.execute(keep_ensemble=True)
+        store = RunStore(tmp_path / "store")
+        store.save(unit, result)
+        assert store.load(unit, with_ensemble=False).ensemble is None
+
+    def test_truncated_ensemble_archive_raises_a_store_error(self, tmp_path, unit):
+        result = unit.execute(keep_ensemble=True)
+        store = RunStore(tmp_path / "store")
+        store.save(unit, result)
+        store.ensemble_path_for(unit).write_bytes(b"PK\x03\x04 truncated")
+        with pytest.raises(RunStoreError, match="corrupt run-store ensemble"):
+            store.load(unit)
+        # The JSON summaries remain reachable regardless.
+        assert store.load(unit, with_ensemble=False).ensemble is None
+
+    def test_execute_via_plan_matches_direct_unit_execution(self, unit):
+        direct = unit.execute()
+        via_plan = single(unit.spec).execute().results[0]
+        np.testing.assert_array_equal(
+            direct.measurement.multi_information, via_plan.measurement.multi_information
+        )

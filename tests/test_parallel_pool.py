@@ -15,6 +15,13 @@ def _square(x: int) -> int:
     return x * x
 
 
+def _sleepy_identity(delay: float) -> float:
+    import time
+
+    time.sleep(delay)
+    return delay
+
+
 def _weighted_sum(x: int, y: int, w: int = 1) -> int:
     return x + w * y
 
@@ -112,3 +119,56 @@ class TestParallelStarmap:
     def test_accepts_any_iterable_of_tuples(self):
         result = parallel_starmap(_weighted_sum, ((i, i) for i in range(4)))
         assert result == [0, 2, 4, 6]
+
+
+class TestParallelStarmapIter:
+    def test_yields_in_submission_order(self):
+        items = [(i, i + 1) for i in range(6)]
+        from repro.parallel.pool import parallel_starmap_iter
+
+        assert list(parallel_starmap_iter(_weighted_sum, items)) == [2 * i + 1 for i in range(6)]
+
+    def test_parallel_matches_serial(self):
+        from repro.parallel.pool import parallel_starmap_iter
+
+        items = [(i, i) for i in range(10)]
+        serial = list(parallel_starmap_iter(_weighted_sum, items, n_jobs=1))
+        pooled = list(parallel_starmap_iter(_weighted_sum, items, n_jobs=2))
+        assert pooled == serial
+
+    def test_results_stream_incrementally(self):
+        from repro.parallel.pool import parallel_starmap_iter
+
+        seen: list[int] = []
+        for value in parallel_starmap_iter(_weighted_sum, [(1, 1), (2, 2)]):
+            seen.append(value)
+            if len(seen) == 1:
+                break  # consuming lazily must not require the full batch
+        assert seen == [2]
+
+
+class TestParallelStarmapUnordered:
+    def test_serial_yields_indexed_results_in_order(self):
+        from repro.parallel.pool import parallel_starmap_unordered
+
+        items = [(i, i + 1) for i in range(5)]
+        pairs = list(parallel_starmap_unordered(_weighted_sum, items))
+        assert pairs == [(i, 2 * i + 1) for i in range(5)]
+
+    def test_parallel_covers_every_index_with_correct_results(self):
+        from repro.parallel.pool import parallel_starmap_unordered
+
+        items = [(i, i) for i in range(12)]
+        pairs = dict(parallel_starmap_unordered(_weighted_sum, items, n_jobs=3))
+        assert pairs == {i: 2 * i for i in range(12)}
+
+    @pytest.mark.skipif(
+        effective_n_jobs(2) < 2, reason="needs two workers to observe completion order"
+    )
+    def test_a_slow_early_task_does_not_block_later_results(self):
+        from repro.parallel.pool import parallel_starmap_unordered
+
+        first_index, _ = next(
+            iter(parallel_starmap_unordered(_sleepy_identity, [(1.5,), (0.0,)], n_jobs=2))
+        )
+        assert first_index == 1  # the fast task surfaces before the slow one
