@@ -32,12 +32,17 @@ Quickstart
 from repro.version import __version__
 
 from repro.particles import (
+    Domain,
     EnsembleSimulator,
     EnsembleTrajectory,
+    FreeDomain,
     InteractionParams,
     ParticleSystem,
+    PeriodicDomain,
+    ReflectingDomain,
     SimulationConfig,
     Trajectory,
+    get_domain,
     simulate_ensemble,
 )
 from repro.alignment import TypeAwareICP, align_snapshot, reduce_ensemble
@@ -72,6 +77,11 @@ __all__ = [
     "__version__",
     "InteractionParams",
     "SimulationConfig",
+    "Domain",
+    "FreeDomain",
+    "PeriodicDomain",
+    "ReflectingDomain",
+    "get_domain",
     "ParticleSystem",
     "Trajectory",
     "EnsembleTrajectory",

@@ -66,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="override the drift engine (dense all-pairs, sparse neighbour-pair, or auto)",
         )
         sub.add_argument(
+            "--domain", default=None, metavar="SPEC",
+            help="override the simulation domain: 'free' (the paper's plane), "
+            "'periodic:L' (torus [0,L)^2, minimum-image interactions) or "
+            "'reflecting:L' (closed box with reflecting walls)",
+        )
+        sub.add_argument(
             "--neighbor-backend", choices=sorted(NEIGHBOR_BACKENDS), default=None,
             help="override the neighbour-search backend of the sparse engine",
         )
@@ -205,13 +211,16 @@ def _apply_engine_overrides(simulation, args: argparse.Namespace):
         overrides["neighbor_backend"] = args.neighbor_backend
     if getattr(args, "auto_reresolve_every", None) is not None:
         overrides["auto_reresolve_every"] = args.auto_reresolve_every
+    if getattr(args, "domain", None) is not None:
+        overrides["domain"] = args.domain
     return simulation.with_updates(**overrides) if overrides else simulation
 
 
 def _run_spec(spec: ExperimentSpec, args: argparse.Namespace, stream) -> dict:
     # `run` is a thin wrapper over a one-unit plan (no store: always compute).
+    # Engine/domain overrides were already applied by _command_run.
     seed = spec.seed if args.seed is None else args.seed
-    spec = spec.with_updates(simulation=_apply_engine_overrides(spec.simulation, args), seed=seed)
+    spec = spec.with_updates(seed=seed)
     execution = ExperimentPlan.single(spec).execute(store=None, n_jobs=args.n_jobs)
     result = execution.results[0]
     measurement = result.measurement
@@ -251,9 +260,19 @@ def _command_run(args: argparse.Namespace, stream) -> int:
     specs = registry[figure]
     if args.max_specs is not None:
         specs = specs[: max(1, args.max_specs)]
+    # Apply the engine/domain overrides exactly once; a malformed --domain
+    # spec or a periodic box incompatible with the figure's cut-off
+    # surfaces here as a clean error instead of a traceback.
+    try:
+        specs = [
+            spec.with_updates(simulation=_apply_engine_overrides(spec.simulation, args))
+            for spec in specs
+        ]
+    except (KeyError, ValueError) as exc:
+        stream.write(f"invalid engine/domain override: {exc}\n")
+        return 2
     if args.neighbor_backend is not None and all(
-        _apply_engine_overrides(spec.simulation, args).resolved_engine == "dense"
-        for spec in specs
+        spec.simulation.resolved_engine == "dense" for spec in specs
     ):
         stream.write(
             "note: --neighbor-backend has no effect here — every run resolves to the "
@@ -273,12 +292,23 @@ def _figure_plan(args: argparse.Namespace, stream) -> ExperimentPlan | None:
     except KeyError as exc:
         stream.write(f"{exc.args[0]}\n")
         return None
-    if getattr(args, "engine", None) or getattr(args, "neighbor_backend", None) or (
-        getattr(args, "auto_reresolve_every", None) is not None
+    if (
+        getattr(args, "engine", None)
+        or getattr(args, "neighbor_backend", None)
+        or getattr(args, "domain", None)
+        or getattr(args, "auto_reresolve_every", None) is not None
     ):
-        plan = plan.map_specs(
-            lambda spec: spec.with_updates(simulation=_apply_engine_overrides(spec.simulation, args))
-        )
+        try:
+            plan = plan.map_specs(
+                lambda spec: spec.with_updates(
+                    simulation=_apply_engine_overrides(spec.simulation, args)
+                )
+            )
+        except (KeyError, ValueError) as exc:
+            # e.g. a malformed --domain spec, or a periodic box smaller than
+            # twice the figure's cut-off radius.
+            stream.write(f"invalid engine/domain override: {exc}\n")
+            return None
     max_units = getattr(args, "max_units", None)
     if max_units is not None:
         if max_units < 1:
@@ -349,6 +379,12 @@ def _command_status(args: argparse.Namespace, stream) -> int:
     store = _open_store(args, stream, create=False)
     if store is None:
         return 2
+    # A crash between the .npz and JSON writes (or mid-write) can leave
+    # orphaned archives/temporaries behind; no read path uses them, so
+    # status is the natural place to clean up and mention it.
+    swept = store.sweep_orphans()
+    if swept:
+        stream.write(f"swept {len(swept)} orphaned file(s) from {args.store}\n")
     status = plan.status(store)
     try:
         # Surface damaged documents before a resume trips on them — the full

@@ -13,10 +13,16 @@ Design points:
   wall-time diagnostics are stripped before writing.  Re-executing a plan
   against a warm store therefore leaves every byte of the store untouched,
   which is what makes resumed sweeps bit-identical to uninterrupted ones.
-* **Atomic writes** — documents are written to a temporary sibling and
-  renamed into place, so an interrupted execution never leaves a truncated
-  document behind; at worst the unit is simply missing and is recomputed on
-  resume.
+* **Atomic, durable writes** — documents are written to a temporary sibling,
+  fsynced, and renamed into place (the containing directory is fsynced too),
+  so an interrupted execution — or a power loss right after it — never
+  leaves a truncated document behind; at worst the unit is simply missing
+  and is recomputed on resume.  The raw-ensemble ``.npz`` is committed
+  *before* its JSON document, so a crash between the two can only leave an
+  **orphaned** archive (never a document referencing a missing archive);
+  orphans are ignored by every read path and can be listed/removed with
+  :meth:`RunStore.orphaned_files` / :meth:`RunStore.sweep_orphans` (the CLI
+  ``status`` command does this automatically).
 * **Readable layout** — documents are indented, sorted JSON carrying the full
   configs, so a store can be inspected (and diffed) with standard tools.
 """
@@ -25,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -35,9 +42,14 @@ from repro.particles.trajectory import EnsembleTrajectory
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.plan import RunUnit
 
-__all__ = ["RunStore", "RunStoreError"]
+__all__ = ["RunStore", "RunStoreError", "ORPHAN_MIN_AGE_SECONDS"]
 
 _HASH_LENGTH = 64  # sha256 hexdigest
+
+#: Grace period before a stray file counts as an orphan: younger files may
+#: belong to a live writer in another process (mid-save, between its .npz
+#: and JSON commits), which a sweep must never touch.
+ORPHAN_MIN_AGE_SECONDS = 3600.0
 
 
 class RunStoreError(RuntimeError):
@@ -136,15 +148,73 @@ class RunStore:
         path = self.path_for(unit)
         if result.ensemble is not None:
             ensemble_path = self.ensemble_path_for(unit)
-            # Same write-then-rename discipline (and pid-unique temp name) as
-            # the JSON documents; the .npz suffix on the temp name keeps
-            # numpy from appending a second extension.
+            # Same write-fsync-rename discipline (and pid-unique temp name)
+            # as the JSON documents; the .npz suffix on the temp name keeps
+            # numpy from appending a second extension.  The archive commits
+            # *before* the document that references it: a crash between the
+            # two leaves an orphaned .npz (harmless, swept later), never a
+            # document pointing at a missing archive.
             tmp = ensemble_path.with_name(f"{ensemble_path.stem}.{os.getpid()}.tmp.npz")
             result.ensemble.save(tmp)
+            _fsync_path(tmp)
             os.replace(tmp, ensemble_path)
+            _fsync_path(ensemble_path.parent)
             document["unit"]["ensemble"] = ensemble_path.name
         _atomic_write(path, json.dumps(document, indent=2, sort_keys=True))
         return path
+
+    # maintenance -------------------------------------------------------- #
+    def orphaned_files(self, min_age_seconds: float = ORPHAN_MIN_AGE_SECONDS) -> list[Path]:
+        """Stray files a crash can leave behind (nothing any read path uses).
+
+        Two kinds: raw-ensemble ``.npz`` archives whose JSON document was
+        never committed (the save order makes this the *only* possible
+        inconsistency), and ``*.tmp`` / ``*.tmp.npz`` temporaries abandoned
+        by a writer that died before its rename.
+
+        Files younger than ``min_age_seconds`` are *not* reported: a live
+        writer in another process looks exactly like a crash for the moment
+        between committing its ``.npz`` and committing the JSON (and while
+        its temporaries exist), and sweeping those would fail or corrupt an
+        in-flight save.  Genuine crash leftovers keep ageing, so the default
+        one-hour grace period only delays their cleanup.
+        """
+        if not self.units_dir.is_dir():
+            return []
+        newest_allowed = time.time() - min_age_seconds
+        orphans: list[Path] = []
+        for path in sorted(self.units_dir.iterdir()):
+            name = path.name
+            if name.endswith(".tmp") or name.endswith(".tmp.npz"):
+                candidate = True
+            elif name.endswith(".npz"):
+                candidate = not (self.units_dir / f"{path.stem}.json").is_file()
+            else:
+                candidate = False
+            if not candidate:
+                continue
+            try:
+                if path.stat().st_mtime > newest_allowed:
+                    continue
+            except OSError:  # pragma: no cover - raced with its writer/cleaner
+                continue
+            orphans.append(path)
+        return orphans
+
+    def sweep_orphans(self, min_age_seconds: float = ORPHAN_MIN_AGE_SECONDS) -> list[Path]:
+        """Delete orphaned files (see :meth:`orphaned_files`); returns what was removed.
+
+        Documents are never touched, and the ``min_age_seconds`` grace
+        period keeps concurrent writers' in-flight files out of reach.
+        """
+        removed: list[Path] = []
+        for path in self.orphaned_files(min_age_seconds):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleaner won the race
+                continue
+            removed.append(path)
+        return removed
 
     def load_document(self, unit_or_hash: "RunUnit | str") -> dict[str, Any]:
         """Raw JSON document of a persisted unit."""
@@ -183,13 +253,33 @@ class RunStore:
         return result
 
 
+def _fsync_path(path: Path) -> None:
+    """Flush a file (or directory entry table) to stable storage."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. directories on Windows
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def _atomic_write(path: Path, text: str) -> None:
-    """Write-then-rename so readers never observe a partially written file.
+    """Write-fsync-rename so readers never observe a partially written file.
 
     The temp name carries the pid so concurrent writers of the same unit
     (two sweeps sharing a store) cannot race on one temp file — last rename
     wins, and both renamed documents are complete and identical anyway.
+    Without the fsync before :func:`os.replace`, a crash shortly after the
+    rename could surface a *committed name with uncommitted bytes* (an empty
+    or truncated document) on journaled filesystems; syncing the directory
+    afterwards makes the rename itself durable.
     """
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(text)
+    with open(tmp, "w", encoding="utf8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_path(path.parent)

@@ -6,6 +6,14 @@ measured.  The public surface is re-exported here.
 """
 
 from repro.particles.types import InteractionParams, random_symmetric_matrix, type_counts_to_assignment
+from repro.particles.domain import (
+    DOMAINS,
+    Domain,
+    FreeDomain,
+    PeriodicDomain,
+    ReflectingDomain,
+    get_domain,
+)
 from repro.particles.forces import (
     FORCE_SCALINGS,
     ForceScaling,
@@ -41,6 +49,8 @@ from repro.particles.engine import (
 from repro.particles.init_conditions import (
     default_disc_radius,
     grid_layout,
+    uniform_box,
+    uniform_box_ensemble,
     uniform_disc,
     uniform_disc_ensemble,
 )
@@ -59,13 +69,24 @@ from repro.particles.equilibrium import (
     total_force_norm,
 )
 from repro.particles.trajectory import EnsembleTrajectory, Trajectory
-from repro.particles.model import ParticleSystem, SimulationConfig
-from repro.particles.ensemble import EnsembleRunStats, EnsembleSimulator, simulate_ensemble
+from repro.particles.model import ParticleSystem, SimulationConfig, initial_positions_for
+from repro.particles.ensemble import (
+    EnsembleRunStats,
+    EnsembleSimulator,
+    initial_ensemble_for,
+    simulate_ensemble,
+)
 
 __all__ = [
     "InteractionParams",
     "random_symmetric_matrix",
     "type_counts_to_assignment",
+    "Domain",
+    "FreeDomain",
+    "PeriodicDomain",
+    "ReflectingDomain",
+    "DOMAINS",
+    "get_domain",
     "ForceScaling",
     "LinearAdhesionForce",
     "GaussianAdhesionForce",
@@ -94,6 +115,8 @@ __all__ = [
     "sparse_drift_batch",
     "uniform_disc",
     "uniform_disc_ensemble",
+    "uniform_box",
+    "uniform_box_ensemble",
     "grid_layout",
     "default_disc_radius",
     "Integrator",
@@ -110,7 +133,9 @@ __all__ = [
     "EnsembleTrajectory",
     "ParticleSystem",
     "SimulationConfig",
+    "initial_positions_for",
     "EnsembleSimulator",
     "EnsembleRunStats",
+    "initial_ensemble_for",
     "simulate_ensemble",
 ]

@@ -1,0 +1,211 @@
+"""Simulation domains: the geometry pairwise displacements live in.
+
+The paper's particle model (§4–5) runs in the free plane, but the same
+dynamics are well defined on wrapped and bounded domains — the regime of
+lattice-style interacting particle systems, where a fixed box size turns
+particle count into a *density* control that free-space collectives cannot
+express.  Three domains are provided:
+
+* :class:`FreeDomain` — the unbounded plane (the paper's setting, and the
+  default everywhere).  Displacements are plain differences and positions are
+  never touched.
+* :class:`PeriodicDomain` — the square torus ``[0, L)²``.  Displacements use
+  the minimum-image convention (each particle interacts with the *nearest*
+  periodic image of its neighbour), and positions are wrapped back into the
+  box after every integration step.
+* :class:`ReflectingDomain` — the closed box ``[0, L]²`` with reflecting
+  (billiard) walls.  Displacements are the free-space ones; positions that
+  leave the box after a step are folded back by reflection.
+
+Every layer of the particle stack consumes the same two primitives:
+:meth:`Domain.displacement` feeds the force kernels and the exact distance
+filters of all neighbour backends (so dense and sparse drift stay
+bit-identical on every domain), and :meth:`Domain.wrap` is applied by the
+integrators after each step.  :class:`FreeDomain` implements both as exact
+identities of the existing free-space arithmetic, which is what keeps
+free-space trajectories — and the content hashes derived from free-space
+configurations — byte-for-byte unchanged.
+
+Domains are configured on :class:`~repro.particles.model.SimulationConfig`
+via a compact spec string (``"free"``, ``"periodic:8.0"``,
+``"reflecting:5.0"``; the CLI exposes the same syntax as ``--domain``) and
+resolved with :func:`get_domain`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Domain",
+    "FreeDomain",
+    "PeriodicDomain",
+    "ReflectingDomain",
+    "DOMAINS",
+    "get_domain",
+]
+
+
+class Domain(abc.ABC):
+    """Geometry of the simulation: displacement convention plus position wrapping."""
+
+    name: str = ""
+
+    #: Side length of the box for bounded domains, ``None`` on the free plane.
+    box: float | None = None
+
+    @property
+    def bounded(self) -> bool:
+        """Whether positions are confined to a fixed box (periodic or reflecting)."""
+        return self.box is not None
+
+    @abc.abstractmethod
+    def displacement(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Displacement ``a - b`` under this domain's convention.
+
+        Broadcasts like plain subtraction; every force kernel and every
+        neighbour backend's exact distance filter goes through this one
+        function, which is what makes backend and engine choice a pure
+        performance decision on every domain.
+        """
+
+    @abc.abstractmethod
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        """Map positions onto the domain's canonical coordinates.
+
+        Applied by the integrators after every step (and to externally
+        supplied initial conditions).  The free domain returns its input
+        unchanged — not merely equal — so free-space trajectories stay
+        bit-identical to the domain-unaware code path.
+        """
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string (``"free"``, ``"periodic:8.0"``, …)."""
+        if self.box is None:
+            return self.name
+        return f"{self.name}:{self.box!r}"
+
+    def validate_cutoff(self, cutoff: float | None) -> None:
+        """Raise if an interaction cut-off is incompatible with this domain."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}({'' if self.box is None else self.box})"
+
+
+@dataclass(frozen=True)
+class FreeDomain(Domain):
+    """The unbounded plane — the paper's setting and the default."""
+
+    name = "free"
+    box = None
+
+    def displacement(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        return np.asarray(positions, dtype=float)
+
+
+def _check_box(box: float) -> float:
+    box = float(box)
+    if not np.isfinite(box) or box <= 0:
+        raise ValueError(f"domain box side must be a positive finite float, got {box}")
+    return box
+
+
+@dataclass(frozen=True)
+class PeriodicDomain(Domain):
+    """Square torus ``[0, L)²`` with minimum-image displacements."""
+
+    box: float
+    name = "periodic"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "box", _check_box(self.box))
+
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        wrapped = np.mod(positions, self.box)
+        # np.mod can round up to the modulus itself for tiny negative inputs;
+        # canonical coordinates must stay strictly inside [0, box).
+        return np.where(wrapped >= self.box, 0.0, wrapped)
+
+    def displacement(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # Wrapping both ends first keeps far-from-origin inputs from losing
+        # precision in the image subtraction, and because every neighbour
+        # backend and both drift kernels call this one function on the same
+        # raw positions, they all filter on the same floats.
+        delta = self.wrap(a) - self.wrap(b)
+        return delta - self.box * np.round(delta / self.box)
+
+    def validate_cutoff(self, cutoff: float | None) -> None:
+        # The minimum-image convention pairs each particle with the nearest
+        # image only; a finite cut-off beyond L/2 would have to see further
+        # images, which no backend models.  (None/inf means "all pairs via
+        # their nearest image", which stays well defined.)
+        if cutoff is not None and np.isfinite(cutoff) and cutoff > self.box / 2.0:
+            raise ValueError(
+                f"cutoff {cutoff} exceeds half the periodic box ({self.box / 2.0}); "
+                "the minimum-image convention requires r_c <= L/2 (or an unconstrained cutoff)"
+            )
+
+
+@dataclass(frozen=True)
+class ReflectingDomain(Domain):
+    """Closed box ``[0, L]²`` with reflecting walls and free-space displacements."""
+
+    box: float
+    name = "reflecting"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "box", _check_box(self.box))
+
+    def displacement(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        # Fold along the triangle wave of period 2L: arbitrary excursions
+        # (several box lengths in one step) reflect back into [0, L].
+        folded = np.mod(positions, 2.0 * self.box)
+        return np.where(folded > self.box, 2.0 * self.box - folded, folded)
+
+
+DOMAINS: dict[str, type[Domain]] = {
+    "free": FreeDomain,
+    "periodic": PeriodicDomain,
+    "reflecting": ReflectingDomain,
+}
+
+_FREE = FreeDomain()
+
+
+def get_domain(spec: "str | Domain | None") -> Domain:
+    """Resolve a domain from a spec string, pass an instance through, default free.
+
+    Accepted specs: ``"free"``, ``"periodic:<L>"``, ``"reflecting:<L>"``
+    (``<L>`` the box side).  ``None`` resolves to the free plane.
+    """
+    if spec is None:
+        return _FREE
+    if isinstance(spec, Domain):
+        return spec
+    text = str(spec).strip().lower()
+    name, sep, box_text = text.partition(":")
+    if name not in DOMAINS:
+        raise KeyError(f"unknown domain {spec!r}; available: {sorted(DOMAINS)}")
+    if name == "free":
+        if sep:
+            raise ValueError(f"the free domain takes no box size, got {spec!r}")
+        return _FREE
+    if not sep or not box_text:
+        raise ValueError(f"domain {name!r} needs a box side, e.g. '{name}:8.0', got {spec!r}")
+    try:
+        box = float(box_text)
+    except ValueError as exc:
+        raise ValueError(f"invalid box side in domain spec {spec!r}") from exc
+    return DOMAINS[name](box=box)

@@ -53,6 +53,16 @@ sequential summation order exactly, and skipped pairs contribute exact zeros
 in the dense kernel.  ``tests/test_integration.py`` pins this property, so
 trajectories are reproducible across engine choices — and it is what makes
 adaptive mid-run engine switching safe.
+
+The contract holds on every simulation domain
+(:mod:`repro.particles.domain`): both kernels and all neighbour backends
+compute pairwise displacements through the same
+:meth:`~repro.particles.domain.Domain.displacement`, so dense vs sparse
+stays bit-identical on the periodic torus and in the reflecting box too
+(fuzz-pinned in ``tests/test_neighbors_fuzz.py``).  On bounded domains the
+``"auto"`` heuristic compares the cut-off against the fixed box size —
+wrapped coordinates always fill the box, so the live bounding box carries
+no signal there.
 """
 
 from __future__ import annotations
@@ -62,6 +72,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.particles.domain import Domain, get_domain
 from repro.particles.forces import (
     ForceScaling,
     drift_batch,
@@ -84,6 +95,7 @@ __all__ = [
     "SparseDriftEngine",
     "AdaptiveDriftEngine",
     "collective_radius",
+    "heuristic_domain_radius",
     "resolve_engine",
     "make_engine",
     "engine_for_config",
@@ -141,6 +153,22 @@ def resolve_engine(
     return "sparse"
 
 
+def heuristic_domain_radius(domain: Domain, fallback: float | None) -> float | None:
+    """Characteristic radius the ``"auto"`` heuristic compares the cut-off to.
+
+    On bounded domains (periodic torus, reflecting box) it is the fixed
+    ``box / 2`` — wrapped coordinates always span the box, so neither an
+    initial disc radius nor the live bounding box carries any signal there.
+    Unbounded domains keep the caller's ``fallback`` (the initial disc
+    radius, or :func:`collective_radius` of the current snapshot).  This is
+    the single definition of the bounded-domain rule; every heuristic call
+    site routes through it.
+    """
+    if domain.bounded:
+        return domain.box / 2.0
+    return fallback
+
+
 def collective_radius(positions: np.ndarray) -> float:
     """Characteristic radius of the current configuration(s).
 
@@ -177,6 +205,7 @@ def sparse_drift_batch(
     scaling: ForceScaling | str,
     cutoff: float | None,
     neighbors: NeighborSearch | str,
+    domain: Domain | str | None = None,
 ) -> np.ndarray:
     """Sparse drift for an ensemble snapshot ``(m, n, 2)``.
 
@@ -195,14 +224,15 @@ def sparse_drift_batch(
         raise ValueError("types must have shape (n,)")
     scaling = get_force_scaling(scaling)
     neighbors = get_neighbor_search(neighbors)
+    domain = get_domain(domain)
     radius = float("inf") if cutoff is None else float(cutoff)
 
-    i_idx, j_idx = neighbors.pairs_batch(positions, radius)
+    i_idx, j_idx = neighbors.pairs_batch(positions, radius, domain)
     if i_idx.size == 0:
         return np.zeros_like(positions)
 
     flat = positions.reshape(m * n, 2)
-    delta = flat[i_idx] - flat[j_idx]
+    delta = domain.displacement(flat[i_idx], flat[j_idx])
     dist = np.sqrt(np.einsum("ij,ij->i", delta, delta))
     tiled_types = np.tile(types, m)
     weights = pair_interaction_weights(
@@ -235,6 +265,8 @@ class DriftEngine(abc.ABC):
         params: InteractionParams,
         scaling: ForceScaling | str,
         cutoff: float | None = None,
+        *,
+        domain: Domain | str | None = None,
     ) -> None:
         self.types = np.asarray(types, dtype=int)
         if self.types.ndim != 1 or self.types.size == 0:
@@ -242,6 +274,7 @@ class DriftEngine(abc.ABC):
         self.params = params
         self.scaling = get_force_scaling(scaling)
         self.cutoff = None if cutoff is None or not np.isfinite(cutoff) else float(cutoff)
+        self.domain = get_domain(domain)
 
     @property
     def n_particles(self) -> int:
@@ -274,8 +307,8 @@ class DenseDriftEngine(DriftEngine):
 
     name = "dense"
 
-    def __init__(self, types, params, scaling, cutoff=None) -> None:
-        super().__init__(types, params, scaling, cutoff)
+    def __init__(self, types, params, scaling, cutoff=None, *, domain=None) -> None:
+        super().__init__(types, params, scaling, cutoff, domain=domain)
         self._pair = params.pair_matrices(self.types)
 
     def drift(self, positions: np.ndarray) -> np.ndarray:
@@ -286,6 +319,7 @@ class DenseDriftEngine(DriftEngine):
             self.scaling,
             cutoff=self.cutoff,
             pair=self._pair,
+            domain=self.domain,
         )
 
     def drift_batch(self, positions: np.ndarray) -> np.ndarray:
@@ -296,6 +330,7 @@ class DenseDriftEngine(DriftEngine):
             self.scaling,
             cutoff=self.cutoff,
             pair=self._pair,
+            domain=self.domain,
         )
 
 
@@ -312,8 +347,9 @@ class SparseDriftEngine(DriftEngine):
         cutoff=None,
         *,
         neighbors: NeighborSearch | str = "kdtree",
+        domain: Domain | str | None = None,
     ) -> None:
-        super().__init__(types, params, scaling, cutoff)
+        super().__init__(types, params, scaling, cutoff, domain=domain)
         self.neighbors = get_neighbor_search(neighbors)
 
     @property
@@ -322,7 +358,7 @@ class SparseDriftEngine(DriftEngine):
 
     def drift(self, positions: np.ndarray) -> np.ndarray:
         positions = np.asarray(positions, dtype=float)
-        pairs = _sorted_pairs(*self.neighbors.pairs(positions, self._radius))
+        pairs = _sorted_pairs(*self.neighbors.pairs(positions, self._radius, self.domain))
         return drift_single(
             positions,
             self.types,
@@ -330,11 +366,18 @@ class SparseDriftEngine(DriftEngine):
             self.scaling,
             cutoff=self.cutoff,
             neighbor_pairs=pairs,
+            domain=self.domain,
         )
 
     def drift_batch(self, positions: np.ndarray) -> np.ndarray:
         return sparse_drift_batch(
-            positions, self.types, self.params, self.scaling, self.cutoff, self.neighbors
+            positions,
+            self.types,
+            self.params,
+            self.scaling,
+            self.cutoff,
+            self.neighbors,
+            domain=self.domain,
         )
 
 
@@ -350,6 +393,11 @@ class AdaptiveDriftEngine(DriftEngine):
     (or the reverse, if a collective disperses).  Switching is free of
     observable side effects: the bit-compatibility contract guarantees both
     delegates produce identical drift for identical positions.
+
+    On a *bounded* domain (periodic torus or reflecting box) the live
+    bounding box is meaningless — wrapped coordinates always span the box —
+    so the heuristic uses the fixed box size (``L/2`` as the characteristic
+    radius) instead, and re-resolution becomes a constant-time no-op.
     """
 
     name = "adaptive"
@@ -363,15 +411,16 @@ class AdaptiveDriftEngine(DriftEngine):
         *,
         neighbors: NeighborSearch | str = "kdtree",
         domain_radius: float | None = None,
+        domain: Domain | str | None = None,
     ) -> None:
-        super().__init__(types, params, scaling, cutoff)
+        super().__init__(types, params, scaling, cutoff, domain=domain)
         self.neighbors = get_neighbor_search(neighbors)
         self._delegates: dict[str, DriftEngine] = {}
         self._resolved = resolve_engine(
             "auto",
             n_particles=self.n_particles,
             cutoff=self.cutoff,
-            domain_radius=domain_radius,
+            domain_radius=heuristic_domain_radius(self.domain, domain_radius),
         )
 
     @property
@@ -384,11 +433,13 @@ class AdaptiveDriftEngine(DriftEngine):
         """The delegate engine currently evaluating the drift."""
         if self._resolved not in self._delegates:
             if self._resolved == "dense":
-                delegate = DenseDriftEngine(self.types, self.params, self.scaling, self.cutoff)
+                delegate = DenseDriftEngine(
+                    self.types, self.params, self.scaling, self.cutoff, domain=self.domain
+                )
             else:
                 delegate = SparseDriftEngine(
                     self.types, self.params, self.scaling, self.cutoff,
-                    neighbors=self.neighbors,
+                    neighbors=self.neighbors, domain=self.domain,
                 )
             self._delegates[self._resolved] = delegate
         return self._delegates[self._resolved]
@@ -397,8 +448,13 @@ class AdaptiveDriftEngine(DriftEngine):
         """Re-run the ``"auto"`` heuristic from the current bounding box.
 
         Returns the resolved kernel name; the switch (if any) takes effect
-        on the next drift evaluation and never changes its result.
+        on the next drift evaluation and never changes its result.  On a
+        bounded domain the characteristic radius is the fixed ``box / 2``
+        (see :func:`heuristic_domain_radius`), so the choice never moves and
+        the (m, n, 2) bounding-box scan is skipped entirely.
         """
+        if self.domain.bounded:
+            return self._resolved  # resolved once from box/2 at construction
         self._resolved = resolve_engine(
             "auto",
             n_particles=self.n_particles,
@@ -430,24 +486,30 @@ def make_engine(
     neighbors: NeighborSearch | str = "kdtree",
     domain_radius: float | None = None,
     adaptive: bool = False,
+    domain: Domain | str | None = None,
 ) -> DriftEngine:
     """Build a :class:`DriftEngine`, resolving ``"auto"`` with :func:`resolve_engine`.
 
     With ``adaptive=True`` (and ``engine="auto"``) the result is an
     :class:`AdaptiveDriftEngine` whose dense/sparse choice can be re-resolved
-    mid-run; otherwise ``"auto"`` is resolved once, here.
+    mid-run; otherwise ``"auto"`` is resolved once, here.  On a bounded
+    ``domain`` the characteristic radius used by ``"auto"`` is the fixed
+    ``box / 2`` regardless of ``domain_radius``.
     """
     types = np.asarray(types, dtype=int)
+    domain = get_domain(domain)
+    domain_radius = heuristic_domain_radius(domain, domain_radius)
     if adaptive and str(engine).lower() == "auto":
         return AdaptiveDriftEngine(
-            types, params, scaling, cutoff, neighbors=neighbors, domain_radius=domain_radius
+            types, params, scaling, cutoff,
+            neighbors=neighbors, domain_radius=domain_radius, domain=domain,
         )
     resolved = resolve_engine(
         engine, n_particles=types.size, cutoff=cutoff, domain_radius=domain_radius
     )
     if resolved == "dense":
-        return DenseDriftEngine(types, params, scaling, cutoff)
-    return SparseDriftEngine(types, params, scaling, cutoff, neighbors=neighbors)
+        return DenseDriftEngine(types, params, scaling, cutoff, domain=domain)
+    return SparseDriftEngine(types, params, scaling, cutoff, neighbors=neighbors, domain=domain)
 
 
 def engine_for_config(config: "SimulationConfig") -> DriftEngine:
@@ -459,6 +521,7 @@ def engine_for_config(config: "SimulationConfig") -> DriftEngine:
         scaling=config.force,
         cutoff=config.cutoff,
         neighbors=config.neighbor_backend,
-        domain_radius=config.disc_radius,
+        domain_radius=config.domain_radius,
         adaptive=config.auto_reresolve_every > 0,
+        domain=config.resolved_domain,
     )

@@ -33,12 +33,26 @@ from repro.parallel.pool import effective_n_jobs, parallel_map
 from repro.parallel.rng import seed_streams
 from repro.particles.engine import AdaptiveDriftEngine, engine_for_config
 from repro.particles.forces import net_force_norms
-from repro.particles.init_conditions import uniform_disc_ensemble
+from repro.particles.init_conditions import uniform_box_ensemble, uniform_disc_ensemble
 from repro.particles.integrators import get_integrator
 from repro.particles.model import SimulationConfig, _clip_drift
 from repro.particles.trajectory import EnsembleTrajectory
 
-__all__ = ["EnsembleSimulator", "simulate_ensemble", "EnsembleRunStats"]
+__all__ = ["EnsembleSimulator", "simulate_ensemble", "EnsembleRunStats", "initial_ensemble_for"]
+
+
+def initial_ensemble_for(
+    config: SimulationConfig, n_samples: int, rng
+) -> np.ndarray:
+    """Draw an ensemble's initial configurations for this config's domain.
+
+    The free plane keeps the paper's independent uniform discs; bounded
+    domains draw every sample uniformly in the box.  Shape ``(m, n, 2)``.
+    """
+    domain = config.resolved_domain
+    if domain.bounded:
+        return uniform_box_ensemble(n_samples, config.n_particles, domain.box, rng)
+    return uniform_disc_ensemble(n_samples, config.n_particles, config.disc_radius, rng)
 
 
 @dataclass(frozen=True)
@@ -93,9 +107,7 @@ class EnsembleSimulator:
 
     def initial_snapshot(self, rng: np.random.Generator) -> np.ndarray:
         """Draw the ensemble's initial configurations, shape ``(m, n, 2)``."""
-        return uniform_disc_ensemble(
-            self.n_samples, self.config.n_particles, self.config.disc_radius, rng
-        )
+        return initial_ensemble_for(self.config, self.n_samples, rng)
 
     def _drift(self, positions: np.ndarray) -> np.ndarray:
         drift = self._engine.drift_batch(positions)
@@ -114,6 +126,7 @@ class EnsembleSimulator:
         ``(n_steps + 1, batch)``.
         """
         config = self.config
+        domain = config.resolved_domain
         integrator = get_integrator(config.integrator, noise_variance=config.noise_variance)
         positions = np.asarray(initial, dtype=float).copy()
         frames = [positions.copy()] if record_initial else []
@@ -122,7 +135,7 @@ class EnsembleSimulator:
         adaptive = cadence and isinstance(self._engine, AdaptiveDriftEngine)
         for step in range(1, config.n_steps + 1):
             for _ in range(config.substeps):
-                positions = integrator.step(positions, self._drift, config.dt, rng)
+                positions = integrator.step(positions, self._drift, config.dt, rng, domain)
             frames.append(positions.copy())
             force_norms.append(net_force_norms(self._drift(positions)).sum(axis=-1))
             if adaptive and step % cadence == 0:
@@ -184,12 +197,7 @@ class _BatchTask:
 def _run_batch_task(task: _BatchTask) -> tuple[np.ndarray, np.ndarray]:
     """Module-level worker so the process-pool path can pickle its tasks."""
     simulator = EnsembleSimulator(task.config, task.n_batch_samples)
-    initial = uniform_disc_ensemble(
-        task.n_batch_samples,
-        task.config.n_particles,
-        task.config.disc_radius,
-        task.init_rng,
-    )
+    initial = initial_ensemble_for(task.config, task.n_batch_samples, task.init_rng)
     return simulator._run_batch(initial, task.dyn_rng)
 
 

@@ -27,6 +27,11 @@ contracts); both consume the per-pair weights produced by
 :func:`pair_interaction_weights` and agree bit-for-bit (see the
 bit-compatibility contract and the "Choosing an engine/backend" guide in
 :mod:`repro.particles.engine`).
+
+Both kernels take an optional :class:`~repro.particles.domain.Domain`: the
+displacement ``Δz_ij`` goes through ``domain.displacement()``, which is the
+minimum image on a periodic torus and plain subtraction on the free plane
+and in a reflecting box.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.particles.domain import Domain, get_domain
 from repro.particles.types import InteractionParams
 
 __all__ = [
@@ -174,14 +180,19 @@ def preferred_distance_curve(
 # ---------------------------------------------------------------------- #
 # drift evaluation
 # ---------------------------------------------------------------------- #
-def pairwise_distance_matrix(positions: np.ndarray) -> np.ndarray:
-    """Euclidean distance matrix for positions of shape ``(..., n, 2)``.
+def pairwise_distance_matrix(
+    positions: np.ndarray, domain: Domain | str | None = None
+) -> np.ndarray:
+    """Pairwise distance matrix for positions of shape ``(..., n, 2)``.
 
     Works for a single configuration ``(n, 2)`` or a batch ``(m, n, 2)``;
-    the result has shape ``(..., n, n)``.
+    the result has shape ``(..., n, n)``.  Distances follow the domain's
+    displacement convention (minimum-image on a periodic domain; plain
+    Euclidean by default).
     """
     positions = np.asarray(positions, dtype=float)
-    delta = positions[..., :, None, :] - positions[..., None, :, :]
+    domain = get_domain(domain)
+    delta = domain.displacement(positions[..., :, None, :], positions[..., None, :, :])
     return np.sqrt(np.einsum("...ijk,...ijk->...ij", delta, delta))
 
 
@@ -240,6 +251,7 @@ def drift_single(
     *,
     neighbor_pairs: tuple[np.ndarray, np.ndarray] | None = None,
     pair: Mapping[str, np.ndarray] | None = None,
+    domain: Domain | str | None = None,
 ) -> np.ndarray:
     """Deterministic drift ``Σ_j -F(d_ij) Δz_ij`` for one configuration.
 
@@ -265,10 +277,16 @@ def drift_single(
         Optional precomputed per-pair parameter matrices
         (``params.pair_matrices(types)``), reusable across time steps on the
         dense path; ignored when ``neighbor_pairs`` is given.
+    domain:
+        Simulation domain; pairwise displacements go through
+        :meth:`~repro.particles.domain.Domain.displacement` (minimum-image
+        on a periodic domain).  ``None`` means the free plane and evaluates
+        the exact same arithmetic as before domains existed.
     """
     positions = np.asarray(positions, dtype=float)
     types = np.asarray(types, dtype=int)
     scaling = get_force_scaling(scaling)
+    domain = get_domain(domain)
     n = positions.shape[0]
     if positions.shape != (n, 2):
         raise ValueError(f"positions must have shape (n, 2), got {positions.shape}")
@@ -277,7 +295,7 @@ def drift_single(
 
     if neighbor_pairs is not None:
         i_idx, j_idx = neighbor_pairs
-        delta = positions[i_idx] - positions[j_idx]
+        delta = domain.displacement(positions[i_idx], positions[j_idx])
         dist = np.sqrt(np.einsum("ij,ij->i", delta, delta))
         weights = pair_interaction_weights(
             dist, types[i_idx], types[j_idx], params, scaling, cutoff=cutoff
@@ -289,7 +307,7 @@ def drift_single(
 
     if pair is None:
         pair = params.pair_matrices(types)
-    delta = positions[:, None, :] - positions[None, :, :]
+    delta = domain.displacement(positions[:, None, :], positions[None, :, :])
     dist = np.sqrt(np.einsum("ijk,ijk->ij", delta, delta))
     weights = _interaction_weights(dist, pair, scaling, cutoff)
     return np.einsum("ij,ijk->ik", weights, delta)
@@ -303,22 +321,25 @@ def drift_batch(
     cutoff: float | None = None,
     *,
     pair: Mapping[str, np.ndarray] | None = None,
+    domain: Domain | str | None = None,
 ) -> np.ndarray:
     """Vectorised drift for an ensemble snapshot of shape ``(m, n, 2)``.
 
     All samples share the same type assignment (as in the paper's
     experiments), which lets the per-pair parameter matrices be computed once
     and broadcast across the ensemble axis.  ``pair`` allows the caller to
-    reuse those matrices across time steps.
+    reuse those matrices across time steps, and ``domain`` selects the
+    displacement convention (see :func:`drift_single`).
     """
     positions = np.asarray(positions, dtype=float)
     if positions.ndim != 3 or positions.shape[-1] != 2:
         raise ValueError(f"positions must have shape (m, n, 2), got {positions.shape}")
     types = np.asarray(types, dtype=int)
     scaling = get_force_scaling(scaling)
+    domain = get_domain(domain)
     if pair is None:
         pair = params.pair_matrices(types)
-    delta = positions[:, :, None, :] - positions[:, None, :, :]
+    delta = domain.displacement(positions[:, :, None, :], positions[:, None, :, :])
     dist = np.sqrt(np.einsum("mijk,mijk->mij", delta, delta))
     weights = -scaling.scale(dist, pair["k"], pair["r"], pair["sigma"], pair["tau"])
     n = positions.shape[1]

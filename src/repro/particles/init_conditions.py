@@ -13,7 +13,14 @@ import numpy as np
 
 from repro.parallel.rng import as_generator
 
-__all__ = ["uniform_disc", "uniform_disc_ensemble", "grid_layout", "default_disc_radius"]
+__all__ = [
+    "uniform_disc",
+    "uniform_disc_ensemble",
+    "uniform_box",
+    "uniform_box_ensemble",
+    "grid_layout",
+    "default_disc_radius",
+]
 
 
 def default_disc_radius(n_particles: int, target_density: float = 1.0) -> float:
@@ -73,6 +80,43 @@ def uniform_disc_ensemble(
     angles = rng.uniform(0.0, 2.0 * np.pi, size=(n_samples, n_particles))
     points = np.stack([radii * np.cos(angles), radii * np.sin(angles)], axis=-1)
     return points + np.asarray(center, dtype=float)
+
+
+def uniform_box(
+    n_particles: int,
+    box: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Sample ``n_particles`` points uniformly in the square box ``[0, box)²``.
+
+    The natural initial condition for bounded domains (periodic torus or
+    reflecting box): it is invariant under the torus translations the wrapped
+    dynamics preserve, and the box side — not the particle count — fixes the
+    density.  Returns an ``(n_particles, 2)`` array.
+    """
+    if n_particles < 0:
+        raise ValueError("n_particles must be non-negative")
+    if box <= 0:
+        raise ValueError("box must be positive")
+    rng = as_generator(rng)
+    return rng.uniform(0.0, box, size=(n_particles, 2))
+
+
+def uniform_box_ensemble(
+    n_samples: int,
+    n_particles: int,
+    box: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Sample an ensemble of box configurations, shape ``(n_samples, n_particles, 2)``."""
+    if n_samples < 0:
+        raise ValueError("n_samples must be non-negative")
+    if n_particles < 0:
+        raise ValueError("n_particles must be non-negative")
+    if box <= 0:
+        raise ValueError("box must be positive")
+    rng = as_generator(rng)
+    return rng.uniform(0.0, box, size=(n_samples, n_particles, 2))
 
 
 def grid_layout(n_particles: int, spacing: float = 1.0) -> np.ndarray:

@@ -26,6 +26,7 @@ from typing import Callable
 import numpy as np
 
 from repro.parallel.rng import as_generator
+from repro.particles.domain import Domain
 
 __all__ = [
     "Integrator",
@@ -64,14 +65,26 @@ class Integrator(abc.ABC):
         drift_fn: DriftFn,
         dt: float,
         rng: np.random.Generator,
+        domain: Domain | None = None,
     ) -> np.ndarray:
-        """Advance ``positions`` (any shape ``(..., 2)``) by one step of size ``dt``."""
+        """Advance ``positions`` (any shape ``(..., 2)``) by one step of size ``dt``.
+
+        When a :class:`~repro.particles.domain.Domain` is given, the updated
+        positions are mapped back onto the domain's canonical coordinates
+        (wrapped on a torus, reflected in a closed box) after every stage of
+        the scheme — intermediate states such as Heun's predictor included.
+        ``None`` (or the free domain) leaves positions untouched.
+        """
 
     def _noise(self, shape: tuple[int, ...], dt: float, rng: np.random.Generator) -> np.ndarray:
         if self.noise_variance == 0.0:
             return np.zeros(shape)
         scale = np.sqrt(dt * self.noise_variance)
         return scale * rng.standard_normal(shape)
+
+    @staticmethod
+    def _confine(positions: np.ndarray, domain: Domain | None) -> np.ndarray:
+        return positions if domain is None else domain.wrap(positions)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}(noise_variance={self.noise_variance})"
@@ -82,12 +95,13 @@ class EulerMaruyama(Integrator):
 
     name = "euler-maruyama"
 
-    def step(self, positions, drift_fn, dt, rng) -> np.ndarray:
+    def step(self, positions, drift_fn, dt, rng, domain=None) -> np.ndarray:
         positions = np.asarray(positions, dtype=float)
         if dt <= 0:
             raise ValueError("dt must be positive")
         drift = drift_fn(positions)
-        return positions + dt * drift + self._noise(positions.shape, dt, rng)
+        moved = positions + dt * drift + self._noise(positions.shape, dt, rng)
+        return self._confine(moved, domain)
 
 
 class StochasticHeun(Integrator):
@@ -100,15 +114,15 @@ class StochasticHeun(Integrator):
 
     name = "heun"
 
-    def step(self, positions, drift_fn, dt, rng) -> np.ndarray:
+    def step(self, positions, drift_fn, dt, rng, domain=None) -> np.ndarray:
         positions = np.asarray(positions, dtype=float)
         if dt <= 0:
             raise ValueError("dt must be positive")
         noise = self._noise(positions.shape, dt, rng)
         drift_here = drift_fn(positions)
-        predictor = positions + dt * drift_here + noise
+        predictor = self._confine(positions + dt * drift_here + noise, domain)
         drift_there = drift_fn(predictor)
-        return positions + 0.5 * dt * (drift_here + drift_there) + noise
+        return self._confine(positions + 0.5 * dt * (drift_here + drift_there) + noise, domain)
 
 
 INTEGRATORS: dict[str, type[Integrator]] = {
@@ -142,11 +156,13 @@ def simulate_path(
     noise_variance: float = DEFAULT_NOISE_VARIANCE,
     rng: np.random.Generator | int | None = None,
     record_every: int = 1,
+    domain: Domain | None = None,
 ) -> np.ndarray:
     """Integrate a path and return recorded frames, shape ``(n_frames, ..., 2)``.
 
     The initial state is always the first recorded frame.  ``record_every``
-    thins the stored trajectory without changing the dynamics.
+    thins the stored trajectory without changing the dynamics; ``domain``
+    confines positions after every step (see :meth:`Integrator.step`).
     """
     if n_steps < 0:
         raise ValueError("n_steps must be non-negative")
@@ -157,7 +173,7 @@ def simulate_path(
     current = np.asarray(positions, dtype=float).copy()
     frames = [current.copy()]
     for step_index in range(1, n_steps + 1):
-        current = stepper.step(current, drift_fn, dt, rng)
+        current = stepper.step(current, drift_fn, dt, rng, domain)
         if step_index % record_every == 0:
             frames.append(current.copy())
     return np.stack(frames, axis=0)

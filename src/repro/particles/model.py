@@ -20,16 +20,22 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.parallel.rng import as_generator
-from repro.particles.engine import AdaptiveDriftEngine, engine_for_config, resolve_engine
+from repro.particles.domain import Domain, get_domain
+from repro.particles.engine import (
+    AdaptiveDriftEngine,
+    engine_for_config,
+    heuristic_domain_radius,
+    resolve_engine,
+)
 from repro.particles.equilibrium import EquilibriumDetector
 from repro.particles.forces import get_force_scaling, net_force_norms
-from repro.particles.init_conditions import default_disc_radius, uniform_disc
+from repro.particles.init_conditions import default_disc_radius, uniform_box, uniform_disc
 from repro.particles.integrators import DEFAULT_NOISE_VARIANCE, get_integrator
 from repro.particles.neighbors import get_neighbor_search
 from repro.particles.trajectory import Trajectory
 from repro.particles.types import InteractionParams, type_counts_to_assignment
 
-__all__ = ["SimulationConfig", "ParticleSystem"]
+__all__ = ["SimulationConfig", "ParticleSystem", "initial_positions_for"]
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,16 @@ class SimulationConfig:
         ``"F1"`` (Eq. 7) or ``"F2"`` (Eq. 8).
     cutoff:
         Interaction radius ``r_c``; ``None`` or ``inf`` disables the cut-off.
+    domain:
+        Simulation domain spec: ``"free"`` (the paper's unbounded plane,
+        default), ``"periodic:<L>"`` (square torus ``[0, L)²`` with
+        minimum-image interactions) or ``"reflecting:<L>"`` (closed box with
+        reflecting walls).  A :class:`~repro.particles.domain.Domain`
+        instance is accepted and normalised to its canonical spec string.
+        Bounded domains draw their initial configurations uniformly in the
+        box (the disc radius is ignored) and confine positions after every
+        integration step; on the torus a finite cut-off must satisfy
+        ``r_c <= L/2`` (minimum-image convention).
     dt:
         Integration step size.  The paper reports results per *time step*;
         one recorded step corresponds to ``substeps`` integration steps of
@@ -103,6 +119,7 @@ class SimulationConfig:
     params: InteractionParams
     force: str = "F2"
     cutoff: float | None = None
+    domain: str = "free"
     dt: float = 0.05
     substeps: int = 1
     n_steps: int = 250
@@ -146,6 +163,11 @@ class SimulationConfig:
         get_integrator(self.integrator)
         get_neighbor_search(self.neighbor_backend)
         resolve_engine(self.engine, n_particles=sum(counts), cutoff=self.cutoff)
+        # Normalise the domain to its canonical spec string (a Domain
+        # instance is accepted) and check it against the cut-off.
+        domain = get_domain(self.domain)
+        domain.validate_cutoff(self.cutoff)
+        object.__setattr__(self, "domain", domain.spec)
 
     # ------------------------------------------------------------------ #
     @property
@@ -165,10 +187,26 @@ class SimulationConfig:
 
     @property
     def disc_radius(self) -> float:
-        """Radius of the initial uniform disc."""
+        """Radius of the initial uniform disc (free domain only)."""
         if self.init_radius is not None:
             return float(self.init_radius)
         return default_disc_radius(self.n_particles)
+
+    @property
+    def resolved_domain(self) -> Domain:
+        """The :class:`~repro.particles.domain.Domain` instance this config selects."""
+        return get_domain(self.domain)
+
+    @property
+    def domain_radius(self) -> float:
+        """Characteristic radius of the configuration's geometry.
+
+        ``box / 2`` on bounded domains, the initial disc radius on the free
+        plane — what the ``"auto"`` engine heuristic compares the cut-off
+        against (see :func:`repro.particles.engine.heuristic_domain_radius`,
+        the single definition of the bounded-domain rule).
+        """
+        return heuristic_domain_radius(self.resolved_domain, self.disc_radius)
 
     @property
     def effective_cutoff(self) -> float:
@@ -184,7 +222,7 @@ class SimulationConfig:
             self.engine,
             n_particles=self.n_particles,
             cutoff=self.cutoff,
-            domain_radius=self.disc_radius,
+            domain_radius=self.domain_radius,
         )
 
     def with_updates(self, **changes: Any) -> "SimulationConfig":
@@ -192,8 +230,15 @@ class SimulationConfig:
         return replace(self, **changes)
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serialisable representation (used by the experiment registry)."""
-        return {
+        """JSON-serialisable representation (used by the experiment registry).
+
+        The ``domain`` key is *omitted* when it is the default free plane:
+        this representation feeds the content hash of
+        :func:`repro.core.plan.unit_content_hash`, and omit-when-default
+        keeps every pre-existing free-space hash (and therefore every warm
+        :class:`~repro.io.artifacts.RunStore`) byte-for-byte valid.
+        """
+        payload = {
             "type_counts": list(self.type_counts),
             "params": self.params.to_dict(),
             "force": self.force,
@@ -211,14 +256,33 @@ class SimulationConfig:
             "equilibrium_threshold": self.equilibrium_threshold,
             "equilibrium_patience": self.equilibrium_patience,
         }
+        if self.domain != "free":
+            payload["domain"] = self.domain
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (a missing ``domain`` key means free space)."""
         payload = dict(data)
         payload["type_counts"] = tuple(payload["type_counts"])
         payload["params"] = InteractionParams.from_dict(payload["params"])
         return cls(**payload)
+
+
+def initial_positions_for(
+    config: SimulationConfig, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Draw one initial configuration for this config's domain.
+
+    The free plane keeps the paper's uniform disc; bounded domains (periodic
+    torus, reflecting box) draw uniformly in the box — the box side, not the
+    particle count, then controls the density.
+    """
+    rng = as_generator(rng)
+    domain = config.resolved_domain
+    if domain.bounded:
+        return uniform_box(config.n_particles, domain.box, rng)
+    return uniform_disc(config.n_particles, config.disc_radius, rng)
 
 
 def _clip_drift(drift: np.ndarray, max_norm: float | None) -> np.ndarray:
@@ -253,13 +317,14 @@ class ParticleSystem:
         self.config = config
         self.rng = as_generator(rng)
         self.types = config.types
+        self._domain = config.resolved_domain
         self._integrator = get_integrator(config.integrator, noise_variance=config.noise_variance)
         self._engine = engine_for_config(config)
         self._equilibrium = EquilibriumDetector(
             threshold=config.equilibrium_threshold, patience=config.equilibrium_patience
         )
         if initial_positions is None:
-            self.positions = uniform_disc(config.n_particles, config.disc_radius, self.rng)
+            self.positions = initial_positions_for(config, self.rng)
         else:
             initial_positions = np.asarray(initial_positions, dtype=float)
             if initial_positions.shape != (config.n_particles, 2):
@@ -267,7 +332,9 @@ class ParticleSystem:
                     f"initial_positions must have shape ({config.n_particles}, 2), "
                     f"got {initial_positions.shape}"
                 )
-            self.positions = initial_positions.copy()
+            # Externally supplied states are mapped onto the domain's
+            # canonical coordinates (identity on the free plane).
+            self.positions = self._domain.wrap(initial_positions.copy())
         self._step_count = 0
 
     # ------------------------------------------------------------------ #
@@ -304,7 +371,7 @@ class ParticleSystem:
         """Advance by one recorded time step (``config.substeps`` integration steps)."""
         for _ in range(self.config.substeps):
             self.positions = self._integrator.step(
-                self.positions, self.drift, self.config.dt, self.rng
+                self.positions, self.drift, self.config.dt, self.rng, self._domain
             )
         self._step_count += 1
         self._equilibrium.update(self.drift())

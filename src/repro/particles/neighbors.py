@@ -28,11 +28,28 @@ Three backends trade construction cost against query cost:
   Good single-snapshot performance for large n with non-uniform density,
   but its batched query falls back to one tree build + query per sample.
 
-All backends return the same representation: ordered index pairs
+Domains
+-------
+Every query takes an optional :class:`~repro.particles.domain.Domain`.  On
+the default free plane (and in a reflecting box, whose displacements are the
+free-space ones) the geometry is Euclidean; on a :class:`PeriodicDomain`
+distances follow the minimum-image convention and each backend adapts its
+candidate search: the brute force evaluates minimum-image distances
+directly, the kdtree builds a torus tree (``cKDTree(boxsize=L)``), and the
+cell list switches from ghost-padded cells to *modular* cell hashing — the
+3×3 neighbourhood wraps around the box instead of being padded — including
+the batched query.  Degenerate wrapped geometries (fewer than three cells
+per axis, a cut-off beyond ``L/2``) fall back to the minimum-image brute
+force so the backends always agree.
+
+All backends return the same representation: ordered ``int64`` index pairs
 ``(i_idx, j_idx)`` with ``i != j`` and ``dist(i, j) <= radius`` (both
 orientations present), which is what the sparse drift kernel consumes, and
 are pinned against each other by a cross-backend fuzz suite
-(``tests/test_neighbors_fuzz.py``).
+(``tests/test_neighbors_fuzz.py``) on all three domains.  A non-finite
+radius is validated centrally: ``NaN`` is rejected by every backend and
+``inf`` means "every ordered pair" everywhere (single and batched queries
+alike).
 """
 
 from __future__ import annotations
@@ -41,6 +58,8 @@ import abc
 
 import numpy as np
 from scipy.spatial import cKDTree
+
+from repro.particles.domain import Domain, PeriodicDomain, get_domain
 
 __all__ = [
     "NeighborSearch",
@@ -58,10 +77,14 @@ class NeighborSearch(abc.ABC):
     name: str = ""
 
     @abc.abstractmethod
-    def pairs(self, positions: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:
+    def pairs(
+        self, positions: np.ndarray, radius: float, domain: Domain | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Return ordered interacting pairs ``(i_idx, j_idx)`` within ``radius``."""
 
-    def neighbor_lists(self, positions: np.ndarray, radius: float) -> list[np.ndarray]:
+    def neighbor_lists(
+        self, positions: np.ndarray, radius: float, domain: Domain | None = None
+    ) -> list[np.ndarray]:
         """Per-particle arrays of neighbour indices, each sorted ascending.
 
         Derived from :meth:`pairs` with a single lexicographic sort and
@@ -71,14 +94,14 @@ class NeighborSearch(abc.ABC):
         n = np.asarray(positions).shape[0]
         if n == 0:
             return []
-        i_idx, j_idx = self.pairs(positions, radius)
+        i_idx, j_idx = self.pairs(positions, radius, domain)
         order = np.lexsort((j_idx, i_idx))
-        j_sorted = np.asarray(j_idx, dtype=int)[order]
-        counts = np.bincount(np.asarray(i_idx, dtype=int), minlength=n)
+        j_sorted = np.asarray(j_idx, dtype=np.int64)[order]
+        counts = np.bincount(np.asarray(i_idx, dtype=np.int64), minlength=n)
         return np.split(j_sorted, np.cumsum(counts[:-1]))
 
     def pairs_batch(
-        self, positions: np.ndarray, radius: float
+        self, positions: np.ndarray, radius: float, domain: Domain | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Interacting pairs for a batch of configurations ``(m, n, 2)``.
 
@@ -92,12 +115,12 @@ class NeighborSearch(abc.ABC):
         This generic implementation loops over samples; the cell list
         overrides it with a single vectorised query over the whole snapshot.
         """
-        positions = _validate_batch(positions)
+        positions = _validate_batch(positions, radius)
         m, n, _ = positions.shape
         i_parts: list[np.ndarray] = []
         j_parts: list[np.ndarray] = []
         for sample in range(m):
-            i_idx, j_idx = self.pairs(positions[sample], radius)
+            i_idx, j_idx = self.pairs(positions[sample], radius, domain)
             offset = sample * n
             i_parts.append(np.asarray(i_idx, dtype=np.int64) + offset)
             j_parts.append(np.asarray(j_idx, dtype=np.int64) + offset)
@@ -110,7 +133,7 @@ class NeighborSearch(abc.ABC):
         return i_all[order], j_all[order]
 
     def neighbor_lists_batch(
-        self, positions: np.ndarray, radius: float
+        self, positions: np.ndarray, radius: float, domain: Domain | None = None
     ) -> list[list[np.ndarray]]:
         """Per-sample, per-particle neighbour lists for a batch ``(m, n, 2)``.
 
@@ -119,11 +142,11 @@ class NeighborSearch(abc.ABC):
         split — the indices in each array are *local* to the sample (in
         ``[0, n)``) and sorted ascending.
         """
-        positions = _validate_batch(positions)
+        positions = _validate_batch(positions, radius)
         m, n, _ = positions.shape
         if n == 0:
             return [[] for _ in range(m)]
-        i_idx, j_idx = self.pairs_batch(positions, radius)
+        i_idx, j_idx = self.pairs_batch(positions, radius, domain)
         counts = np.bincount(i_idx, minlength=m * n)
         # pairs_batch is lex-sorted by flattened (i, j), so j % n stays
         # ascending within each particle's contiguous block.
@@ -134,19 +157,34 @@ class NeighborSearch(abc.ABC):
         return f"{type(self).__name__}()"
 
 
+def _validate_radius(radius: float) -> float:
+    """Shared radius validation: reject NaN (and non-positive) everywhere.
+
+    ``inf`` passes — it means "every ordered pair" and every backend (single
+    and batched queries alike) honours it by delegating to the all-pairs
+    path, so the backends agree on non-finite radii by construction.
+    """
+    radius = float(radius)
+    if np.isnan(radius):
+        raise ValueError("radius must not be NaN")
+    if not radius > 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    return radius
+
+
 def _validate(positions: np.ndarray, radius: float) -> np.ndarray:
     positions = np.asarray(positions, dtype=float)
     if positions.ndim != 2 or positions.shape[1] != 2:
         raise ValueError(f"positions must have shape (n, 2), got {positions.shape}")
-    if not radius > 0:
-        raise ValueError(f"radius must be positive, got {radius}")
+    _validate_radius(radius)
     return positions
 
 
-def _validate_batch(positions: np.ndarray) -> np.ndarray:
+def _validate_batch(positions: np.ndarray, radius: float) -> np.ndarray:
     positions = np.asarray(positions, dtype=float)
     if positions.ndim != 3 or positions.shape[-1] != 2:
         raise ValueError(f"positions must have shape (m, n, 2), got {positions.shape}")
+    _validate_radius(radius)
     return positions
 
 
@@ -155,17 +193,20 @@ class BruteForceNeighbors(NeighborSearch):
 
     name = "brute"
 
-    def pairs(self, positions: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:
+    def pairs(
+        self, positions: np.ndarray, radius: float, domain: Domain | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         positions = _validate(positions, radius)
+        domain = get_domain(domain)
         if not np.isfinite(radius):
             n = positions.shape[0]
             i_idx, j_idx = np.nonzero(~np.eye(n, dtype=bool))
-            return i_idx, j_idx
-        delta = positions[:, None, :] - positions[None, :, :]
+            return i_idx.astype(np.int64), j_idx.astype(np.int64)
+        delta = domain.displacement(positions[:, None, :], positions[None, :, :])
         dist = np.sqrt(np.einsum("ijk,ijk->ij", delta, delta))
         mask = (dist <= radius) & ~np.eye(positions.shape[0], dtype=bool)
         i_idx, j_idx = np.nonzero(mask)
-        return i_idx, j_idx
+        return i_idx.astype(np.int64), j_idx.astype(np.int64)
 
 
 # ---------------------------------------------------------------------- #
@@ -174,7 +215,7 @@ class BruteForceNeighbors(NeighborSearch):
 def _grid_ids(
     positions: np.ndarray, radius: float, sample: np.ndarray | None = None
 ) -> tuple[np.ndarray, int] | None:
-    """Flattened, padded cell id per particle, plus the row stride.
+    """Flattened, padded cell id per particle, plus the row stride (free plane).
 
     Cells of size ``radius`` are shifted to non-negative coordinates and
     padded by one ghost cell on every side, so the id of the cell at offset
@@ -201,6 +242,41 @@ def _grid_ids(
     return ids, stride
 
 
+def _wrapped_grid_cells(box: float, radius: float, n_blocks: int = 1) -> int | None:
+    """Cells per axis of the modular (torus) grid, or ``None`` if unusable.
+
+    The wrapped 3×3 shell visits each unordered cell pair exactly once only
+    when there are at least three cells per axis (with fewer, a forward
+    offset and its wrap-around alias land on the same cell and candidates
+    duplicate), so tiny boxes fall back to the minimum-image brute force.
+    The cell side is held a hair *above* the radius — ``L / nc >= r_c (1 +
+    1e-9)`` — so a pair exactly at the cut-off straddling the seam can never
+    round out of the wrapped shell.
+    """
+    ratio = box / (radius * (1.0 + 1e-9))
+    if not np.isfinite(ratio) or ratio >= 2**31:
+        return None  # astronomically fine grid: id space would overflow
+    nc = int(ratio)
+    if nc < 3:
+        return None
+    if n_blocks * nc * nc >= np.iinfo(np.int64).max // 2:
+        return None
+    return nc
+
+
+def _wrapped_cell_ids(
+    wrapped: np.ndarray, box: float, nc: int, sample: np.ndarray | None = None
+) -> np.ndarray:
+    """Flattened modular cell id per (wrapped) particle position."""
+    cells = np.floor(wrapped / (box / nc)).astype(np.int64)
+    # Positions within an ulp of the box edge can round into cell nc.
+    np.minimum(cells, nc - 1, out=cells)
+    ids = cells[:, 0] * nc + cells[:, 1]
+    if sample is not None:
+        ids += sample * (nc * nc)
+    return ids
+
+
 #: Half-shell neighbour-cell offsets ``(dx, dy)``: together with the
 #: within-cell rank pairs they cover every unordered candidate pair exactly
 #: once; the reverse orientations are added by mirroring after the distance
@@ -209,7 +285,11 @@ _HALF_SHELL = ((0, 1), (1, -1), (1, 0), (1, 1))
 
 
 def _hashed_pairs(
-    positions: np.ndarray, ids: np.ndarray, stride: int, radius: float
+    positions: np.ndarray,
+    ids: np.ndarray,
+    stride: int,
+    radius: float,
+    wrap: tuple[float, int] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exact ordered pairs from flattened cell ids — no Python loop over anything.
 
@@ -221,6 +301,14 @@ def _hashed_pairs(
     expansion over contiguous, cell-sorted coordinate arrays, filtered by
     exact distance, then mirrored and lex-sorted into the canonical
     ``(i, j)`` order.
+
+    ``wrap`` switches the grid to the modular torus layout: a ``(box, nc)``
+    pair makes the half-shell targets wrap modulo ``nc`` per spatial axis
+    (the sample block of batched ids is preserved) and the exact distance
+    filter use minimum-image displacements — the same arithmetic as
+    :meth:`repro.particles.domain.PeriodicDomain.displacement` on wrapped
+    coordinates, so the filter agrees bit-for-bit with the brute-force
+    reference and the drift kernels.
     """
     n_total = positions.shape[0]
     order = np.argsort(ids, kind="stable")
@@ -239,13 +327,21 @@ def _hashed_pairs(
     positions_idx = np.arange(n_total)
     rank = positions_idx - starts[cell_of]
 
+    if wrap is not None:
+        _, nc = wrap
+        block, rem = np.divmod(unique_ids, nc * nc)
+        cell_x, cell_y = np.divmod(rem, nc)
+
     # Candidate block per (shell entry, sorted particle): within-cell pairs
     # (strictly later ranks of the same bucket) plus the four forward
     # neighbour buckets of the half shell.
     cand_counts = [counts[cell_of] - rank - 1]
     cand_starts = [positions_idx + 1]
     for dx, dy in _HALF_SHELL:
-        target = unique_ids + (dx * stride + dy)
+        if wrap is None:
+            target = unique_ids + (dx * stride + dy)
+        else:
+            target = block * (nc * nc) + ((cell_x + dx) % nc) * nc + ((cell_y + dy) % nc)
         slot = np.minimum(np.searchsorted(unique_ids, target), unique_ids.size - 1)
         occupied = unique_ids[slot] == target
         block_count = np.where(occupied, counts[slot], 0)
@@ -265,6 +361,10 @@ def _hashed_pairs(
 
     dx_ = xs.take(i_s) - xs.take(j_s)
     dy_ = ys.take(i_s) - ys.take(j_s)
+    if wrap is not None:
+        box = wrap[0]
+        dx_ -= box * np.round(dx_ / box)
+        dy_ -= box * np.round(dy_ / box)
     dist_sq = dx_ * dx_ + dy_ * dy_
     # Cheap squared-distance pre-filter (slightly loose), then the exact
     # sqrt-based comparison on the survivors: for pairs exactly at the
@@ -309,83 +409,124 @@ class CellListNeighbors(NeighborSearch):
     expansion); there is no Python loop over particles, pairs, cells or
     samples.
 
+    On a periodic domain the grid becomes *modular*: positions are wrapped
+    into the box, cell ids are taken modulo the per-axis cell count and the
+    3×3 shell wraps around the seam instead of reaching into ghost padding —
+    the same pure array program, including the batched sample-id variant.
+
     Degenerate geometries fall out of the same code path: a radius larger
     than the bounding box (or all particles in one cell) degrades to the
-    brute-force candidate set, and single-particle or empty systems return
-    empty pair arrays.
+    brute-force candidate set, wrapped grids with fewer than three cells per
+    axis fall back to the minimum-image brute force, and single-particle or
+    empty systems return empty pair arrays.
     """
 
     name = "cell"
 
-    def pairs(self, positions: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:
+    def pairs(
+        self, positions: np.ndarray, radius: float, domain: Domain | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         positions = _validate(positions, radius)
+        domain = get_domain(domain)
         if not np.isfinite(radius):
-            return BruteForceNeighbors().pairs(positions, radius)
+            return BruteForceNeighbors().pairs(positions, radius, domain)
         if positions.shape[0] < 2:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
+        if isinstance(domain, PeriodicDomain):
+            nc = _wrapped_grid_cells(domain.box, radius)
+            if nc is None:  # box too small (or grid too fine) for the wrapped shell
+                return BruteForceNeighbors().pairs(positions, radius, domain)
+            wrapped = domain.wrap(positions)
+            ids = _wrapped_cell_ids(wrapped, domain.box, nc)
+            pairs = _hashed_pairs(wrapped, ids, nc, radius, wrap=(domain.box, nc))
+            return _lex_sorted(*pairs, positions.shape[0])
         grid = _grid_ids(positions, radius)
         if grid is None:  # astronomically wide bounding box: id space overflow
-            return KDTreeNeighbors().pairs(positions, radius)
+            return KDTreeNeighbors().pairs(positions, radius, domain)
         ids, stride = grid
         pairs = _hashed_pairs(positions, ids, stride, radius)
         return _lex_sorted(*pairs, positions.shape[0])
 
     def pairs_batch(
-        self, positions: np.ndarray, radius: float
+        self, positions: np.ndarray, radius: float, domain: Domain | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Hash *all* samples in one shot by prepending a sample-id coordinate.
 
-        Every sample gets its own padded block of cell ids, so one sort over
-        the flattened ``(m · n,)`` id array (buckets read off its boundary
-        flags) covers the whole ensemble snapshot, and cross-sample pairs
-        are structurally impossible.  Output follows the base-class
-        contract: flattened indices in lexicographic ``(sample, i, j)``
-        order.
+        Every sample gets its own block of cell ids (padded on the free
+        plane, modular on the torus), so one sort over the flattened
+        ``(m · n,)`` id array (buckets read off its boundary flags) covers
+        the whole ensemble snapshot, and cross-sample pairs are structurally
+        impossible.  Output follows the base-class contract: flattened
+        indices in lexicographic ``(sample, i, j)`` order.
         """
-        positions = _validate_batch(positions)
-        if not radius > 0:
-            raise ValueError(f"radius must be positive, got {radius}")
+        positions = _validate_batch(positions, radius)
+        domain = get_domain(domain)
         m, n, _ = positions.shape
         if m * n == 0 or not np.isfinite(radius):
-            return super().pairs_batch(positions, radius)
+            return super().pairs_batch(positions, radius, domain)
+        if isinstance(domain, PeriodicDomain):
+            nc = _wrapped_grid_cells(domain.box, radius, n_blocks=m)
+            if nc is None:
+                return super().pairs_batch(positions, radius, domain)
+            flat = domain.wrap(positions.reshape(m * n, 2))
+            sample = np.repeat(np.arange(m, dtype=np.int64), n)
+            ids = _wrapped_cell_ids(flat, domain.box, nc, sample=sample)
+            pairs = _hashed_pairs(flat, ids, nc, radius, wrap=(domain.box, nc))
+            return _lex_sorted(*pairs, m * n)
         flat = positions.reshape(m * n, 2)
         sample = np.repeat(np.arange(m, dtype=np.int64), n)
         grid = _grid_ids(flat, radius, sample=sample)
         if grid is None:
-            return super().pairs_batch(positions, radius)
+            return super().pairs_batch(positions, radius, domain)
         ids, stride = grid
         pairs = _hashed_pairs(flat, ids, stride, radius)
         return _lex_sorted(*pairs, m * n)
 
 
 class KDTreeNeighbors(NeighborSearch):
-    """SciPy cKDTree radius query (good for large n with moderate density)."""
+    """SciPy cKDTree radius query (good for large n with moderate density).
+
+    On a periodic domain the tree itself is periodic
+    (``cKDTree(boxsize=L)`` over wrapped coordinates); candidate pairs are
+    re-filtered with the exact minimum-image distance so the pair set
+    matches the brute-force reference bit-for-bit.
+    """
 
     name = "kdtree"
 
-    def pairs(self, positions: np.ndarray, radius: float) -> tuple[np.ndarray, np.ndarray]:
+    def pairs(
+        self, positions: np.ndarray, radius: float, domain: Domain | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         positions = _validate(positions, radius)
+        domain = get_domain(domain)
         if not np.isfinite(radius):
-            return BruteForceNeighbors().pairs(positions, radius)
+            return BruteForceNeighbors().pairs(positions, radius, domain)
         if positions.shape[0] == 0:
-            empty = np.empty(0, dtype=int)
+            empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        tree = cKDTree(positions)
         # The tree prunes on squared distances, which can exclude pairs whose
         # rounded Euclidean distance lands exactly on the radius — pairs the
         # dense kernel includes.  Query a few ulps wide, then apply the same
-        # sqrt-based filter as BruteForceNeighbors.
+        # displacement-based sqrt filter as BruteForceNeighbors.
         query_radius = radius * (1.0 + 1e-12)
+        if isinstance(domain, PeriodicDomain):
+            if 2.0 * query_radius >= domain.box:
+                # A periodic tree cannot search past half the box; the
+                # minimum-image brute force handles the tiny-box regime.
+                return BruteForceNeighbors().pairs(positions, radius, domain)
+            tree = cKDTree(domain.wrap(positions), boxsize=domain.box)
+        else:
+            tree = cKDTree(positions)
         unordered = tree.query_pairs(r=query_radius, output_type="ndarray")
         if unordered.size == 0:
-            empty = np.empty(0, dtype=int)
+            empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        delta = positions[unordered[:, 0]] - positions[unordered[:, 1]]
+        delta = domain.displacement(positions[unordered[:, 0]], positions[unordered[:, 1]])
         keep = np.sqrt(np.einsum("ij,ij->i", delta, delta)) <= radius
         unordered = unordered[keep]
-        i_idx = np.concatenate([unordered[:, 0], unordered[:, 1]])
-        j_idx = np.concatenate([unordered[:, 1], unordered[:, 0]])
+        i_idx = np.concatenate([unordered[:, 0], unordered[:, 1]]).astype(np.int64)
+        j_idx = np.concatenate([unordered[:, 1], unordered[:, 0]]).astype(np.int64)
         return i_idx, j_idx
 
 

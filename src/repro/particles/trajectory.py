@@ -21,7 +21,9 @@ __all__ = ["Trajectory", "EnsembleTrajectory"]
 
 
 def _validate_types(types: np.ndarray, n_particles: int) -> np.ndarray:
-    types = np.asarray(types, dtype=int)
+    # int64 explicitly: these arrays are persisted into .npz artifacts, which
+    # must not pick up the platform-dependent meaning of ``dtype=int``.
+    types = np.asarray(types, dtype=np.int64)
     if types.shape != (n_particles,):
         raise ValueError(f"types must have shape ({n_particles},), got {types.shape}")
     if types.size and types.min() < 0:

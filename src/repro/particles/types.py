@@ -53,15 +53,20 @@ def type_counts_to_assignment(counts: Sequence[int]) -> np.ndarray:
 
     ``[3, 2]`` → ``[0, 0, 0, 1, 1]``.  The assignment is fixed for the whole
     simulation run (types never change, §5.1).
+
+    The dtype is explicitly ``int64``: ``dtype=int`` is platform-dependent
+    (int32 on Windows), and this array flows into serialised run documents
+    whose bytes participate in content hashes — those must not vary by
+    platform.
     """
-    counts = np.asarray(counts, dtype=int)
+    counts = np.asarray(counts, dtype=np.int64)
     if counts.ndim != 1 or counts.size == 0:
         raise ValueError("counts must be a non-empty 1-D sequence")
     if np.any(counts < 0):
         raise ValueError("counts must be non-negative")
     if counts.sum() == 0:
         raise ValueError("at least one particle is required")
-    return np.repeat(np.arange(counts.size), counts)
+    return np.repeat(np.arange(counts.size, dtype=np.int64), counts)
 
 
 @dataclass(frozen=True)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
@@ -12,14 +14,22 @@ from repro.particles.types import InteractionParams
 
 # Property-based tests exercise numerical kernels whose runtime varies a lot
 # between examples; disable the per-example deadline and keep example counts
-# moderate so the whole suite stays fast.
+# moderate so the whole suite stays fast.  The nightly CI job selects the
+# "nightly" profile (REPRO_HYPOTHESIS_PROFILE=nightly) to fuzz much harder
+# than any per-push run would tolerate.
 settings.register_profile(
     "repro",
     deadline=None,
     max_examples=25,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "nightly",
+    deadline=None,
+    max_examples=400,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "repro"))
 
 
 @pytest.fixture

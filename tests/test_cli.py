@@ -372,3 +372,81 @@ class TestRunCommandWarnings:
         )
         assert code == 0
         assert "--neighbor-backend has no effect" in stream.getvalue()
+
+
+class TestDomainFlag:
+    def test_domain_flag_is_parsed_on_every_simulation_command(self):
+        for argv in (
+            ["run", "fig5", "--domain", "periodic:8"],
+            ["sweep", "fig9", "--domain", "reflecting:5"],
+            ["resume", "fig9", "--domain", "periodic:8"],
+            ["status", "fig9", "--domain", "periodic:8"],
+        ):
+            assert build_parser().parse_args(argv).domain == argv[-1]
+
+    def test_domain_override_is_applied_and_normalised(self):
+        from repro.cli import _apply_engine_overrides
+        from repro.core.experiments import all_figure_specs
+
+        args = build_parser().parse_args(["run", "fig5", "--domain", "periodic:8"])
+        spec = all_figure_specs(full=False)["fig5"][0]
+        assert _apply_engine_overrides(spec.simulation, args).domain == "periodic:8.0"
+
+    def test_malformed_domain_spec_is_a_clean_error(self, tmp_path, tiny_scale):
+        stream = io.StringIO()
+        code = main(
+            ["run", "fig5", "--domain", "moebius:3", "--output", str(tmp_path)],
+            stream=stream,
+        )
+        assert code == 2
+        assert "invalid engine/domain override" in stream.getvalue()
+
+    def test_incompatible_periodic_cutoff_is_a_clean_error(self, tmp_path, tiny_scale):
+        # fig4 has cutoff 5.0; a periodic box of side 6 allows at most 3.0.
+        stream = io.StringIO()
+        code = main(
+            ["sweep", "fig4", "--domain", "periodic:6", "--store", str(tmp_path / "s")],
+            stream=stream,
+        )
+        assert code == 2
+        assert "invalid engine/domain override" in stream.getvalue()
+
+    def test_sweep_and_status_share_domain_hashes(self, tmp_path, tiny_scale):
+        store = str(tmp_path / "store")
+        stream = io.StringIO()
+        code = main(
+            ["sweep", "fig5", "--domain", "periodic:12", "--store", store, "--quiet"],
+            stream=stream,
+        )
+        assert code == 0
+        # Status with the same override sees the cached unit; without it, the
+        # free-space plan (different hashes) reports everything missing.
+        matching = io.StringIO()
+        assert main(["status", "fig5", "--domain", "periodic:12", "--store", store],
+                    stream=matching) == 0
+        assert "1/1 unit(s) cached" in matching.getvalue()
+        free = io.StringIO()
+        assert main(["status", "fig5", "--store", store], stream=free) == 0
+        assert "0/1 unit(s) cached" in free.getvalue()
+
+    def test_status_sweeps_aged_orphaned_archives(self, tmp_path, tiny_scale):
+        import os
+        from pathlib import Path
+
+        store_dir = tmp_path / "store"
+        stream = io.StringIO()
+        assert main(["sweep", "fig5", "--store", str(store_dir), "--quiet"],
+                    stream=stream) == 0
+        orphan = Path(store_dir) / "units" / ("c" * 64 + ".npz")
+        orphan.write_bytes(b"crashed mid-save")
+        # Fresh strays are protected (they could be a live writer mid-save);
+        # status only sweeps once they have aged past the grace period.
+        fresh_stream = io.StringIO()
+        assert main(["status", "fig5", "--store", str(store_dir)], stream=fresh_stream) == 0
+        assert "swept" not in fresh_stream.getvalue()
+        assert orphan.exists()
+        os.utime(orphan, (0, 0))
+        status_stream = io.StringIO()
+        assert main(["status", "fig5", "--store", str(store_dir)], stream=status_stream) == 0
+        assert "swept 1 orphaned file(s)" in status_stream.getvalue()
+        assert not orphan.exists()

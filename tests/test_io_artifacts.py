@@ -153,3 +153,93 @@ class TestEnsemblePersistence:
         np.testing.assert_array_equal(
             direct.measurement.multi_information, via_plan.measurement.multi_information
         )
+
+
+class TestDurabilityAndOrphans:
+    def test_save_commits_ensemble_before_document(self, tmp_path, unit, monkeypatch):
+        # If the process dies between the two writes, the .npz must be the
+        # file left behind (an orphan), never a document referencing a
+        # missing archive: patch the document write to fail and check.
+        import repro.io.artifacts as artifacts
+
+        store = RunStore(tmp_path / "store")
+        result = unit.execute(keep_ensemble=True)
+
+        def boom(path, text):
+            raise RuntimeError("crash between npz and json")
+
+        monkeypatch.setattr(artifacts, "_atomic_write", boom)
+        with pytest.raises(RuntimeError, match="crash"):
+            store.save(unit, result)
+        assert not store.has(unit)
+        assert store.ensemble_path_for(unit).is_file()
+        assert store.ensemble_path_for(unit) in store.orphaned_files(min_age_seconds=0.0)
+        # ... but a freshly written archive is protected by the default
+        # grace period: it is indistinguishable from a live writer's
+        # mid-save state, which a concurrent sweep must never touch.
+        assert store.orphaned_files() == []
+        assert store.sweep_orphans() == []
+        assert store.ensemble_path_for(unit).is_file()
+
+    def test_orphaned_npz_is_listed_and_swept(self, tmp_path, unit):
+        store = RunStore(tmp_path / "store")
+        result = unit.execute(keep_ensemble=True)
+        store.save(unit, result)
+        assert store.orphaned_files(min_age_seconds=0.0) == []
+        store.path_for(unit).unlink()  # simulate the crash aftermath
+        orphans = store.orphaned_files(min_age_seconds=0.0)
+        assert orphans == [store.ensemble_path_for(unit)]
+        assert store.keys() == []  # read paths never see the orphan
+        removed = store.sweep_orphans(min_age_seconds=0.0)
+        assert removed == orphans
+        assert not store.ensemble_path_for(unit).is_file()
+        assert store.orphaned_files(min_age_seconds=0.0) == []
+
+    def test_stale_temp_files_are_orphans_once_aged(self, tmp_path, unit):
+        import os
+
+        store = RunStore(tmp_path / "store")
+        stale_json = store.units_dir / ("a" * 64 + ".json.12345.tmp")
+        stale_npz = store.units_dir / ("b" * 64 + ".12345.tmp.npz")
+        stale_json.write_text("{}")
+        stale_npz.write_bytes(b"partial")
+        # Fresh temporaries look like a live writer: the default grace
+        # period hides them from the sweep.
+        assert store.orphaned_files() == []
+        # Age them past the window (as a genuine crash leftover would).
+        for path in (stale_json, stale_npz):
+            os.utime(path, (0, 0))
+        assert set(store.orphaned_files()) == {stale_json, stale_npz}
+        store.sweep_orphans()
+        assert not stale_json.exists() and not stale_npz.exists()
+        assert store.keys() == []
+
+    def test_committed_pair_is_never_swept(self, tmp_path, unit):
+        store = RunStore(tmp_path / "store")
+        result = unit.execute(keep_ensemble=True)
+        store.save(unit, result)
+        assert store.sweep_orphans(min_age_seconds=0.0) == []
+        assert store.has(unit)
+        assert store.ensemble_path_for(unit).is_file()
+        loaded = store.load(unit)
+        assert loaded.ensemble is not None
+
+    def test_atomic_write_leaves_no_temporaries(self, tmp_path):
+        from repro.io.artifacts import _atomic_write
+
+        target = tmp_path / "doc.json"
+        _atomic_write(target, '{"ok": true}')
+        assert json.loads(target.read_text()) == {"ok": True}
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_resume_recomputes_after_orphan_sweep(self, tmp_path, unit):
+        # An orphaned archive does not satisfy a keep_ensembles cache check:
+        # the unit is recomputed and the pair becomes consistent again.
+        store = RunStore(tmp_path / "store")
+        plan = single(unit.spec)
+        plan.execute(store, keep_ensembles=True)
+        store.path_for(unit).unlink()
+        execution = plan.execute(store, keep_ensembles=True)
+        assert execution.n_computed == 1
+        assert store.has(unit)
+        assert store.orphaned_files(min_age_seconds=0.0) == []

@@ -17,6 +17,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.particles.domain import PeriodicDomain, ReflectingDomain, get_domain
 from repro.particles.engine import DenseDriftEngine, SparseDriftEngine
 from repro.particles.neighbors import (
     NEIGHBOR_BACKENDS,
@@ -25,6 +26,9 @@ from repro.particles.neighbors import (
     get_neighbor_search,
 )
 from repro.particles.types import InteractionParams
+
+#: Per-push CI runs `-m "not slow and not fuzz"`; the nightly job runs these.
+pytestmark = pytest.mark.fuzz
 
 BACKEND_NAMES = sorted(NEIGHBOR_BACKENDS)
 
@@ -112,6 +116,218 @@ def test_drift_bit_identical_through_both_engines(seed, m, n, radius, force):
         np.testing.assert_array_equal(
             sparse.drift(batch[0]), reference_single, err_msg=f"backend {name}"
         )
+
+
+def _wrapped_fuzz_cloud(seed: int, n: int, box: float, radius: float) -> np.ndarray:
+    """Random torus cloud seasoned with the wrapped adversarial cases.
+
+    Some points are deliberately left *outside* the box (backends must wrap),
+    some duplicate each other, and some are placed at exactly the cut-off
+    radius from an anchor measured through the seam — including diagonal
+    offsets whose minimum image straddles a corner of the box.
+    """
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(-box, 2.0 * box, size=(n, 2))
+    n_dup = n // 6
+    if n_dup:
+        positions[:n_dup] = positions[rng.integers(n_dup, n, size=n_dup)]
+    n_snap = n // 3
+    for k in range(1, n_snap):
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        # Anchors hug the box edges/corners so the exact-radius offset lands
+        # across the seam once wrapped.
+        corner = rng.uniform(0.0, 0.05 * box, size=2) * rng.choice([1.0, -1.0], size=2)
+        anchor = np.mod(corner, box)
+        positions[k] = anchor + radius * np.array([np.cos(angle), np.sin(angle)])
+    return positions
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    n=st.integers(min_value=1, max_value=40),
+    box=st.floats(min_value=0.4, max_value=40.0),
+    radius_fraction=st.floats(min_value=0.01, max_value=1.4),
+)
+def test_all_backends_agree_on_the_torus(seed, n, box, radius_fraction):
+    # radius_fraction > 1/2 exercises the tiny-box fallbacks (cell list with
+    # fewer than three wrapped cells per axis, kdtree past half the box).
+    radius = radius_fraction * box / 2.0
+    domain = PeriodicDomain(box=box)
+    positions = _wrapped_fuzz_cloud(seed, n, box, radius)
+    reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+    for name in BACKEND_NAMES:
+        result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+        np.testing.assert_array_equal(result, reference, err_msg=f"backend {name}")
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    n=st.integers(min_value=1, max_value=40),
+    box=st.floats(min_value=0.4, max_value=40.0),
+    radius=st.floats(min_value=0.05, max_value=60.0),
+)
+def test_all_backends_agree_in_a_reflecting_box(seed, n, box, radius):
+    # Reflecting displacements are the free-space ones; positions are
+    # pre-folded into the box as the integrators guarantee.
+    domain = ReflectingDomain(box=box)
+    positions = domain.wrap(_fuzz_cloud(seed, n, box, min(radius, box)))
+    reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+    for name in BACKEND_NAMES:
+        result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+        np.testing.assert_array_equal(result, reference, err_msg=f"backend {name}")
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    m=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=1, max_value=25),
+    box=st.floats(min_value=0.5, max_value=25.0),
+    radius_fraction=st.floats(min_value=0.02, max_value=1.2),
+)
+def test_pairs_batch_equals_per_sample_pairs_on_the_torus(seed, m, n, box, radius_fraction):
+    radius = radius_fraction * box / 2.0
+    domain = PeriodicDomain(box=box)
+    batch = np.stack([_wrapped_fuzz_cloud(seed + s, n, box, radius) for s in range(m)])
+    expected_parts = []
+    for s in range(m):
+        si, sj = BruteForceNeighbors().pairs(batch[s], radius, domain)
+        expected_parts.append(_canonical(si, sj) + s * n)
+    expected = np.concatenate(expected_parts) if expected_parts else np.empty((0, 2), int)
+    for name in BACKEND_NAMES:
+        i_idx, j_idx = get_neighbor_search(name).pairs_batch(batch, radius, domain)
+        result = np.column_stack([i_idx, j_idx])
+        np.testing.assert_array_equal(result, expected, err_msg=f"backend {name}")
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    m=st.integers(min_value=1, max_value=3),
+    n=st.integers(min_value=2, max_value=20),
+    box=st.floats(min_value=2.0, max_value=12.0),
+    force=st.sampled_from(["F1", "F2"]),
+)
+def test_drift_bit_identical_through_both_engines_on_wrapped_domains(seed, m, n, box, force):
+    rng = np.random.default_rng(seed)
+    params = InteractionParams.random(2, rng=rng)
+    types = rng.integers(0, 2, size=n)
+    radius = float(rng.uniform(0.1, box / 2.0))
+    for domain in (PeriodicDomain(box=box), ReflectingDomain(box=box)):
+        batch = domain.wrap(
+            np.stack([_wrapped_fuzz_cloud(seed + 7 * s, n, box, radius) for s in range(m)])
+        )
+        dense = DenseDriftEngine(types, params, force, radius, domain=domain)
+        reference_batch = dense.drift_batch(batch)
+        reference_single = dense.drift(batch[0])
+        for name in BACKEND_NAMES:
+            sparse = SparseDriftEngine(
+                types, params, force, radius, neighbors=name, domain=domain
+            )
+            np.testing.assert_array_equal(
+                sparse.drift_batch(batch), reference_batch,
+                err_msg=f"backend {name} on {domain.spec}",
+            )
+            np.testing.assert_array_equal(
+                sparse.drift(batch[0]), reference_single,
+                err_msg=f"backend {name} on {domain.spec}",
+            )
+
+
+class TestWrappedExactCutoff:
+    """Deterministic seam/corner cases for the torus backends."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_pair_exactly_at_cutoff_across_the_seam(self, name):
+        box, radius = 10.0, 2.0
+        domain = PeriodicDomain(box=box)
+        # Minimum image of (0.5, 5.0) -> (9.0, 5.0) crosses the x seam at
+        # distance 0.5 + (10 - 9) = 1.5 < 2; the second pair is exactly at
+        # the cut-off through the seam: 0.25 + (10 - 8.25) = 2.0.
+        positions = np.array([[0.5, 5.0], [9.0, 5.0], [0.25, 1.0], [8.25, 1.0], [5.0, 5.0]])
+        reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+        result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+        np.testing.assert_array_equal(result, reference)
+        assert [0, 1] in reference.tolist() and [2, 3] in reference.tolist()
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_images_straddling_a_corner(self, name):
+        box = 8.0
+        domain = PeriodicDomain(box=box)
+        # (0.1, 0.2) and (7.9, 7.8): minimum image is the diagonal through
+        # the corner, distance hypot(0.3, 0.4) = 0.5 exactly.
+        positions = np.array([[0.1, 0.2], [7.9, 7.8], [4.0, 4.0], [0.1, 7.9]])
+        for radius in (0.5, 0.49):
+            reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+            result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+            np.testing.assert_array_equal(result, reference, err_msg=f"radius {radius}")
+        included = _canonical(*get_neighbor_search(name).pairs(positions, 0.5, domain))
+        assert [0, 1] in included.tolist()
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_lattice_on_the_torus(self, name):
+        # A 4x4 unit lattice on a 4-box: every axis neighbour sits at exactly
+        # radius 1, including the wrap-around ones, so each particle has
+        # exactly 4 axis neighbours (and 4 diagonal at sqrt(2)).
+        box = 4.0
+        domain = PeriodicDomain(box=box)
+        xs, ys = np.meshgrid(np.arange(4.0), np.arange(4.0))
+        positions = np.column_stack([xs.ravel(), ys.ravel()])
+        for radius, degree in ((1.0, 4), (float(np.sqrt(2.0)), 8)):
+            reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+            result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+            np.testing.assert_array_equal(result, reference, err_msg=f"radius {radius}")
+            counts = np.bincount(result[:, 0], minlength=16)
+            assert np.all(counts == degree), (radius, counts)
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_tiny_box_fallback_matches_brute(self, name):
+        # Fewer than three wrapped cells per axis: the cell list (and the
+        # kdtree past half the box) must fall back without disagreeing.
+        domain = PeriodicDomain(box=1.0)
+        rng = np.random.default_rng(21)
+        positions = rng.uniform(0.0, 1.0, size=(14, 2))
+        for radius in (0.4, 0.5):
+            reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+            result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+            np.testing.assert_array_equal(result, reference, err_msg=f"radius {radius}")
+
+
+class TestNonFiniteRadiusValidation:
+    """The unified cut-off validation contract: NaN rejected, inf = all pairs."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_nan_radius_rejected_everywhere(self, name):
+        backend = get_neighbor_search(name)
+        positions = np.zeros((3, 2))
+        batch = np.zeros((2, 3, 2))
+        with pytest.raises(ValueError, match="NaN"):
+            backend.pairs(positions, float("nan"))
+        with pytest.raises(ValueError, match="NaN"):
+            backend.pairs_batch(batch, float("nan"))
+        with pytest.raises(ValueError, match="NaN"):
+            backend.neighbor_lists(positions, float("nan"))
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    @pytest.mark.parametrize("domain", [None, "periodic:5.0", "reflecting:5.0"])
+    def test_infinite_radius_means_all_pairs_everywhere(self, name, domain):
+        backend = get_neighbor_search(name)
+        domain = get_domain(domain)
+        rng = np.random.default_rng(9)
+        positions = rng.uniform(0.0, 5.0, size=(7, 2))
+        result = _canonical(*backend.pairs(positions, np.inf, domain))
+        assert len(result) == 7 * 6
+        batch = rng.uniform(0.0, 5.0, size=(2, 4, 2))
+        i_idx, j_idx = backend.pairs_batch(batch, np.inf, domain)
+        assert len(i_idx) == 2 * 4 * 3
+        assert np.all((i_idx // 4) == (j_idx // 4))  # no cross-sample pairs
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_non_positive_radius_rejected(self, name):
+        backend = get_neighbor_search(name)
+        for bad in (0.0, -1.0, -np.inf):
+            with pytest.raises(ValueError, match="positive"):
+                backend.pairs(np.zeros((3, 2)), bad)
+            with pytest.raises(ValueError, match="positive"):
+                backend.pairs_batch(np.zeros((2, 3, 2)), bad)
 
 
 class TestExactCutoffPairs:

@@ -1,0 +1,343 @@
+"""Tests for the domain abstraction (repro.particles.domain) and its wiring.
+
+Covers the geometry primitives themselves (wrap/displacement on the free
+plane, periodic torus and reflecting box), their integration into
+``SimulationConfig`` / ``ParticleSystem`` / ``EnsembleSimulator``, the
+fixed-box ``"auto"`` heuristic on bounded domains, and — critically — the
+content-hash compatibility contract: free-space configurations hash exactly
+as they did before domains existed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.plan import unit_content_hash
+from repro.particles.domain import (
+    DOMAINS,
+    FreeDomain,
+    PeriodicDomain,
+    ReflectingDomain,
+    get_domain,
+)
+from repro.particles.engine import AdaptiveDriftEngine, engine_for_config, make_engine
+from repro.particles.ensemble import EnsembleSimulator, initial_ensemble_for
+from repro.particles.init_conditions import uniform_box, uniform_box_ensemble
+from repro.particles.model import ParticleSystem, SimulationConfig, initial_positions_for
+from repro.particles.types import InteractionParams
+
+
+def _config(**overrides) -> SimulationConfig:
+    base = dict(
+        type_counts=(6, 6),
+        params=InteractionParams.clustering(2, self_distance=0.8, cross_distance=1.6, k=2.0),
+        cutoff=1.5,
+        dt=0.05,
+        n_steps=4,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestGetDomain:
+    def test_free_is_default_and_singleton_like(self):
+        assert get_domain(None).name == "free"
+        assert get_domain("free") == FreeDomain()
+        assert get_domain("FREE").spec == "free"
+
+    def test_parses_bounded_specs(self):
+        periodic = get_domain("periodic:8")
+        assert isinstance(periodic, PeriodicDomain)
+        assert periodic.box == 8.0
+        assert periodic.spec == "periodic:8.0"
+        reflecting = get_domain("reflecting:2.5")
+        assert isinstance(reflecting, ReflectingDomain)
+        assert reflecting.box == 2.5
+
+    def test_instances_pass_through(self):
+        domain = PeriodicDomain(box=3.0)
+        assert get_domain(domain) is domain
+
+    def test_spec_round_trips(self):
+        for spec in ("free", "periodic:8.0", "reflecting:0.75"):
+            assert get_domain(get_domain(spec).spec).spec == get_domain(spec).spec
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(KeyError, match="unknown domain"):
+            get_domain("torus:3")
+        with pytest.raises(ValueError, match="needs a box side"):
+            get_domain("periodic")
+        with pytest.raises(ValueError, match="invalid box side"):
+            get_domain("periodic:abc")
+        with pytest.raises(ValueError, match="takes no box"):
+            get_domain("free:3")
+        with pytest.raises(ValueError, match="positive finite"):
+            get_domain("periodic:-2")
+        with pytest.raises(ValueError, match="positive finite"):
+            get_domain("reflecting:inf")
+
+    def test_registry_names(self):
+        assert set(DOMAINS) == {"free", "periodic", "reflecting"}
+
+
+class TestFreeDomain:
+    def test_wrap_is_the_identity_object(self):
+        positions = np.random.default_rng(0).normal(size=(7, 2))
+        assert FreeDomain().wrap(positions) is positions
+
+    def test_displacement_is_plain_subtraction(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(2, 9, 2))
+        np.testing.assert_array_equal(FreeDomain().displacement(a, b), a - b)
+
+    def test_not_bounded(self):
+        assert not FreeDomain().bounded and FreeDomain().box is None
+
+
+class TestPeriodicDomain:
+    def test_wrap_lands_in_the_half_open_box(self):
+        domain = PeriodicDomain(box=5.0)
+        positions = np.array([[-0.1, 5.0], [12.3, -7.0], [4.999, 0.0], [-1e-18, 2.5]])
+        wrapped = domain.wrap(positions)
+        assert np.all(wrapped >= 0.0) and np.all(wrapped < 5.0)
+
+    def test_wrap_is_bitwise_idempotent(self):
+        domain = PeriodicDomain(box=3.0)
+        wrapped = domain.wrap(np.random.default_rng(2).uniform(-10, 10, size=(50, 2)))
+        np.testing.assert_array_equal(domain.wrap(wrapped), wrapped)
+
+    def test_minimum_image_across_the_seam(self):
+        domain = PeriodicDomain(box=10.0)
+        delta = domain.displacement(np.array([0.5, 0.0]), np.array([9.5, 0.0]))
+        np.testing.assert_allclose(delta, [1.0, 0.0])
+
+    def test_displacement_bounded_by_half_the_box(self):
+        domain = PeriodicDomain(box=4.0)
+        rng = np.random.default_rng(3)
+        delta = domain.displacement(rng.uniform(-9, 9, (40, 2)), rng.uniform(-9, 9, (40, 2)))
+        assert np.all(np.abs(delta) <= 2.0)
+
+    def test_displacement_invariant_under_image_shifts(self):
+        domain = PeriodicDomain(box=6.0)
+        rng = np.random.default_rng(4)
+        a = rng.uniform(0, 6, size=(20, 2))
+        b = rng.uniform(0, 6, size=(20, 2))
+        reference = domain.displacement(a, b)
+        np.testing.assert_allclose(domain.displacement(a + 6.0, b), reference, atol=1e-12)
+        np.testing.assert_allclose(domain.displacement(a, b - 12.0), reference, atol=1e-12)
+
+    def test_cutoff_validation(self):
+        domain = PeriodicDomain(box=6.0)
+        domain.validate_cutoff(3.0)  # exactly L/2 is fine
+        domain.validate_cutoff(None)
+        domain.validate_cutoff(float("inf"))
+        with pytest.raises(ValueError, match="exceeds half the periodic box"):
+            domain.validate_cutoff(3.2)
+
+
+class TestReflectingDomain:
+    def test_wrap_reflects_into_the_closed_box(self):
+        domain = ReflectingDomain(box=2.0)
+        positions = np.array([[-0.5, 1.0], [2.5, 0.0], [1.0, 1.0], [4.5, -3.0]])
+        np.testing.assert_allclose(
+            domain.wrap(positions), [[0.5, 1.0], [1.5, 0.0], [1.0, 1.0], [0.5, 1.0]]
+        )
+
+    def test_wrap_handles_multi_box_excursions(self):
+        domain = ReflectingDomain(box=1.0)
+        wrapped = domain.wrap(np.random.default_rng(5).uniform(-37, 41, size=(100, 2)))
+        assert np.all(wrapped >= 0.0) and np.all(wrapped <= 1.0)
+
+    def test_displacement_is_free(self):
+        domain = ReflectingDomain(box=3.0)
+        a = np.array([0.2, 2.9])
+        b = np.array([2.8, 0.1])
+        np.testing.assert_array_equal(domain.displacement(a, b), a - b)
+
+    def test_any_cutoff_is_fine(self):
+        ReflectingDomain(box=1.0).validate_cutoff(100.0)
+
+
+class TestSimulationConfigIntegration:
+    def test_domain_normalised_to_canonical_spec(self):
+        assert _config(domain="periodic:8").domain == "periodic:8.0"
+        assert _config(domain=PeriodicDomain(box=8.0)).domain == "periodic:8.0"
+        assert _config().domain == "free"
+
+    def test_resolved_domain_and_radius(self):
+        config = _config(domain="periodic:8")
+        assert isinstance(config.resolved_domain, PeriodicDomain)
+        assert config.domain_radius == 4.0
+        free = _config()
+        assert free.domain_radius == free.disc_radius
+
+    def test_periodic_rejects_cutoff_past_half_box(self):
+        with pytest.raises(ValueError, match="exceeds half the periodic box"):
+            _config(domain="periodic:2.0")  # base cutoff 1.5 > L/2 = 1.0
+        _config(domain="periodic:3.0")  # exactly L/2 passes
+        _config(domain="periodic:2.0", cutoff=None)  # unconstrained passes
+
+    def test_invalid_domain_spec_raises_at_construction(self):
+        with pytest.raises(KeyError, match="unknown domain"):
+            _config(domain="moebius:3")
+
+    def test_to_dict_omits_free_and_round_trips_bounded(self):
+        free = _config()
+        assert "domain" not in free.to_dict()
+        bounded = _config(domain="reflecting:5")
+        payload = bounded.to_dict()
+        assert payload["domain"] == "reflecting:5.0"
+        assert SimulationConfig.from_dict(payload).to_dict() == payload
+        assert SimulationConfig.from_dict(free.to_dict()).to_dict() == free.to_dict()
+
+
+class TestHashCompatibility:
+    def test_free_space_hash_is_byte_for_byte_unchanged(self):
+        # Pinned against the value computed before the domain field existed
+        # (PR 4 era): a warm RunStore keeps serving free-space cache hits.
+        from repro.core.experiments import fig4_multi_information, fig9_radius_sweep
+
+        assert (
+            unit_content_hash(fig4_multi_information())
+            == "6e0b73dc24217114046e502520ab5f06815e0831a761fcda9809bd8ef33ee007"
+        )
+        assert (
+            unit_content_hash(fig9_radius_sweep()[0])
+            == "7079e7e13072e70a848220c8b3101443c6736ae7ca0b992b6cec326073982c4f"
+        )
+
+    def test_domain_enters_the_hash(self):
+        from repro.core.experiments import fig4_multi_information
+
+        spec = fig4_multi_information()
+        wrapped = spec.with_updates(
+            simulation=spec.simulation.with_updates(domain="periodic:12")
+        )
+        reflecting = spec.with_updates(
+            simulation=spec.simulation.with_updates(domain="reflecting:12")
+        )
+        hashes = {unit_content_hash(spec), unit_content_hash(wrapped), unit_content_hash(reflecting)}
+        assert len(hashes) == 3
+
+
+class TestInitialConditions:
+    def test_uniform_box_bounds_and_shape(self):
+        points = uniform_box(500, 3.0, rng=0)
+        assert points.shape == (500, 2)
+        assert np.all(points >= 0.0) and np.all(points < 3.0)
+        batch = uniform_box_ensemble(4, 50, 2.0, rng=1)
+        assert batch.shape == (4, 50, 2)
+        assert np.all(batch >= 0.0) and np.all(batch < 2.0)
+
+    def test_uniform_box_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            uniform_box(-1, 1.0)
+        with pytest.raises(ValueError):
+            uniform_box(3, 0.0)
+        with pytest.raises(ValueError):
+            uniform_box_ensemble(2, 3, -1.0)
+
+    def test_config_dispatch(self):
+        bounded = _config(domain="periodic:3.0")
+        points = initial_positions_for(bounded, rng=0)
+        assert np.all(points >= 0.0) and np.all(points < 3.0)
+        batch = initial_ensemble_for(bounded, 5, np.random.default_rng(0))
+        assert batch.shape == (5, bounded.n_particles, 2)
+        assert np.all(batch >= 0.0) and np.all(batch < 3.0)
+        free = _config()
+        disc = initial_positions_for(free, rng=0)
+        assert np.all(np.hypot(disc[:, 0], disc[:, 1]) <= free.disc_radius + 1e-12)
+
+
+@pytest.mark.parametrize("spec", ["periodic:6.0", "reflecting:6.0"])
+class TestSimulationOnBoundedDomains:
+    def test_particle_system_stays_in_the_box(self, spec):
+        system = ParticleSystem(_config(domain=spec, n_steps=6), rng=0)
+        trajectory = system.run()
+        assert np.all(trajectory.positions >= 0.0)
+        assert np.all(trajectory.positions <= 6.0)
+
+    def test_external_initial_positions_are_wrapped(self, spec):
+        config = _config(domain=spec)
+        raw = np.random.default_rng(1).uniform(-4.0, 10.0, size=(config.n_particles, 2))
+        system = ParticleSystem(config, rng=0, initial_positions=raw)
+        assert np.all(system.positions >= 0.0) and np.all(system.positions <= 6.0)
+
+    def test_single_run_bit_identical_dense_vs_sparse(self, spec):
+        config = _config(domain=spec, n_steps=5)
+        trajectories = {}
+        for engine, backend in (("dense", "kdtree"), ("sparse", "cell"), ("sparse", "kdtree")):
+            system = ParticleSystem(
+                config.with_updates(engine=engine, neighbor_backend=backend), rng=42
+            )
+            trajectories[(engine, backend)] = system.run().positions
+        reference = trajectories[("dense", "kdtree")]
+        for key, positions in trajectories.items():
+            np.testing.assert_array_equal(positions, reference, err_msg=str(key))
+
+    def test_ensemble_bit_identical_dense_vs_sparse(self, spec):
+        config = _config(domain=spec, n_steps=3)
+        dense = EnsembleSimulator(config.with_updates(engine="dense"), 5, seed=9).run()
+        for backend in ("brute", "cell", "kdtree"):
+            sparse = EnsembleSimulator(
+                config.with_updates(engine="sparse", neighbor_backend=backend), 5, seed=9
+            ).run()
+            np.testing.assert_array_equal(
+                sparse.positions, dense.positions, err_msg=backend
+            )
+            assert np.all(sparse.positions >= 0.0) and np.all(sparse.positions <= 6.0)
+
+    def test_heun_integrator_also_confines(self, spec):
+        config = _config(domain=spec, integrator="heun", n_steps=4)
+        trajectory = ParticleSystem(config, rng=3).run()
+        assert np.all(trajectory.positions >= 0.0) and np.all(trajectory.positions <= 6.0)
+
+
+class TestBoundedAutoHeuristic:
+    def test_auto_uses_box_not_live_bounding_box(self):
+        params = InteractionParams.single_type()
+        types = np.zeros(400, dtype=np.int64)
+        # Box of side 40 -> characteristic radius 20; cutoff 2 prunes hard.
+        engine = make_engine(
+            "auto", types=types, params=params, scaling="F2", cutoff=2.0,
+            adaptive=True, domain="periodic:40.0",
+        )
+        assert isinstance(engine, AdaptiveDriftEngine)
+        assert engine.resolved == "sparse"
+        # A tightly clustered snapshot would flip a free-space heuristic to
+        # dense; the bounded domain pins the characteristic radius to L/2.
+        clustered = np.full((400, 2), 1.0) + np.random.default_rng(0).normal(
+            scale=0.01, size=(400, 2)
+        )
+        assert engine.reresolve(clustered) == "sparse"
+
+    def test_small_box_resolves_dense(self):
+        params = InteractionParams.single_type()
+        types = np.zeros(400, dtype=np.int64)
+        # Cutoff covers most of the tiny box: nothing to prune.
+        engine = make_engine(
+            "auto", types=types, params=params, scaling="F2", cutoff=2.5,
+            adaptive=True, domain="reflecting:3.0",
+        )
+        assert engine.resolved == "dense"
+
+    def test_engine_for_config_carries_the_domain(self):
+        config = _config(domain="periodic:6.0", engine="sparse", neighbor_backend="cell")
+        engine = engine_for_config(config)
+        assert engine.domain.spec == "periodic:6.0"
+        adaptive = engine_for_config(_config(domain="reflecting:6.0"))
+        assert adaptive.domain.spec == "reflecting:6.0"
+
+
+class TestPeriodicSteadyState:
+    def test_wrapped_run_keeps_finite_positions_and_forces(self):
+        # A density-controlled steady state free space cannot express: the
+        # torus holds the collective at fixed global density forever.
+        config = _config(domain="periodic:5.0", n_steps=10, engine="sparse",
+                         neighbor_backend="cell")
+        simulator = EnsembleSimulator(config, 4, seed=11)
+        trajectory = simulator.run()
+        assert np.all(np.isfinite(trajectory.positions))
+        stats = simulator.last_stats
+        assert stats is not None and np.all(np.isfinite(stats.mean_force_norm))

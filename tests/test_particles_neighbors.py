@@ -175,3 +175,81 @@ class TestRegistry:
 
     def test_registry_complete(self):
         assert set(NEIGHBOR_BACKENDS) == {"brute", "cell", "kdtree"}
+
+
+class TestGridIdOverflowFallback:
+    """The int64-overflow escape hatch of the vectorised spatial hash.
+
+    A bounding box astronomically wider than the cell size makes the padded
+    id space overflow int64; ``_grid_ids`` then returns ``None`` and the
+    cell list falls back to the kdtree (single snapshot) or the per-sample
+    loop (batched query).  These paths were previously unexercised.
+    """
+
+    def _overflow_cloud(self) -> np.ndarray:
+        # Two interacting points amid far-flung loners: the extent/radius
+        # ratio is ~1e13 per axis, so the padded id space would need ~1e26
+        # cells — far past int64.
+        return np.array(
+            [
+                [0.0, 0.0],
+                [1e-3, 0.0],
+                [1e10, 1e10],
+                [-1e10, 3e9],
+            ]
+        )
+
+    def test_grid_ids_returns_none_on_overflow(self):
+        from repro.particles.neighbors import _grid_ids
+
+        positions = self._overflow_cloud()
+        assert _grid_ids(positions, radius=2e-3) is None
+        # A benign cloud still hashes.
+        assert _grid_ids(np.zeros((3, 2)), radius=1.0) is not None
+
+    def test_grid_ids_overflow_via_sample_blocks(self):
+        from repro.particles.neighbors import _grid_ids
+
+        # Each sample's block is ~(1.5e9)^2 cells; a handful of samples pushes
+        # the flattened id space over int64 even though one block fits.
+        positions = np.concatenate([np.zeros((2, 2)), np.full((2, 2), 1.5e9)])
+        tiled = np.tile(positions, (4, 1))
+        sample = np.repeat(np.arange(4, dtype=np.int64), positions.shape[0])
+        assert _grid_ids(positions, radius=1.0) is not None
+        assert _grid_ids(tiled, radius=1.0, sample=sample) is None
+
+    def test_pairs_falls_back_and_matches_brute(self):
+        positions = self._overflow_cloud()
+        reference = _pairs_as_set(*BruteForceNeighbors().pairs(positions, radius=2e-3))
+        result = _pairs_as_set(*CellListNeighbors().pairs(positions, radius=2e-3))
+        assert result == reference == {(0, 1), (1, 0)}
+
+    def test_pairs_batch_falls_back_to_the_per_sample_loop(self):
+        rng = np.random.default_rng(8)
+        base = self._overflow_cloud()
+        batch = np.stack([base + rng.normal(scale=1e-4, size=base.shape) for _ in range(3)])
+        i_idx, j_idx = CellListNeighbors().pairs_batch(batch, radius=2e-3)
+        expected = set()
+        for s in range(3):
+            si, sj = BruteForceNeighbors().pairs(batch[s], radius=2e-3)
+            expected |= {(s * 4 + a, s * 4 + b) for a, b in zip(si.tolist(), sj.tolist())}
+        assert _pairs_as_set(i_idx, j_idx) == expected
+        assert len(expected) == 3 * 2
+
+    def test_batch_fallback_preserves_lexicographic_order(self):
+        batch = np.stack([self._overflow_cloud()] * 2)
+        i_idx, j_idx = CellListNeighbors().pairs_batch(batch, radius=2e-3)
+        keys = list(zip(i_idx.tolist(), j_idx.tolist()))
+        assert keys == sorted(keys)
+
+
+class TestPairDtypes:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+    def test_pairs_are_int64(self, backend):
+        rng = np.random.default_rng(11)
+        positions = rng.uniform(-3, 3, size=(12, 2))
+        for radius in (1.5, np.inf):
+            i_idx, j_idx = backend.pairs(positions, radius)
+            assert i_idx.dtype == np.int64 and j_idx.dtype == np.int64, radius
+        i_idx, j_idx = backend.pairs_batch(positions[None], 1.5)
+        assert i_idx.dtype == np.int64 and j_idx.dtype == np.int64

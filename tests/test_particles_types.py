@@ -144,3 +144,16 @@ class TestInteractionParams:
         params = InteractionParams.single_type()
         with pytest.raises(AttributeError):
             params.k = np.zeros((1, 1))  # type: ignore[misc]
+
+
+class TestAssignmentDtype:
+    def test_assignment_is_int64_on_every_platform(self):
+        # dtype=int is int32 on Windows; the assignment flows into persisted
+        # artifacts and hashed documents, so the dtype is pinned explicitly.
+        assignment = type_counts_to_assignment([3, 2])
+        assert assignment.dtype == np.int64
+
+    def test_assignment_accepts_numpy_counts(self):
+        assignment = type_counts_to_assignment(np.array([2, 0, 1], dtype=np.int32))
+        assert assignment.dtype == np.int64
+        np.testing.assert_array_equal(assignment, [0, 0, 2])

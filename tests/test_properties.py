@@ -9,6 +9,7 @@ estimators respect the invariances of the quantities they estimate.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -18,6 +19,9 @@ from repro.infotheory.ksg import ksg_multi_information
 from repro.particles.engine import sparse_drift_batch
 from repro.particles.forces import drift_batch, drift_single
 from repro.particles.types import InteractionParams
+
+#: Per-push CI runs `-m "not slow and not fuzz"`; the nightly job runs these.
+pytestmark = pytest.mark.fuzz
 
 
 def _system(seed: int, n: int, n_types: int):
