@@ -40,6 +40,21 @@ def announce(title: str, body: str) -> None:
     sys.stdout.write(f"\n{line}\n{title}\n{line}\n{body}\n")
 
 
+def timings_series(rows: list, label) -> dict:
+    """Flatten per-row ``timings_seconds`` into stable trajectory series keys.
+
+    ``label(row)`` names the row (e.g. ``single/n1000``); each timing becomes
+    ``<label>/<engine-name>``.  These keys are what the recorded benchmark
+    trajectory (``BENCH_<area>.json``, see :mod:`trajectory`) is compared on,
+    so they must stay stable across PRs.
+    """
+    series = {}
+    for row in rows:
+        for name, seconds in row["timings_seconds"].items():
+            series[f"{label(row)}/{name}"] = float(seconds)
+    return series
+
+
 def mean_by_key(values: dict, selector) -> dict:
     """Group scalar values by ``selector(key)`` and average them."""
     grouped: dict = {}

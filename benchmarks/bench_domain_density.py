@@ -34,7 +34,7 @@ from repro.particles.init_conditions import uniform_box_ensemble
 from repro.particles.types import InteractionParams
 from repro.viz import save_json
 
-from bench_common import announce
+from bench_common import announce, timings_series
 
 CUTOFF = 2.0
 N_PARTICLES = 1000
@@ -134,11 +134,18 @@ def _check(rows: list[dict]) -> None:
         assert dilute["speedup_cell_vs_dense"] > 1.0, dilute
 
 
-def test_domain_density(benchmark, output_dir, bench_quick):
+def trajectory_series(rows: list[dict]) -> dict[str, float]:
+    """Stable series keys of the recorded domain trajectory (BENCH_domain.json)."""
+    return timings_series(rows, lambda row: f"density/L{row['box']:g}")
+
+
+def test_domain_density(benchmark, output_dir, bench_quick, perf_trajectory):
     boxes = QUICK_BOXES if bench_quick else FULL_BOXES
     n = N_PARTICLES_QUICK if bench_quick else N_PARTICLES
     n_samples = BATCH_SAMPLES_QUICK if bench_quick else BATCH_SAMPLES
-    repeats = 1 if bench_quick else 3
+    # Best-of-2 in smoke mode too: fresh-process warm-up must not define a
+    # recorded trajectory series (see bench_engine_scaling).
+    repeats = 2 if bench_quick else 3
 
     rows = benchmark.pedantic(
         lambda: run_density_sweep(boxes=boxes, n=n, n_samples=n_samples, repeats=repeats),
@@ -155,6 +162,9 @@ def test_domain_density(benchmark, output_dir, bench_quick):
         }
     )
     _check(rows)
+    perf_trajectory.submit(
+        "domain", trajectory_series(rows), headline=dict(benchmark.extra_info)
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -171,7 +181,7 @@ def main(argv: list[str] | None = None) -> int:
         boxes=QUICK_BOXES if args.quick else FULL_BOXES,
         n=N_PARTICLES_QUICK if args.quick else N_PARTICLES,
         n_samples=BATCH_SAMPLES_QUICK if args.quick else BATCH_SAMPLES,
-        repeats=1 if args.quick else 3,
+        repeats=2 if args.quick else 3,
     )
     save_json(args.output, {"cutoff": CUTOFF, "rows": rows})
     announce("Torus density sweep — wrapped dense vs sparse drift_batch", _format_rows(rows))

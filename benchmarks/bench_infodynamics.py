@@ -48,7 +48,7 @@ from repro.infotheory.transfer import time_lagged_mutual_information, transfer_e
 from repro.particles.trajectory import EnsembleTrajectory
 from repro.viz import save_json
 
-from bench_common import announce
+from bench_common import announce, timings_series
 
 #: Full-scale sweep: 8 particles, 200 × (21 - history) = 4000 pooled samples
 #: (the regime where the tree backend has clearly overtaken even the shared
@@ -102,31 +102,37 @@ def naive_pairwise_lagged_mi(ensemble: EnsembleTrajectory, *, lag: int, k: int, 
     return matrix
 
 
-def _timed(fn) -> tuple[float, np.ndarray]:
-    start = time.perf_counter()
-    result = fn()
-    return time.perf_counter() - start, result
+def _timed(fn, repeats: int = 1) -> tuple[float, np.ndarray]:
+    # Best-of-repeats: the computations are deterministic, so any repetition's
+    # result is the result; the minimum excludes fresh-process warm-up and
+    # scheduler stalls (which dominate sub-second smoke timings).
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
 
 
-def run_infodynamics_scaling(case: dict, seed: int = 0) -> dict:
+def run_infodynamics_scaling(case: dict, seed: int = 0, repeats: int = 1) -> dict:
     """Time the three TE implementations (and the lagged-MI pair) on one case."""
     ensemble = make_driven_ensemble(seed=seed, **case)
     pooled = ensemble.n_samples * (ensemble.n_steps - HISTORY)
 
     te_naive_seconds, te_naive = _timed(
-        lambda: naive_pairwise_te(ensemble, history=HISTORY, k=K, backend="dense")
+        lambda: naive_pairwise_te(ensemble, history=HISTORY, k=K, backend="dense"), repeats
     )
     te_dense_seconds, te_dense = _timed(
-        lambda: pairwise_transfer_entropy(ensemble, history=HISTORY, k=K, backend="dense")
+        lambda: pairwise_transfer_entropy(ensemble, history=HISTORY, k=K, backend="dense"), repeats
     )
     te_kdtree_seconds, te_kdtree = _timed(
-        lambda: pairwise_transfer_entropy(ensemble, history=HISTORY, k=K, backend="kdtree")
+        lambda: pairwise_transfer_entropy(ensemble, history=HISTORY, k=K, backend="kdtree"), repeats
     )
     mi_dense_seconds, mi_dense = _timed(
-        lambda: pairwise_lagged_mutual_information(ensemble, lag=LAG, k=K, backend="dense")
+        lambda: pairwise_lagged_mutual_information(ensemble, lag=LAG, k=K, backend="dense"), repeats
     )
     mi_kdtree_seconds, mi_kdtree = _timed(
-        lambda: pairwise_lagged_mutual_information(ensemble, lag=LAG, k=K, backend="kdtree")
+        lambda: pairwise_lagged_mutual_information(ensemble, lag=LAG, k=K, backend="kdtree"), repeats
     )
 
     return {
@@ -188,9 +194,21 @@ def _check(row: dict, smoke: bool) -> None:
     assert row["speedup_shared_kdtree_vs_naive"] >= SPEEDUP_FLOOR, row
 
 
-def test_infodynamics_scaling(benchmark, output_dir, bench_quick):
+def trajectory_series(row: dict) -> dict[str, float]:
+    """Stable series keys of the infodynamics trajectory (BENCH_infodynamics.json)."""
+    return timings_series([row], lambda r: f"pairwise/n{r['n_particles']}")
+
+
+def test_infodynamics_scaling(benchmark, output_dir, bench_quick, perf_trajectory):
     case = QUICK_CASE if bench_quick else FULL_CASE
-    row = benchmark.pedantic(lambda: run_infodynamics_scaling(case), rounds=1, iterations=1)
+    # Quick-mode series are tens-to-hundreds of ms: best-of-3 so a recorded
+    # trajectory point is the code's speed, not the scheduler's mood.  The
+    # full case stays single-shot (the naive loop is the multi-second slow
+    # side; single-run noise is far below the asserted margin).
+    repeats = 3 if bench_quick else 1
+    row = benchmark.pedantic(
+        lambda: run_infodynamics_scaling(case, repeats=repeats), rounds=1, iterations=1
+    )
     save_json(output_dir / "infodynamics_scaling.json", row)
     announce("Information dynamics — naive loop vs shared-embedding + kdtree", _format_row(row))
     benchmark.extra_info.update(
@@ -201,6 +219,9 @@ def test_infodynamics_scaling(benchmark, output_dir, bench_quick):
         }
     )
     _check(row, smoke=bench_quick)
+    perf_trajectory.submit(
+        "infodynamics", trajectory_series(row), headline=dict(benchmark.extra_info)
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -213,7 +234,9 @@ def main(argv: list[str] | None = None) -> int:
         help="JSON output path",
     )
     args = parser.parse_args(argv)
-    row = run_infodynamics_scaling(QUICK_CASE if args.quick else FULL_CASE)
+    row = run_infodynamics_scaling(
+        QUICK_CASE if args.quick else FULL_CASE, repeats=3 if args.quick else 1
+    )
     save_json(args.output, row)
     announce("Information dynamics — naive loop vs shared-embedding + kdtree", _format_row(row))
     print(f"results written to {args.output}")

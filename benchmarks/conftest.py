@@ -3,12 +3,18 @@
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 BENCH_DIR = Path(__file__).parent.resolve()
+
+if str(BENCH_DIR) not in sys.path:  # plain module imports across benchmarks/
+    sys.path.insert(0, str(BENCH_DIR))
+
+import trajectory  # noqa: E402  (needs the sys.path entry above)
 
 
 def pytest_addoption(parser) -> None:
@@ -17,6 +23,35 @@ def pytest_addoption(parser) -> None:
         action="store_true",
         default=False,
         help="run benchmarks in smoke-test mode: tiny sweeps, single repetition",
+    )
+    parser.addoption(
+        "--bench-record",
+        action="store_true",
+        default=False,
+        help="append this run's series to the BENCH_<area>.json trajectory files",
+    )
+    parser.addoption(
+        "--bench-compare",
+        action="store_true",
+        default=False,
+        help="gate this run against the last recorded BENCH_<area>.json baseline",
+    )
+    parser.addoption(
+        "--bench-trajectory-dir",
+        default=None,
+        help="directory of the BENCH_<area>.json files (default: the repo root)",
+    )
+    parser.addoption(
+        "--bench-threshold",
+        type=float,
+        default=trajectory.DEFAULT_THRESHOLD,
+        help="wall-time ratio above which a compared series counts as a regression",
+    )
+    parser.addoption(
+        "--bench-noise-floor",
+        type=float,
+        default=trajectory.DEFAULT_NOISE_FLOOR_SECONDS,
+        help="absolute slowdown (seconds) below which a ratio breach is timer noise",
     )
 
 
@@ -49,3 +84,57 @@ def full_scale() -> bool:
 def bench_quick(request) -> bool:
     """Whether the benchmarks run in smoke-test mode (--bench-quick)."""
     return bool(request.config.getoption("--bench-quick"))
+
+
+class TrajectoryHook:
+    """Per-run handle the trajectory-tracked benchmarks submit their series to.
+
+    ``submit`` is a no-op unless ``--bench-compare`` and/or ``--bench-record``
+    were passed, so the benchmarks always call it.  Compare runs before
+    record: when both flags are given, the run is gated against the previous
+    baseline and then appended as the new one.
+    """
+
+    def __init__(self, *, record: bool, compare: bool, root, mode: str,
+                 threshold: float, noise_floor_seconds: float) -> None:
+        self.record = record
+        self.compare = compare
+        self.root = root
+        self.mode = mode
+        self.threshold = threshold
+        self.noise_floor_seconds = noise_floor_seconds
+
+    def submit(self, area: str, series: dict, *, headline: dict | None = None) -> None:
+        if self.compare:
+            report = trajectory.compare_run(
+                area,
+                series,
+                mode=self.mode,
+                root=self.root,
+                threshold=self.threshold,
+                noise_floor_seconds=self.noise_floor_seconds,
+            )
+            text = report.format()
+            sys.stdout.write(f"\n{text}\n")
+            if not report.ok:
+                pytest.fail(f"benchmark regression against recorded baseline:\n{text}",
+                            pytrace=False)
+        if self.record:
+            path = trajectory.record_run(
+                area, series, mode=self.mode, root=self.root, headline=headline
+            )
+            sys.stdout.write(f"\nrecorded {len(series)} series into {path}\n")
+
+
+@pytest.fixture(scope="session")
+def perf_trajectory(request, bench_quick) -> TrajectoryHook:
+    """Record/compare hook for the trajectory-tracked benchmark areas."""
+    root = request.config.getoption("--bench-trajectory-dir")
+    return TrajectoryHook(
+        record=bool(request.config.getoption("--bench-record")),
+        compare=bool(request.config.getoption("--bench-compare")),
+        root=Path(root) if root else trajectory.REPO_ROOT,
+        mode="quick" if bench_quick else "full",
+        threshold=float(request.config.getoption("--bench-threshold")),
+        noise_floor_seconds=float(request.config.getoption("--bench-noise-floor")),
+    )

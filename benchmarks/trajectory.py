@@ -1,0 +1,512 @@
+"""Persisted benchmark trajectory with regression gating.
+
+Every speed claim this repo makes (sparse vs dense drift, the wrapped cell
+list, the shared-embedding information-dynamics plan) used to live only in
+commit messages: CI uploaded a ``--benchmark-json`` artifact that nothing
+ever compared.  This module gives the benchmarks a *recorded trajectory* —
+three append-only JSON files at the repo root, one per benchmark area::
+
+    BENCH_engine.json          bench_engine_scaling.py
+    BENCH_domain.json          bench_domain_density.py
+    BENCH_infodynamics.json    bench_infodynamics.py
+
+Each file holds a list of runs keyed by commit, date and a machine
+fingerprint.  A run carries two kinds of numbers:
+
+* ``series`` — stable-keyed wall times in seconds (e.g.
+  ``single/n1000/sparse-cell``).  These are what the regression gate
+  compares.
+* ``headline`` — the benchmark's ``extra_info`` headline numbers (speedup
+  ratios etc.).  Recorded for the trajectory, not gated: their semantics
+  (higher is better, ratio not time) differ per benchmark.
+
+``compare_run`` checks a fresh measurement against the most recent recorded
+baseline with the same mode (``quick``/``full``): a series regresses when it
+is *both* slower than ``threshold`` × baseline *and* slower by more than the
+absolute ``noise floor`` — sub-millisecond ``--bench-quick`` timings jitter
+by large ratios, and the floor keeps that from flapping the gate.  Wall
+times only transfer between identical machines, so the gate is **enforced**
+when the baseline's machine fingerprint matches the current one and
+**advisory** (reported, never failing) otherwise; set ``REPRO_BENCH_MACHINE``
+to pin the fingerprint to a stable label (e.g. in CI).
+
+The pytest wiring lives in ``benchmarks/conftest.py`` (``--bench-record`` /
+``--bench-compare``).  This module is also a standalone tool that normalises
+a pytest-benchmark ``--benchmark-json`` report into the same trajectory::
+
+    python benchmarks/trajectory.py record  --report benchmarks/output/benchmark_report.json --mode quick
+    python benchmarks/trajectory.py compare --report benchmarks/output/benchmark_report.json --mode quick
+    python benchmarks/trajectory.py show    --area engine
+
+To legitimately move a baseline (an accepted slowdown, a new machine), re-run
+the benchmarks with ``--bench-record`` and commit the updated ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "AREAS",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_NOISE_FLOOR_SECONDS",
+    "ComparisonReport",
+    "SeriesComparison",
+    "TrajectoryError",
+    "compare_run",
+    "load_trajectory",
+    "machine_fingerprint",
+    "record_run",
+    "runs_from_benchmark_report",
+    "trajectory_path",
+]
+
+#: The benchmark areas with a persisted trajectory at the repo root.
+AREAS = ("engine", "domain", "infodynamics")
+
+#: A series regresses when current > threshold * baseline ...
+DEFAULT_THRESHOLD = 1.25
+#: ... *and* current - baseline > this floor.  Short ``--bench-quick`` series
+#: (sub-millisecond up to tens of milliseconds) jitter by ratios well past
+#: any sane threshold under scheduler/cache noise alone; the absolute floor
+#: keeps those from flapping while a genuine 2x slowdown of the substantial
+#: series (hundreds of milliseconds and up) still trips the gate.
+DEFAULT_NOISE_FLOOR_SECONDS = 0.025
+
+#: pytest-benchmark test name (bracket-stripped) -> trajectory area, used by
+#: :func:`runs_from_benchmark_report` to normalise a ``--benchmark-json``
+#: report into the same per-area files the fixture path writes.
+BENCHMARK_AREAS = {
+    "test_engine_scaling": "engine",
+    "test_domain_density": "domain",
+    "test_infodynamics_scaling": "infodynamics",
+}
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FORMAT = "repro-bench-trajectory"
+FORMAT_VERSION = 1
+
+
+class TrajectoryError(RuntimeError):
+    """A trajectory file is malformed, or an area/series input is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# run identity
+# ---------------------------------------------------------------------------
+
+def machine_fingerprint() -> str:
+    """Stable identifier of the timing environment.
+
+    Wall times only transfer between identical machines, so the regression
+    gate is scoped to runs with an equal fingerprint.  ``REPRO_BENCH_MACHINE``
+    overrides the derived value — useful to pin a label on CI runners whose
+    hostnames rotate but whose hardware class is constant.
+    """
+    override = os.environ.get("REPRO_BENCH_MACHINE")
+    if override:
+        return override
+    return (
+        f"{platform.system().lower()}-{platform.machine()}"
+        f"-{platform.python_implementation().lower()}"
+        f"{sys.version_info.major}{sys.version_info.minor}"
+        f"-cpu{os.cpu_count()}"
+    )
+
+
+def current_commit(root: Path | None = None) -> str:
+    """Short commit hash of the repo (``unknown`` outside a git checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(root or REPO_ROOT), "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def _utc_now() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+# ---------------------------------------------------------------------------
+# trajectory files
+# ---------------------------------------------------------------------------
+
+def trajectory_path(area: str, root: str | Path | None = None) -> Path:
+    """Path of an area's trajectory file (``BENCH_<area>.json`` at the root)."""
+    if area not in AREAS:
+        raise TrajectoryError(f"unknown benchmark area {area!r}; expected one of {AREAS}")
+    return Path(root or REPO_ROOT) / f"BENCH_{area}.json"
+
+
+def load_trajectory(path: str | Path) -> dict[str, Any]:
+    """Read a trajectory document, validating format and shape."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TrajectoryError(f"corrupt trajectory file {path}: {exc}") from exc
+    if not isinstance(document, dict) or document.get("format") != FORMAT:
+        raise TrajectoryError(f"{path} is not a {FORMAT} document")
+    if not isinstance(document.get("runs"), list):
+        raise TrajectoryError(f"{path} has no 'runs' list")
+    return document
+
+
+def _empty_trajectory(area: str) -> dict[str, Any]:
+    return {"format": FORMAT, "version": FORMAT_VERSION, "area": area, "runs": []}
+
+
+def _validate_series(series: Mapping[str, float]) -> dict[str, float]:
+    if not series:
+        raise TrajectoryError("a recorded run needs at least one series")
+    out: dict[str, float] = {}
+    for name, seconds in series.items():
+        value = float(seconds)
+        if not value > 0.0:  # also rejects NaN
+            raise TrajectoryError(f"series {name!r} must be a positive wall time, got {seconds!r}")
+        out[str(name)] = value
+    return out
+
+
+def record_run(
+    area: str,
+    series: Mapping[str, float],
+    *,
+    mode: str,
+    root: str | Path | None = None,
+    headline: Mapping[str, Any] | None = None,
+    machine: str | None = None,
+    commit: str | None = None,
+    date: str | None = None,
+) -> Path:
+    """Append one run to the area's trajectory file; returns the path written.
+
+    The file is append-only by construction: existing runs are preserved
+    verbatim, and the write is atomic (temp + rename) so a crash never
+    truncates the recorded history.
+    """
+    path = trajectory_path(area, root)
+    document = load_trajectory(path) if path.is_file() else _empty_trajectory(area)
+    if document.get("area") != area:
+        raise TrajectoryError(f"{path} records area {document.get('area')!r}, not {area!r}")
+    run = {
+        "commit": commit if commit is not None else current_commit(),
+        "date": date if date is not None else _utc_now(),
+        "machine": machine if machine is not None else machine_fingerprint(),
+        "mode": str(mode),
+        "series": _validate_series(series),
+        "headline": dict(headline) if headline else {},
+    }
+    document["runs"].append(run)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def latest_baseline(
+    document: Mapping[str, Any], *, mode: str, machine: str | None = None
+) -> dict[str, Any] | None:
+    """Most recent recorded run with this mode (and machine, if given)."""
+    for run in reversed(document.get("runs", [])):
+        if run.get("mode") != mode:
+            continue
+        if machine is not None and run.get("machine") != machine:
+            continue
+        return run
+    return None
+
+
+# ---------------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SeriesComparison:
+    """One series of the current run measured against the baseline."""
+
+    name: str
+    baseline_seconds: float | None
+    current_seconds: float | None
+    status: str  # "ok" | "regression" | "within-noise" | "new" | "missing"
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline_seconds and self.current_seconds:
+            return self.current_seconds / self.baseline_seconds
+        return None
+
+
+@dataclass
+class ComparisonReport:
+    """Per-series verdicts of one compare pass, plus how to read them.
+
+    ``gated`` is True when the baseline was recorded on the same machine
+    fingerprint — only then do wall-time ratios mean anything, and only then
+    does :attr:`ok` go False on a regression.  With no usable baseline the
+    report passes vacuously and says so.
+    """
+
+    area: str
+    mode: str
+    machine: str
+    threshold: float
+    noise_floor_seconds: float
+    baseline: dict[str, Any] | None
+    gated: bool
+    entries: list[SeriesComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[SeriesComparison]:
+        return [entry for entry in self.entries if entry.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not (self.gated and self.regressions)
+
+    def format(self) -> str:
+        lines = [f"benchmark trajectory — area '{self.area}' (mode {self.mode})"]
+        if self.baseline is None:
+            lines.append(
+                f"  no recorded '{self.mode}' baseline — gate skipped; "
+                "record one with --bench-record and commit the BENCH file"
+            )
+            return "\n".join(lines)
+        lines.append(
+            f"  baseline: commit {self.baseline.get('commit')}, {self.baseline.get('date')}, "
+            f"machine {self.baseline.get('machine')}"
+        )
+        if self.gated:
+            lines.append(
+                f"  gate ENFORCED (same machine): threshold ×{self.threshold:g}, "
+                f"noise floor {self.noise_floor_seconds * 1e3:g} ms"
+            )
+        else:
+            lines.append(
+                f"  gate ADVISORY: baseline machine differs from current "
+                f"({self.machine}); wall-time ratios reported but not enforced"
+            )
+        name_width = max((len(entry.name) for entry in self.entries), default=0)
+        for entry in self.entries:
+            if entry.status == "new":
+                detail = f"{_ms(entry.current_seconds):>10}  (new series, no baseline)"
+            elif entry.status == "missing":
+                detail = f"{_ms(entry.baseline_seconds):>10}  (in baseline, not measured now)"
+            else:
+                note = {
+                    "regression": "REGRESSION",
+                    "within-noise": "ok (over threshold but within noise floor)",
+                    "ok": "ok",
+                }[entry.status]
+                detail = (
+                    f"{_ms(entry.baseline_seconds):>10} -> {_ms(entry.current_seconds):>10}"
+                    f"   ×{entry.ratio:5.2f}  {note}"
+                )
+            lines.append(f"    {entry.name:<{name_width}}  {detail}")
+        if self.regressions:
+            verb = "fails the gate" if self.gated else "would fail on the baseline machine"
+            lines.append(
+                f"  {len(self.regressions)} series regressed past ×{self.threshold:g} ({verb}); "
+                "if the slowdown is intended, re-record with --bench-record and commit"
+            )
+        else:
+            lines.append("  no regressions")
+        return "\n".join(lines)
+
+
+def _ms(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:.2f} ms"
+
+
+def compare_run(
+    area: str,
+    series: Mapping[str, float],
+    *,
+    mode: str,
+    root: str | Path | None = None,
+    machine: str | None = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_seconds: float = DEFAULT_NOISE_FLOOR_SECONDS,
+) -> ComparisonReport:
+    """Compare a fresh measurement against the last recorded baseline.
+
+    The baseline is the most recent run with the same mode *and* machine
+    fingerprint (the gate is enforced against it); when only runs from other
+    machines exist, the latest same-mode run is used advisorily.
+    """
+    if threshold <= 1.0:
+        raise TrajectoryError(f"threshold must be > 1, got {threshold}")
+    if noise_floor_seconds < 0.0:
+        raise TrajectoryError(f"noise floor must be >= 0, got {noise_floor_seconds}")
+    current = _validate_series(series)
+    machine = machine if machine is not None else machine_fingerprint()
+    path = trajectory_path(area, root)
+    document = load_trajectory(path) if path.is_file() else _empty_trajectory(area)
+    baseline = latest_baseline(document, mode=mode, machine=machine)
+    gated = baseline is not None
+    if baseline is None:
+        baseline = latest_baseline(document, mode=mode)
+    report = ComparisonReport(
+        area=area,
+        mode=mode,
+        machine=machine,
+        threshold=threshold,
+        noise_floor_seconds=noise_floor_seconds,
+        baseline=baseline,
+        gated=gated,
+    )
+    if baseline is None:
+        return report
+    base_series = baseline.get("series", {})
+    for name in sorted(set(base_series) | set(current)):
+        base = base_series.get(name)
+        now = current.get(name)
+        if base is None:
+            status = "new"
+        elif now is None:
+            status = "missing"
+        elif now > base * threshold:
+            status = "regression" if now - base > noise_floor_seconds else "within-noise"
+        else:
+            status = "ok"
+        report.entries.append(
+            SeriesComparison(name=name, baseline_seconds=base, current_seconds=now, status=status)
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark report normalisation
+# ---------------------------------------------------------------------------
+
+def runs_from_benchmark_report(report: Mapping[str, Any]) -> dict[str, dict[str, Any]]:
+    """Normalise a ``--benchmark-json`` report into per-area series/headline.
+
+    Returns ``{area: {"series": {...}, "headline": {...}}}`` for every
+    benchmark whose (bracket-stripped) test name appears in
+    :data:`BENCHMARK_AREAS`.  The series is the benchmark's minimum wall time
+    under a stable ``pytest/<name>/min`` key; ``extra_info`` becomes the
+    headline block.  Benchmarks outside the mapped areas (the per-figure
+    reproduction runs) are ignored — their numbers stay in the uploaded
+    artifact but have no committed trajectory.
+    """
+    per_area: dict[str, dict[str, Any]] = {}
+    for bench in report.get("benchmarks", []):
+        name = str(bench.get("name", ""))
+        area = BENCHMARK_AREAS.get(name.split("[", 1)[0])
+        if area is None:
+            continue
+        stats = bench.get("stats", {})
+        if "min" not in stats:
+            continue
+        entry = per_area.setdefault(area, {"series": {}, "headline": {}})
+        entry["series"][f"pytest/{name}/min"] = float(stats["min"])
+        entry["headline"].update(bench.get("extra_info", {}) or {})
+    return per_area
+
+
+# ---------------------------------------------------------------------------
+# standalone CLI
+# ---------------------------------------------------------------------------
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_report: bool) -> None:
+        p.add_argument(
+            "--root", type=Path, default=REPO_ROOT,
+            help="directory holding the BENCH_<area>.json files (default: repo root)",
+        )
+        if with_report:
+            p.add_argument(
+                "--report", type=Path, required=True,
+                help="pytest-benchmark --benchmark-json report to normalise",
+            )
+            p.add_argument(
+                "--mode", choices=("quick", "full"), required=True,
+                help="which baseline lineage the report belongs to",
+            )
+
+    record = sub.add_parser("record", help="append a report's runs to the trajectory files")
+    add_common(record, with_report=True)
+
+    compare = sub.add_parser(
+        "compare", help="gate a report against the recorded baselines (exit 1 on regression)"
+    )
+    add_common(compare, with_report=True)
+    compare.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    compare.add_argument("--noise-floor", type=float, default=DEFAULT_NOISE_FLOOR_SECONDS,
+                         help="absolute slowdown (seconds) below which a ratio breach is noise")
+
+    show = sub.add_parser("show", help="print an area's recorded trajectory")
+    add_common(show, with_report=False)
+    show.add_argument("--area", choices=AREAS, required=True)
+    return parser
+
+
+def _load_report(path: Path) -> dict[str, Any]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TrajectoryError(f"cannot read benchmark report {path}: {exc}") from exc
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "show":
+            path = trajectory_path(args.area, args.root)
+            if not path.is_file():
+                print(f"no trajectory recorded at {path}")
+                return 0
+            document = load_trajectory(path)
+            print(f"{path}: {len(document['runs'])} recorded run(s)")
+            for run in document["runs"]:
+                print(
+                    f"  {run.get('date')}  {run.get('commit')}  mode={run.get('mode')}  "
+                    f"machine={run.get('machine')}  {len(run.get('series', {}))} series"
+                )
+            return 0
+
+        per_area = runs_from_benchmark_report(_load_report(args.report))
+        if not per_area:
+            print(f"{args.report} contains no trajectory-mapped benchmarks ({BENCHMARK_AREAS})")
+            return 0 if args.command == "record" else 1
+        failed = False
+        for area, payload in sorted(per_area.items()):
+            if args.command == "record":
+                path = record_run(
+                    area, payload["series"], mode=args.mode, root=args.root,
+                    headline=payload["headline"],
+                )
+                print(f"recorded {len(payload['series'])} series into {path}")
+            else:
+                report = compare_run(
+                    area, payload["series"], mode=args.mode, root=args.root,
+                    threshold=args.threshold, noise_floor_seconds=args.noise_floor,
+                )
+                print(report.format())
+                failed |= not report.ok
+        return 1 if failed else 0
+    except TrajectoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

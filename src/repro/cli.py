@@ -259,7 +259,10 @@ def _command_run(args: argparse.Namespace, stream) -> int:
         return 2
     specs = registry[figure]
     if args.max_specs is not None:
-        specs = specs[: max(1, args.max_specs)]
+        if args.max_specs < 1:
+            stream.write(f"--max-specs must be >= 1, got {args.max_specs}\n")
+            return 2
+        specs = specs[: args.max_specs]
     # Apply the engine/domain overrides exactly once; a malformed --domain
     # spec or a periodic box incompatible with the figure's cut-off
     # surfaces here as a clean error instead of a traceback.
@@ -430,7 +433,9 @@ def _parse_particles(spec: str | None, n_particles: int, max_particles: int) -> 
 def _matrix_table(matrix: np.ndarray, particles: list[int], value_name: str) -> str:
     from repro.viz import series_table
 
-    columns = {"target \\ source": np.asarray(particles, dtype=float)}
+    # Particle ids are indices: keep them integer so the table reads
+    # "3", not "3.000" (series_table only float-formats floating cells).
+    columns = {"target \\ source": np.asarray(particles, dtype=np.int64)}
     for j_index, j in enumerate(particles):
         columns[f"{value_name}<-{j}"] = matrix[:, j_index]
     return series_table(columns, float_format="{:.3f}")

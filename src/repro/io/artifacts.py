@@ -170,7 +170,9 @@ class RunStore:
         Two kinds: raw-ensemble ``.npz`` archives whose JSON document was
         never committed (the save order makes this the *only* possible
         inconsistency), and ``*.tmp`` / ``*.tmp.npz`` temporaries abandoned
-        by a writer that died before its rename.
+        by a writer that died before its rename — in ``units/`` *and* at the
+        store root, where a writer that died between creating the directory
+        and renaming the store marker leaks ``run_store.json.<pid>.tmp``.
 
         Files younger than ``min_age_seconds`` are *not* reported: a live
         writer in another process looks exactly like a crash for the moment
@@ -179,27 +181,49 @@ class RunStore:
         in-flight save.  Genuine crash leftovers keep ageing, so the default
         one-hour grace period only delays their cleanup.
         """
-        if not self.units_dir.is_dir():
-            return []
         newest_allowed = time.time() - min_age_seconds
         orphans: list[Path] = []
-        for path in sorted(self.units_dir.iterdir()):
-            name = path.name
-            if name.endswith(".tmp") or name.endswith(".tmp.npz"):
-                candidate = True
-            elif name.endswith(".npz"):
-                candidate = not (self.units_dir / f"{path.stem}.json").is_file()
-            else:
-                candidate = False
-            if not candidate:
-                continue
-            try:
-                if path.stat().st_mtime > newest_allowed:
+
+        def scan(directory: Path, *, stray_npz: bool) -> None:
+            if not directory.is_dir():
+                return
+            for path in sorted(directory.iterdir()):
+                name = path.name
+                if name.endswith(".tmp") or name.endswith(".tmp.npz"):
+                    candidate = path.is_file()
+                elif stray_npz and name.endswith(".npz"):
+                    # An archive is live only while its sibling document
+                    # *references* it — one next to a summaries-only document
+                    # (another sweep's crash leftover) is as orphaned as one
+                    # with no document at all.
+                    candidate = not self._archive_is_referenced(path)
+                else:
+                    candidate = False
+                if not candidate:
                     continue
-            except OSError:  # pragma: no cover - raced with its writer/cleaner
-                continue
-            orphans.append(path)
+                try:
+                    if path.stat().st_mtime > newest_allowed:
+                        continue
+                except OSError:  # pragma: no cover - raced with its writer/cleaner
+                    continue
+                orphans.append(path)
+
+        # Root level: only abandoned temporaries (e.g. the store marker's)
+        # are ours to sweep — any other stray file is not a store artifact.
+        scan(self.root, stray_npz=False)
+        scan(self.units_dir, stray_npz=True)
         return orphans
+
+    def _archive_is_referenced(self, archive: Path) -> bool:
+        """Whether the sibling document claims this raw-ensemble archive."""
+        document_path = self.units_dir / f"{archive.stem}.json"
+        if not document_path.is_file():
+            return False
+        try:
+            document = json.loads(document_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return True  # unreadable document: never delete data beside it
+        return document.get("unit", {}).get("ensemble") == archive.name
 
     def sweep_orphans(self, min_age_seconds: float = ORPHAN_MIN_AGE_SECONDS) -> list[Path]:
         """Delete orphaned files (see :meth:`orphaned_files`); returns what was removed.
@@ -229,10 +253,15 @@ class RunStore:
     def load(self, unit_or_hash: "RunUnit | str", *, with_ensemble: bool = True) -> ExperimentResult:
         """Reconstruct the full :class:`ExperimentResult` of a persisted unit.
 
-        ``with_ensemble=False`` skips reading a sibling ``.npz`` even when one
-        exists — callers that only need the summaries (e.g. a warm sweep that
-        did not ask for ensembles) avoid pulling whole raw trajectories into
-        memory.
+        ``with_ensemble=False`` skips reading the referenced ``.npz`` even
+        when one exists — callers that only need the summaries (e.g. a warm
+        sweep that did not ask for ensembles) avoid pulling whole raw
+        trajectories into memory.
+
+        Only an archive the document *references* (``unit.ensemble``) is
+        attached: a sibling ``.npz`` that merely exists on disk is an orphan
+        from a crashed save — possibly still inside the sweep grace period —
+        and must never round-trip into a result whose run kept no ensemble.
         """
         document = self.load_document(unit_or_hash)
         try:
@@ -241,15 +270,23 @@ class RunStore:
             raise RunStoreError(
                 f"corrupt run-store document {self.path_for(unit_or_hash)}: {exc}"
             ) from exc
-        if with_ensemble:
-            ensemble_path = self.ensemble_path_for(unit_or_hash)
-            if ensemble_path.is_file():
-                try:
-                    result.ensemble = EnsembleTrajectory.load(ensemble_path)
-                except Exception as exc:  # zipfile/OSError zoo from a damaged archive
-                    raise RunStoreError(
-                        f"corrupt run-store ensemble {ensemble_path}: {exc}"
-                    ) from exc
+        ensemble_name = document.get("unit", {}).get("ensemble")
+        if with_ensemble and ensemble_name is not None:
+            ensemble_path = self.units_dir / ensemble_name
+            if not ensemble_path.is_file():
+                # The save order (npz before its document) makes this state
+                # unreachable by crashes; something external removed the
+                # archive, and silently dropping the ensemble would hide it.
+                raise RunStoreError(
+                    f"run-store document {self.path_for(unit_or_hash)} references "
+                    f"missing ensemble archive {ensemble_name}"
+                )
+            try:
+                result.ensemble = EnsembleTrajectory.load(ensemble_path)
+            except Exception as exc:  # zipfile/OSError zoo from a damaged archive
+                raise RunStoreError(
+                    f"corrupt run-store ensemble {ensemble_path}: {exc}"
+                ) from exc
         return result
 
 

@@ -1,0 +1,263 @@
+"""Tests for the persisted benchmark trajectory (benchmarks/trajectory.py).
+
+The module under test lives next to the benchmarks (it is not part of the
+``repro`` package — it must stay importable by a bare ``pytest benchmarks``
+run and as a standalone script), so it is imported off the benchmarks
+directory directly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import trajectory
+from trajectory import (
+    TrajectoryError,
+    compare_run,
+    load_trajectory,
+    record_run,
+    runs_from_benchmark_report,
+    trajectory_path,
+)
+
+MACHINE = "test-machine-a"
+# Both series are large enough that a 2x slowdown clears the default
+# absolute noise floor — the floor itself is pinned separately below.
+SERIES = {"single/n1000/dense": 0.200, "single/n1000/sparse-cell": 0.080}
+
+
+def record_baseline(root, series=SERIES, *, area="engine", mode="quick", machine=MACHINE, **kw):
+    return record_run(area, series, mode=mode, root=root, machine=machine, **kw)
+
+
+class TestRecord:
+    def test_record_creates_a_valid_trajectory_file(self, tmp_path):
+        path = record_baseline(tmp_path, commit="abc123", date="2026-08-07T00:00:00Z")
+        assert path == trajectory_path("engine", tmp_path) == tmp_path / "BENCH_engine.json"
+        document = load_trajectory(path)
+        assert document["format"] == "repro-bench-trajectory"
+        assert document["area"] == "engine"
+        (run,) = document["runs"]
+        assert run["commit"] == "abc123" and run["date"] == "2026-08-07T00:00:00Z"
+        assert run["machine"] == MACHINE and run["mode"] == "quick"
+        assert run["series"] == SERIES
+
+    def test_record_is_append_only(self, tmp_path):
+        record_baseline(tmp_path, commit="first")
+        record_baseline(tmp_path, {"single/n1000/dense": 0.3}, commit="second")
+        runs = load_trajectory(trajectory_path("engine", tmp_path))["runs"]
+        assert [run["commit"] for run in runs] == ["first", "second"]
+        assert runs[0]["series"] == SERIES  # earlier history preserved verbatim
+
+    def test_record_headline_is_stored_but_not_required(self, tmp_path):
+        record_baseline(tmp_path, headline={"n1000_speedup": 21.0})
+        (run,) = load_trajectory(trajectory_path("engine", tmp_path))["runs"]
+        assert run["headline"] == {"n1000_speedup": 21.0}
+
+    def test_record_leaves_no_temporaries(self, tmp_path):
+        record_baseline(tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_engine.json"]
+
+    def test_unknown_area_is_rejected(self, tmp_path):
+        with pytest.raises(TrajectoryError, match="unknown benchmark area"):
+            record_run("warp", SERIES, mode="quick", root=tmp_path)
+
+    def test_empty_and_nonpositive_series_are_rejected(self, tmp_path):
+        with pytest.raises(TrajectoryError, match="at least one series"):
+            record_baseline(tmp_path, {})
+        with pytest.raises(TrajectoryError, match="positive wall time"):
+            record_baseline(tmp_path, {"bad": 0.0})
+        with pytest.raises(TrajectoryError, match="positive wall time"):
+            record_baseline(tmp_path, {"bad": float("nan")})
+
+    def test_corrupt_trajectory_file_raises(self, tmp_path):
+        trajectory_path("engine", tmp_path).write_text("{ not json")
+        with pytest.raises(TrajectoryError, match="corrupt trajectory file"):
+            record_baseline(tmp_path)
+
+
+class TestCompare:
+    def test_round_trip_passes(self, tmp_path):
+        record_baseline(tmp_path)
+        report = compare_run("engine", SERIES, mode="quick", root=tmp_path, machine=MACHINE)
+        assert report.gated and report.ok and report.regressions == []
+        assert {entry.status for entry in report.entries} == {"ok"}
+
+    def test_two_times_slowdown_fails_with_readable_report(self, tmp_path):
+        # The deliberately-regressed fixture: every recorded series slowed 2x
+        # must fail compare with a per-series report naming the culprit.
+        record_baseline(tmp_path)
+        slowed = {name: seconds * 2.0 for name, seconds in SERIES.items()}
+        report = compare_run("engine", slowed, mode="quick", root=tmp_path, machine=MACHINE)
+        assert report.gated and not report.ok
+        assert {entry.name for entry in report.regressions} == set(SERIES)
+        text = report.format()
+        assert "REGRESSION" in text and "single/n1000/dense" in text
+        assert "×" in text and "--bench-record" in text  # ratio + update path
+
+    def test_single_regressed_series_is_enough_to_fail(self, tmp_path):
+        record_baseline(tmp_path)
+        slowed = dict(SERIES, **{"single/n1000/sparse-cell": SERIES["single/n1000/sparse-cell"] * 2})
+        report = compare_run("engine", slowed, mode="quick", root=tmp_path, machine=MACHINE)
+        assert not report.ok
+        assert [entry.name for entry in report.regressions] == ["single/n1000/sparse-cell"]
+
+    def test_noise_floor_absorbs_tiny_absolute_jitter(self, tmp_path):
+        # 3x ratio but only 2 ms absolute: below the default floor, quick-mode
+        # jitter of that shape must not flap the gate.
+        record_baseline(tmp_path, {"tiny": 0.001})
+        report = compare_run("engine", {"tiny": 0.003}, mode="quick", root=tmp_path, machine=MACHINE)
+        assert report.ok
+        (entry,) = report.entries
+        assert entry.status == "within-noise"
+        # ... while the same ratio above the floor is a real regression.
+        record_baseline(tmp_path, {"big": 0.1}, area="domain")
+        report = compare_run("domain", {"big": 0.3}, mode="quick", root=tmp_path, machine=MACHINE)
+        assert not report.ok
+
+    def test_threshold_is_configurable(self, tmp_path):
+        record_baseline(tmp_path)
+        slowed = {name: seconds * 1.5 for name, seconds in SERIES.items()}
+        strict = compare_run(
+            "engine", slowed, mode="quick", root=tmp_path, machine=MACHINE, threshold=1.4
+        )
+        lenient = compare_run(
+            "engine", slowed, mode="quick", root=tmp_path, machine=MACHINE, threshold=2.0
+        )
+        assert not strict.ok and lenient.ok
+        with pytest.raises(TrajectoryError, match="threshold"):
+            compare_run("engine", SERIES, mode="quick", root=tmp_path, threshold=1.0)
+
+    def test_improvement_and_new_and_missing_series_pass(self, tmp_path):
+        record_baseline(tmp_path)
+        current = {
+            "single/n1000/dense": SERIES["single/n1000/dense"] / 4.0,  # faster
+            "single/n5000/dense": 1.0,  # new series (e.g. widened sweep)
+            # sparse-cell missing (e.g. narrowed sweep)
+        }
+        report = compare_run("engine", current, mode="quick", root=tmp_path, machine=MACHINE)
+        assert report.ok
+        statuses = {entry.name: entry.status for entry in report.entries}
+        assert statuses == {
+            "single/n1000/dense": "ok",
+            "single/n5000/dense": "new",
+            "single/n1000/sparse-cell": "missing",
+        }
+
+    def test_no_baseline_passes_vacuously_and_says_so(self, tmp_path):
+        report = compare_run("engine", SERIES, mode="quick", root=tmp_path, machine=MACHINE)
+        assert report.ok and not report.gated and report.baseline is None
+        assert "no recorded 'quick' baseline" in report.format()
+
+    def test_modes_have_independent_baselines(self, tmp_path):
+        record_baseline(tmp_path, mode="full")
+        report = compare_run(
+            "engine",
+            {name: seconds * 10 for name, seconds in SERIES.items()},
+            mode="quick",
+            root=tmp_path,
+            machine=MACHINE,
+        )
+        assert report.ok and report.baseline is None  # full runs never gate quick runs
+
+    def test_machine_mismatch_downgrades_the_gate_to_advisory(self, tmp_path):
+        record_baseline(tmp_path, machine="some-other-box")
+        slowed = {name: seconds * 10 for name, seconds in SERIES.items()}
+        report = compare_run("engine", slowed, mode="quick", root=tmp_path, machine=MACHINE)
+        assert not report.gated
+        assert report.ok  # wall times don't transfer across machines
+        assert report.regressions  # ... but the slowdown is still reported
+        assert "ADVISORY" in report.format()
+
+    def test_gate_prefers_the_latest_same_machine_baseline(self, tmp_path):
+        record_baseline(tmp_path, machine=MACHINE)
+        # A newer run from another machine must not shadow the enforced one.
+        record_baseline(
+            tmp_path,
+            {name: seconds / 100 for name, seconds in SERIES.items()},
+            machine="beefy-ci-box",
+        )
+        report = compare_run("engine", SERIES, mode="quick", root=tmp_path, machine=MACHINE)
+        assert report.gated and report.ok
+        assert report.baseline["machine"] == MACHINE
+
+    def test_machine_fingerprint_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MACHINE", "pinned-label")
+        assert trajectory.machine_fingerprint() == "pinned-label"
+        record_baseline(tmp_path, machine="pinned-label")
+        # compare_run derives the fingerprint from the env when not given.
+        report = compare_run("engine", SERIES, mode="quick", root=tmp_path)
+        assert report.gated and report.ok
+
+
+def make_report(scale: float = 1.0) -> dict:
+    def bench(name, seconds, extra):
+        return {"name": name, "stats": {"min": seconds * scale}, "extra_info": extra}
+
+    return {
+        "benchmarks": [
+            bench("test_engine_scaling", 1.2, {"n1000_speedup": 21.0}),
+            bench("test_domain_density", 0.8, {"L150_cell_speedup": 8.6}),
+            bench("test_infodynamics_scaling", 2.5, {"shared_kdtree_speedup": 3.9}),
+            bench("test_fig05_single_type_f1", 9.9, {}),  # unmapped: ignored
+        ]
+    }
+
+
+class TestBenchmarkReportNormalisation:
+    def test_maps_the_three_areas_and_ignores_figure_benchmarks(self):
+        per_area = runs_from_benchmark_report(make_report())
+        assert set(per_area) == {"engine", "domain", "infodynamics"}
+        assert per_area["engine"]["series"] == {"pytest/test_engine_scaling/min": 1.2}
+        assert per_area["engine"]["headline"] == {"n1000_speedup": 21.0}
+
+    def test_cli_record_then_compare_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MACHINE", MACHINE)
+        report_path = tmp_path / "benchmark_report.json"
+        report_path.write_text(json.dumps(make_report()))
+        argv = ["--report", str(report_path), "--mode", "quick", "--root", str(tmp_path)]
+        assert trajectory.main(["record", *argv]) == 0
+        for area in trajectory.AREAS:
+            assert trajectory_path(area, tmp_path).is_file()
+        assert trajectory.main(["compare", *argv]) == 0
+
+    def test_cli_compare_fails_on_a_regressed_report(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_MACHINE", MACHINE)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_report()))
+        assert trajectory.main(
+            ["record", "--report", str(baseline), "--mode", "quick", "--root", str(tmp_path)]
+        ) == 0
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(make_report(scale=2.0)))
+        code = trajectory.main(
+            ["compare", "--report", str(regressed), "--mode", "quick", "--root", str(tmp_path)]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_show_lists_recorded_runs(self, tmp_path, capsys):
+        record_baseline(tmp_path, commit="abc123")
+        assert trajectory.main(["show", "--area", "engine", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 recorded run(s)" in out and "abc123" in out
+
+
+class TestCommittedTrajectories:
+    """The seeded repo-root BENCH files must stay loadable and comparable."""
+
+    @pytest.mark.parametrize("area", trajectory.AREAS)
+    def test_committed_file_has_a_quick_baseline(self, area):
+        path = trajectory_path(area)
+        assert path.is_file(), f"missing committed trajectory {path.name}"
+        document = load_trajectory(path)
+        assert document["area"] == area
+        baseline = trajectory.latest_baseline(document, mode="quick")
+        assert baseline is not None, f"{path.name} has no recorded quick-mode run"
+        assert baseline["series"], f"{path.name} quick baseline records no series"

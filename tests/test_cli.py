@@ -89,6 +89,19 @@ class TestRunCommand:
         assert "multi_information" in payload
         assert "delta I" in stream.getvalue()
 
+    def test_nonpositive_max_specs_is_an_error(self, tmp_path):
+        # Regression test: --max-specs 0 used to be silently clamped to 1 and
+        # run a spec anyway; it now errors exactly like --max-units 0 does.
+        for value in ("0", "-3"):
+            stream = io.StringIO()
+            code = main(
+                ["run", "fig5", "--output", str(tmp_path), "--max-specs", value],
+                stream=stream,
+            )
+            assert code == 2
+            assert "--max-specs must be >= 1" in stream.getvalue()
+            assert not list(tmp_path.glob("*.json"))  # nothing ran
+
     def test_engine_flags_are_parsed(self):
         args = build_parser().parse_args(
             ["run", "fig5", "--engine", "sparse", "--neighbor-backend", "kdtree"]
@@ -180,6 +193,33 @@ class TestAnalyzeCommand:
         )
         assert code == 0
         assert "target \\ source" in stream.getvalue()
+
+    def test_matrix_table_renders_particle_ids_as_integers(self):
+        # Regression test: the target-id column was cast to float, printing
+        # particle 3 as "3.000"; indices must render as integers.
+        import numpy as np
+
+        from repro.cli import _matrix_table
+
+        table = _matrix_table(np.array([[0.5, 0.25], [0.125, 0.0625]]), [0, 3], "T")
+        header, _separator, *rows = table.splitlines()
+        assert "target \\ source" in header and "T<-3" in header
+        assert [row.split()[0] for row in rows] == ["0", "3"]
+
+    def test_analyze_output_prints_integer_particle_ids(self, tmp_path):
+        ensemble_path = tmp_path / "ens.npz"
+        self._tiny_ensemble(ensemble_path)  # 3 particles
+        stream = io.StringIO()
+        code = main(
+            ["analyze", "--ensemble", str(ensemble_path), "--particles", "0,2",
+             "--backend", "dense", "--output", str(tmp_path)],
+            stream=stream,
+        )
+        assert code == 0
+        lines = stream.getvalue().splitlines()
+        header_index = next(i for i, line in enumerate(lines) if "target \\ source" in line)
+        data_rows = lines[header_index + 2 : header_index + 4]
+        assert [row.split()[0] for row in data_rows] == ["0", "2"]
 
     def test_nonpositive_max_particles_is_rejected(self, tmp_path):
         ensemble_path = tmp_path / "ens.npz"

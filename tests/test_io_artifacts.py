@@ -147,6 +147,34 @@ class TestEnsemblePersistence:
         # The JSON summaries remain reachable regardless.
         assert store.load(unit, with_ensemble=False).ensemble is None
 
+    def test_orphaned_archive_is_not_attached_to_an_ensembleless_result(self, tmp_path, unit):
+        # Regression test: a crash in *another* sweep can leave an orphaned
+        # .npz next to a document whose run never kept ensembles (inside the
+        # grace window the sweep must not remove it either).  load() must
+        # consult the document's unit.ensemble reference, not the filesystem.
+        other = RunUnit(tiny_spec())
+        with_ensemble = other.execute(keep_ensemble=True)
+        store = RunStore(tmp_path / "store")
+        store.save(unit, unit.execute())  # summaries only, no reference
+        # Drop a fully valid archive at exactly the sibling path a crashed
+        # keep-ensembles save of this unit would have left behind.
+        with_ensemble.ensemble.save(store.ensemble_path_for(unit))
+        assert store.load_document(unit)["unit"].get("ensemble") is None
+        assert store.load(unit).ensemble is None
+        # It is still reported (and sweepable) as an orphan.
+        assert store.ensemble_path_for(unit) in store.orphaned_files(min_age_seconds=0.0)
+
+    def test_referenced_archive_gone_missing_is_a_store_error(self, tmp_path, unit):
+        # The save order makes this unreachable by crashes; if something
+        # external removed the archive, silently returning a result without
+        # its ensemble would hide real data loss.
+        store = RunStore(tmp_path / "store")
+        store.save(unit, unit.execute(keep_ensemble=True))
+        store.ensemble_path_for(unit).unlink()
+        with pytest.raises(RunStoreError, match="references missing ensemble archive"):
+            store.load(unit)
+        assert store.load(unit, with_ensemble=False).ensemble is None
+
     def test_execute_via_plan_matches_direct_unit_execution(self, unit):
         direct = unit.execute()
         via_plan = single(unit.spec).execute().results[0]
@@ -213,6 +241,38 @@ class TestDurabilityAndOrphans:
         store.sweep_orphans()
         assert not stale_json.exists() and not stale_npz.exists()
         assert store.keys() == []
+
+    def test_root_level_marker_temporaries_are_swept_once_aged(self, tmp_path):
+        import os
+
+        # Regression test: a writer that died between creating units/ and
+        # renaming the store marker leaks run_store.json.<pid>.tmp at the
+        # store *root*, which the units/-only scan never saw.
+        store = RunStore(tmp_path / "store")
+        leaked = store.root / f"{RunStore.MARKER_NAME}.12345.tmp"
+        leaked.write_text("{}")
+        # Inside the grace window it could be a live writer: protected.
+        assert store.orphaned_files() == []
+        os.utime(leaked, (0, 0))
+        assert leaked in store.orphaned_files()
+        assert leaked in store.sweep_orphans()
+        assert not leaked.exists()
+        # The committed marker itself is never a candidate.
+        assert (store.root / RunStore.MARKER_NAME).is_file()
+        assert store.orphaned_files(min_age_seconds=0.0) == []
+
+    def test_root_level_non_temporaries_are_never_swept(self, tmp_path):
+        import os
+
+        # Only abandoned temporaries are store artifacts; a stray .npz (or
+        # anything else) at the root is not ours to delete, however old.
+        store = RunStore(tmp_path / "store")
+        stray = store.root / "somebody_elses_data.npz"
+        stray.write_bytes(b"not a store artifact")
+        os.utime(stray, (0, 0))
+        assert store.orphaned_files(min_age_seconds=0.0) == []
+        assert store.sweep_orphans(min_age_seconds=0.0) == []
+        assert stray.exists()
 
     def test_committed_pair_is_never_swept(self, tmp_path, unit):
         store = RunStore(tmp_path / "store")
