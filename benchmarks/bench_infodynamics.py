@@ -16,12 +16,17 @@ implementations:
   (Chebyshev cKDTree candidate search, exact product-metric re-ranking).
 
 A lagged-MI sweep records the same comparison for the cheaper screening
-matrix.  Correctness is asserted alongside the timings: the shared matrices
-must be *bit-identical* to the naive loop per backend, and the two backends
-must agree to tight tolerance.  The full sweep (not ``--bench-quick``)
-additionally enforces the headline: shared + kdtree beats the naive dense
-loop by ≥ 3× at n_particles ≥ 8 and ≥ 2000 pooled samples (the full case
-runs 4000, past the pairwise dense/kdtree crossover).
+matrix, a ``n_jobs=2`` kdtree fan-out times the pooled row dispatch, and a
+KSG2 multi-information pair (``multi_ksg2_dense`` / ``multi_ksg2_kdtree``)
+times the rectangle estimator's tree backend on the pooled two-particle
+clouds.  Correctness is asserted alongside the timings: the shared matrices
+must be *bit-identical* to the naive loop per backend (the pooled fan-out
+bit-identical to serial), and the backends must agree to tight tolerance.
+The full sweep (not ``--bench-quick``) additionally enforces the headlines:
+shared + kdtree beats the naive dense loop by ≥ 3× at n_particles ≥ 8 and
+≥ 2000 pooled samples (the full case runs 4000, past the pairwise
+dense/kdtree crossover), and the KSG2 tree backend beats dense by ≥ 2× on
+the pooled clouds.
 
 Results go to ``benchmarks/output/infodynamics_scaling.json``.  Run through
 pytest (``pytest benchmarks/bench_infodynamics.py -m bench``, add
@@ -44,6 +49,7 @@ from repro.analysis.information_dynamics import (
     pairwise_transfer_entropy,
     particle_series,
 )
+from repro.infotheory.ksg import ksg_multi_information
 from repro.infotheory.transfer import time_lagged_mutual_information, transfer_entropy
 from repro.particles.trajectory import EnsembleTrajectory
 from repro.viz import save_json
@@ -134,6 +140,24 @@ def run_infodynamics_scaling(case: dict, seed: int = 0, repeats: int = 1) -> dic
     mi_kdtree_seconds, mi_kdtree = _timed(
         lambda: pairwise_lagged_mutual_information(ensemble, lag=LAG, k=K, backend="kdtree"), repeats
     )
+    te_fanout_seconds, te_fanout = _timed(
+        lambda: pairwise_transfer_entropy(
+            ensemble, history=HISTORY, k=K, backend="kdtree", n_jobs=2
+        ),
+        repeats,
+    )
+
+    # The KSG2 rectangle estimator on the pooled two-particle point clouds —
+    # the §7.3 multi-information row that gained a tree backend.  Pooled m is
+    # n_steps * n_samples (4200 at full scale, past the measured ksg2
+    # crossover of 256).
+    blocks = [ensemble.positions[:, :, p, :].reshape(-1, 2) for p in (0, 1)]
+    multi_dense_seconds, multi_dense = _timed(
+        lambda: ksg_multi_information(blocks, k=K, variant="ksg2", backend="dense"), repeats
+    )
+    multi_kdtree_seconds, multi_kdtree = _timed(
+        lambda: ksg_multi_information(blocks, k=K, variant="ksg2", backend="kdtree"), repeats
+    )
 
     return {
         "n_particles": ensemble.n_particles,
@@ -147,15 +171,21 @@ def run_infodynamics_scaling(case: dict, seed: int = 0, repeats: int = 1) -> dic
             "te_naive_dense_loop": te_naive_seconds,
             "te_shared_dense": te_dense_seconds,
             "te_shared_kdtree": te_kdtree_seconds,
+            "te_shared_kdtree_fanout2": te_fanout_seconds,
             "lagged_mi_shared_dense": mi_dense_seconds,
             "lagged_mi_shared_kdtree": mi_kdtree_seconds,
+            "multi_ksg2_dense": multi_dense_seconds,
+            "multi_ksg2_kdtree": multi_kdtree_seconds,
         },
         "shared_dense_matches_naive": bool(np.array_equal(te_dense, te_naive)),
+        "fanout_matches_serial": bool(np.array_equal(te_fanout, te_kdtree)),
         "backend_max_abs_diff_bits": float(np.abs(te_dense - te_kdtree).max()),
         "lagged_mi_backend_max_abs_diff_bits": float(np.abs(mi_dense - mi_kdtree).max()),
+        "multi_ksg2_backend_abs_diff_bits": float(abs(multi_dense - multi_kdtree)),
         "speedup_shared_dense_vs_naive": te_naive_seconds / te_dense_seconds,
         "speedup_shared_kdtree_vs_naive": te_naive_seconds / te_kdtree_seconds,
         "speedup_kdtree_vs_dense_lagged_mi": mi_dense_seconds / mi_kdtree_seconds,
+        "speedup_multi_ksg2_kdtree_vs_dense": multi_dense_seconds / multi_kdtree_seconds,
     }
 
 
@@ -168,6 +198,7 @@ def _format_row(row: dict) -> str:
         f"    {timings}\n"
         f"    shared kdtree vs naive dense ×{row['speedup_shared_kdtree_vs_naive']:.1f}, "
         f"shared dense vs naive ×{row['speedup_shared_dense_vs_naive']:.1f}, "
+        f"ksg2 kdtree vs dense ×{row['speedup_multi_ksg2_kdtree_vs_dense']:.1f}, "
         f"backend max |Δ| = {row['backend_max_abs_diff_bits']:.2e} bits, "
         f"shared == naive: {row['shared_dense_matches_naive']}"
     )
@@ -181,8 +212,10 @@ def _check(row: dict, smoke: bool) -> None:
     # the same distances, and the joint k-th neighbour sits exactly at ε, so
     # per-pair strict counts can flip by ±1 (see the equivalence suite).
     assert row["shared_dense_matches_naive"], row
+    assert row["fanout_matches_serial"], row
     assert row["backend_max_abs_diff_bits"] < 1e-2, row
     assert row["lagged_mi_backend_max_abs_diff_bits"] < 1e-2, row
+    assert row["multi_ksg2_backend_abs_diff_bits"] < 1e-2, row
     if smoke:
         # Timer-noise-proof sanity only: the shared plan must not be slower
         # than the naive loop by more than scheduling jitter at tiny scale.
@@ -192,6 +225,9 @@ def _check(row: dict, smoke: bool) -> None:
     # historical per-pair dense loop by >= 3x at n >= 8, pooled m >= 2000.
     assert row["n_particles"] >= 8 and row["pooled_samples"] >= 2000, row
     assert row["speedup_shared_kdtree_vs_naive"] >= SPEEDUP_FLOOR, row
+    # The KSG2 tree backend must clearly beat dense at full-scale pooled m
+    # (4200, far past its measured crossover of 256 samples).
+    assert row["speedup_multi_ksg2_kdtree_vs_dense"] >= 2.0, row
 
 
 def trajectory_series(row: dict) -> dict[str, float]:
@@ -216,6 +252,7 @@ def test_infodynamics_scaling(benchmark, output_dir, bench_quick, perf_trajector
             "pooled_samples": row["pooled_samples"],
             "shared_kdtree_speedup": round(row["speedup_shared_kdtree_vs_naive"], 2),
             "shared_dense_speedup": round(row["speedup_shared_dense_vs_naive"], 2),
+            "ksg2_kdtree_speedup": round(row["speedup_multi_ksg2_kdtree_vs_dense"], 2),
         }
     )
     _check(row, smoke=bench_quick)

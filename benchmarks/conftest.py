@@ -113,6 +113,7 @@ class TrajectoryHook:
                 root=self.root,
                 threshold=self.threshold,
                 noise_floor_seconds=self.noise_floor_seconds,
+                headline=headline,
             )
             text = report.format()
             sys.stdout.write(f"\n{text}\n")

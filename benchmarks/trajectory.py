@@ -17,18 +17,25 @@ fingerprint.  A run carries two kinds of numbers:
   ``single/n1000/sparse-cell``).  These are what the regression gate
   compares.
 * ``headline`` — the benchmark's ``extra_info`` headline numbers (speedup
-  ratios etc.).  Recorded for the trajectory, not gated: their semantics
-  (higher is better, ratio not time) differ per benchmark.
+  ratios etc.).  The *ratio-like* keys — numeric values whose name contains
+  ``speedup`` or ``ratio`` — are gated too, with their own threshold:
+  a headline regresses when it drops below ``baseline / headline_threshold``
+  *and* by more than an absolute ``headline noise floor``.  Ratios are
+  dimensionless and machine-independent (both sides of a speedup ran on the
+  same box), so the headline gate always fails the run — even when the
+  wall-time gate is only advisory because the baseline machine differs.
+  Other headline keys (sample counts, parameters) stay record-only.
 
 ``compare_run`` checks a fresh measurement against the most recent recorded
 baseline with the same mode (``quick``/``full``): a series regresses when it
 is *both* slower than ``threshold`` × baseline *and* slower by more than the
 absolute ``noise floor`` — sub-millisecond ``--bench-quick`` timings jitter
 by large ratios, and the floor keeps that from flapping the gate.  Wall
-times only transfer between identical machines, so the gate is **enforced**
-when the baseline's machine fingerprint matches the current one and
-**advisory** (reported, never failing) otherwise; set ``REPRO_BENCH_MACHINE``
-to pin the fingerprint to a stable label (e.g. in CI).
+times only transfer between identical machines, so the wall-time gate is
+**enforced** when the baseline's machine fingerprint matches the current one
+and **advisory** (reported, never failing) otherwise; set
+``REPRO_BENCH_MACHINE`` to pin the fingerprint to a stable label (e.g. in
+CI).
 
 The pytest wiring lives in ``benchmarks/conftest.py`` (``--bench-record`` /
 ``--bench-compare``).  This module is also a standalone tool that normalises
@@ -59,10 +66,14 @@ __all__ = [
     "AREAS",
     "DEFAULT_THRESHOLD",
     "DEFAULT_NOISE_FLOOR_SECONDS",
+    "DEFAULT_HEADLINE_THRESHOLD",
+    "DEFAULT_HEADLINE_NOISE_FLOOR",
     "ComparisonReport",
+    "HeadlineComparison",
     "SeriesComparison",
     "TrajectoryError",
     "compare_run",
+    "gateable_headline",
     "load_trajectory",
     "machine_fingerprint",
     "record_run",
@@ -81,6 +92,15 @@ DEFAULT_THRESHOLD = 1.25
 #: keeps those from flapping while a genuine 2x slowdown of the substantial
 #: series (hundreds of milliseconds and up) still trips the gate.
 DEFAULT_NOISE_FLOOR_SECONDS = 0.025
+
+#: A headline ratio regresses when current < baseline / this threshold ...
+#: (higher is better for speedups, the opposite sense of the wall-time gate).
+DEFAULT_HEADLINE_THRESHOLD = 1.5
+#: ... *and* baseline - current > this absolute floor.  A 27x speedup
+#: wobbling to 26.1x is noise; a 1.4x claim decaying to 0.9x is not, and the
+#: 0.5 floor keeps small-ratio regressions like that visible while absorbing
+#: run-to-run jitter near 1x.
+DEFAULT_HEADLINE_NOISE_FLOOR = 0.5
 
 #: pytest-benchmark test name (bracket-stripped) -> trajectory area, used by
 #: :func:`runs_from_benchmark_report` to normalise a ``--benchmark-json``
@@ -235,6 +255,48 @@ def latest_baseline(
 # comparison
 # ---------------------------------------------------------------------------
 
+def gateable_headline(headline: Mapping[str, Any] | None) -> dict[str, float]:
+    """The ratio-like subset of a headline block: what the headline gate sees.
+
+    A key is gateable when its name contains ``speedup`` or ``ratio``
+    (case-insensitive) and its value is a finite positive number — those are
+    the higher-is-better, machine-independent claims.  Everything else
+    (sample counts, parameters, booleans) is context, recorded but not gated.
+    """
+    out: dict[str, float] = {}
+    for name, value in (headline or {}).items():
+        lowered = str(name).lower()
+        if "speedup" not in lowered and "ratio" not in lowered:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        value = float(value)
+        if value > 0.0 and value != float("inf"):
+            out[str(name)] = value
+    return out
+
+
+@dataclass(frozen=True)
+class HeadlineComparison:
+    """One headline ratio of the current run measured against the baseline.
+
+    Unlike :class:`SeriesComparison` these are higher-is-better numbers: the
+    ``ratio`` property is current/baseline, and values *below* 1 are the
+    suspicious direction.
+    """
+
+    name: str
+    baseline_value: float | None
+    current_value: float | None
+    status: str  # "ok" | "regression" | "within-noise" | "new" | "missing"
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline_value and self.current_value:
+            return self.current_value / self.baseline_value
+        return None
+
+
 @dataclass(frozen=True)
 class SeriesComparison:
     """One series of the current run measured against the baseline."""
@@ -269,14 +331,24 @@ class ComparisonReport:
     baseline: dict[str, Any] | None
     gated: bool
     entries: list[SeriesComparison] = field(default_factory=list)
+    headline_threshold: float = DEFAULT_HEADLINE_THRESHOLD
+    headline_noise_floor: float = DEFAULT_HEADLINE_NOISE_FLOOR
+    headline_baseline: dict[str, Any] | None = None
+    headline_entries: list[HeadlineComparison] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[SeriesComparison]:
         return [entry for entry in self.entries if entry.status == "regression"]
 
     @property
+    def headline_regressions(self) -> list[HeadlineComparison]:
+        return [entry for entry in self.headline_entries if entry.status == "regression"]
+
+    @property
     def ok(self) -> bool:
-        return not (self.gated and self.regressions)
+        # Headline ratios are machine-independent, so their regressions fail
+        # the run even when the wall-time gate is merely advisory.
+        return not ((self.gated and self.regressions) or self.headline_regressions)
 
     def format(self) -> str:
         lines = [f"benchmark trajectory — area '{self.area}' (mode {self.mode})"]
@@ -317,15 +389,48 @@ class ComparisonReport:
                     f"   ×{entry.ratio:5.2f}  {note}"
                 )
             lines.append(f"    {entry.name:<{name_width}}  {detail}")
+        if self.headline_entries:
+            lines.append(
+                f"  headline ratios (gate ENFORCED, machine-independent): "
+                f"threshold ÷{self.headline_threshold:g}, "
+                f"noise floor {self.headline_noise_floor:g}"
+            )
+            head_width = max(len(entry.name) for entry in self.headline_entries)
+            for entry in self.headline_entries:
+                if entry.status == "new":
+                    detail = f"{_ratio(entry.current_value):>8}  (new headline, no baseline)"
+                elif entry.status == "missing":
+                    detail = f"{_ratio(entry.baseline_value):>8}  (in baseline, not measured now)"
+                else:
+                    note = {
+                        "regression": "REGRESSION",
+                        "within-noise": "ok (below threshold but within noise floor)",
+                        "ok": "ok",
+                    }[entry.status]
+                    detail = (
+                        f"{_ratio(entry.baseline_value):>8} -> {_ratio(entry.current_value):>8}"
+                        f"   ×{entry.ratio:5.2f}  {note}"
+                    )
+                lines.append(f"    {entry.name:<{head_width}}  {detail}")
+        problems = []
         if self.regressions:
             verb = "fails the gate" if self.gated else "would fail on the baseline machine"
-            lines.append(
+            problems.append(
                 f"  {len(self.regressions)} series regressed past ×{self.threshold:g} ({verb}); "
                 "if the slowdown is intended, re-record with --bench-record and commit"
             )
-        else:
-            lines.append("  no regressions")
+        if self.headline_regressions:
+            problems.append(
+                f"  {len(self.headline_regressions)} headline ratio(s) fell past "
+                f"÷{self.headline_threshold:g} (fails the gate); if the change is intended, "
+                "re-record with --bench-record and commit"
+            )
+        lines.extend(problems if problems else ["  no regressions"])
         return "\n".join(lines)
+
+
+def _ratio(value: float | None) -> str:
+    return "-" if value is None else f"{value:.2f}x"
 
 
 def _ms(seconds: float | None) -> str:
@@ -341,17 +446,32 @@ def compare_run(
     machine: str | None = None,
     threshold: float = DEFAULT_THRESHOLD,
     noise_floor_seconds: float = DEFAULT_NOISE_FLOOR_SECONDS,
+    headline: Mapping[str, Any] | None = None,
+    headline_threshold: float = DEFAULT_HEADLINE_THRESHOLD,
+    headline_noise_floor: float = DEFAULT_HEADLINE_NOISE_FLOOR,
 ) -> ComparisonReport:
     """Compare a fresh measurement against the last recorded baseline.
 
-    The baseline is the most recent run with the same mode *and* machine
-    fingerprint (the gate is enforced against it); when only runs from other
-    machines exist, the latest same-mode run is used advisorily.
+    The wall-time baseline is the most recent run with the same mode *and*
+    machine fingerprint (the gate is enforced against it); when only runs
+    from other machines exist, the latest same-mode run is used advisorily.
+
+    When ``headline`` is given, its ratio-like keys (see
+    :func:`gateable_headline`) are additionally gated against the most
+    recent same-mode run carrying gateable headline values — from *any*
+    machine, since a speedup ratio divides two timings from the same box.
+    A headline regresses when ``current * headline_threshold < baseline``
+    and the drop exceeds ``headline_noise_floor``; headline regressions
+    always fail the report.
     """
     if threshold <= 1.0:
         raise TrajectoryError(f"threshold must be > 1, got {threshold}")
     if noise_floor_seconds < 0.0:
         raise TrajectoryError(f"noise floor must be >= 0, got {noise_floor_seconds}")
+    if headline_threshold <= 1.0:
+        raise TrajectoryError(f"headline threshold must be > 1, got {headline_threshold}")
+    if headline_noise_floor < 0.0:
+        raise TrajectoryError(f"headline noise floor must be >= 0, got {headline_noise_floor}")
     current = _validate_series(series)
     machine = machine if machine is not None else machine_fingerprint()
     path = trajectory_path(area, root)
@@ -368,24 +488,54 @@ def compare_run(
         noise_floor_seconds=noise_floor_seconds,
         baseline=baseline,
         gated=gated,
+        headline_threshold=headline_threshold,
+        headline_noise_floor=headline_noise_floor,
     )
-    if baseline is None:
-        return report
-    base_series = baseline.get("series", {})
-    for name in sorted(set(base_series) | set(current)):
-        base = base_series.get(name)
-        now = current.get(name)
-        if base is None:
-            status = "new"
-        elif now is None:
-            status = "missing"
-        elif now > base * threshold:
-            status = "regression" if now - base > noise_floor_seconds else "within-noise"
-        else:
-            status = "ok"
-        report.entries.append(
-            SeriesComparison(name=name, baseline_seconds=base, current_seconds=now, status=status)
+    if baseline is not None:
+        base_series = baseline.get("series", {})
+        for name in sorted(set(base_series) | set(current)):
+            base = base_series.get(name)
+            now = current.get(name)
+            if base is None:
+                status = "new"
+            elif now is None:
+                status = "missing"
+            elif now > base * threshold:
+                status = "regression" if now - base > noise_floor_seconds else "within-noise"
+            else:
+                status = "ok"
+            report.entries.append(
+                SeriesComparison(name=name, baseline_seconds=base, current_seconds=now, status=status)
+            )
+    current_headline = gateable_headline(headline)
+    if current_headline:
+        # Skip same-mode runs recorded without gateable headline values (old
+        # format, or a record pass that omitted extra_info) so one such run
+        # does not silently reset the headline baseline.
+        head_base_run = next(
+            (
+                run
+                for run in reversed(document.get("runs", []))
+                if run.get("mode") == mode and gateable_headline(run.get("headline"))
+            ),
+            None,
         )
+        report.headline_baseline = head_base_run
+        base_headline = gateable_headline(head_base_run.get("headline")) if head_base_run else {}
+        for name in sorted(set(base_headline) | set(current_headline)):
+            base = base_headline.get(name)
+            now = current_headline.get(name)
+            if base is None:
+                status = "new"
+            elif now is None:
+                status = "missing"
+            elif now * headline_threshold < base:
+                status = "regression" if base - now > headline_noise_floor else "within-noise"
+            else:
+                status = "ok"
+            report.headline_entries.append(
+                HeadlineComparison(name=name, baseline_value=base, current_value=now, status=status)
+            )
     return report
 
 
@@ -452,6 +602,10 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
     compare.add_argument("--noise-floor", type=float, default=DEFAULT_NOISE_FLOOR_SECONDS,
                          help="absolute slowdown (seconds) below which a ratio breach is noise")
+    compare.add_argument("--headline-threshold", type=float, default=DEFAULT_HEADLINE_THRESHOLD,
+                         help="factor a speedup/ratio headline may fall by before regressing")
+    compare.add_argument("--headline-noise-floor", type=float, default=DEFAULT_HEADLINE_NOISE_FLOOR,
+                         help="absolute ratio drop below which a headline breach is noise")
 
     show = sub.add_parser("show", help="print an area's recorded trajectory")
     add_common(show, with_report=False)
@@ -499,6 +653,9 @@ def main(argv: list[str] | None = None) -> int:
                 report = compare_run(
                     area, payload["series"], mode=args.mode, root=args.root,
                     threshold=args.threshold, noise_floor_seconds=args.noise_floor,
+                    headline=payload["headline"],
+                    headline_threshold=args.headline_threshold,
+                    headline_noise_floor=args.headline_noise_floor,
                 )
                 print(report.format())
                 failed |= not report.ok

@@ -33,10 +33,28 @@ is pure reuse, not an approximation.
 :mod:`repro.infotheory.transfer`); ``"auto"`` resolves once from the pooled
 sample count and applies to every pair.  ``n_jobs`` fans the matrix rows out
 through :func:`repro.parallel.pool.parallel_starmap`; row order (and hence
-the result) is deterministic for any job count.
+the result) is deterministic for any job count.  ``workers`` threads the
+tree backend's cKDTree queries *inside* each row task (scipy semantics) —
+the two parallelism axes compose and neither changes any value.
+
+Payload-light fan-out
+---------------------
+Shipping each row task its whole embedding set (every particle's aligned
+source block) makes the pickled payload O(n · m · d) *per row* — quadratic
+in particle count overall.  Under the ``"fork"`` start method the parent
+instead registers the embedding plan (all per-particle blocks plus the row
+parameters) in a module-level cache right before the pool is created; forked
+workers inherit that memory read-only (copy-on-write, no serialisation) and
+rebuild each row's arguments from a ``(plan token, row index)`` payload —
+two integers per row.  Row functions, ordering, and hence the matrices are
+identical to the heavy-payload path, which remains the fallback on start
+methods that do not inherit parent memory ("spawn"/"forkserver").
 """
 
 from __future__ import annotations
+
+import itertools
+import multiprocessing
 
 import numpy as np
 
@@ -46,11 +64,12 @@ from repro.infotheory.knn import (
     pairwise_euclidean,
     resolve_estimator_backend,
 )
+from repro.infotheory.ksg import KSG_VARIANTS
 from repro.infotheory.transfer import (
     _cmi_from_dense_blocks,
     _cmi_kdtree,
-    _ksg1_from_dense_blocks,
-    _ksg1_kdtree,
+    _ksg_from_dense_blocks,
+    _ksg_kdtree,
     embed_history,
 )
 from repro.parallel.pool import effective_n_jobs, parallel_starmap
@@ -142,6 +161,7 @@ def _te_row(
     aligned_blocks: list[np.ndarray],
     k: int,
     backend: str,
+    workers: int = 1,
     cross_row_cache: dict | None = None,
 ) -> np.ndarray:
     """One row of the transfer-entropy matrix: every source j against target i.
@@ -174,8 +194,8 @@ def _te_row(
     else:
         # The (A, C) = (future, past) tree and the conditioning-ball counter
         # depend only on the target, so one of each serves the whole row.
-        ac_tree = ProductMetricTree([future_i, past_i])
-        c_counter = EuclideanBallCounter(past_i)
+        ac_tree = ProductMetricTree([future_i, past_i], workers=workers)
+        c_counter = EuclideanBallCounter(past_i, workers=workers)
         for j_index in sources:
             row[j_index] = _cmi_kdtree(
                 future_i,
@@ -184,6 +204,7 @@ def _te_row(
                 k,
                 ac_tree=ac_tree,
                 c_counter=c_counter,
+                workers=workers,
             )
     return row
 
@@ -194,6 +215,8 @@ def _mi_row(
     source_blocks: list[np.ndarray],
     k: int,
     backend: str,
+    variant: str = "ksg1",
+    workers: int = 1,
     cross_row_cache: dict | None = None,
 ) -> np.ndarray:
     """One row of the lagged-MI matrix: every source j against target i."""
@@ -213,37 +236,118 @@ def _mi_row(
                     d_source = cross_row_cache.setdefault(
                         j_index, pairwise_euclidean(source_blocks[j_index])
                     )
-            row[j_index] = _ksg1_from_dense_blocks([d_source, d_target], k)
+            row[j_index] = _ksg_from_dense_blocks([d_source, d_target], k, variant)
     else:
         # The target-side counter serves the whole row; source counters are
-        # shared across rows through the cache in serial mode.
-        target_counter = EuclideanBallCounter(target_i)
+        # shared across rows through the cache in serial mode.  Counters
+        # answer both the strict (ksg1/paper) and inclusive (ksg2) counts,
+        # so one cache serves every variant.
+        target_counter = EuclideanBallCounter(target_i, workers=workers)
         for j_index in sources:
             if cross_row_cache is None:
-                source_counter = EuclideanBallCounter(source_blocks[j_index])
+                source_counter = EuclideanBallCounter(source_blocks[j_index], workers=workers)
             else:
                 source_counter = cross_row_cache.get(j_index)
                 if source_counter is None:
                     source_counter = cross_row_cache.setdefault(
-                        j_index, EuclideanBallCounter(source_blocks[j_index])
+                        j_index, EuclideanBallCounter(source_blocks[j_index], workers=workers)
                     )
-            row[j_index] = _ksg1_kdtree(
+            row[j_index] = _ksg_kdtree(
                 [source_blocks[j_index], target_i],
                 k,
+                variant,
                 block_counters=[source_counter, target_counter],
+                workers=workers,
             )
     return row
 
 
-def _fan_out_rows(row_func, payloads: list[tuple], *, n_jobs: int | None) -> np.ndarray:
-    """Run the per-row tasks serially (with a cross-row dense cache) or pooled."""
-    if not payloads:
+#: Fork-inherited embedding plans of in-flight pairwise fan-outs, keyed by a
+#: per-process token.  The parent registers a plan immediately before the
+#: worker pool is created, so forked children see it in their copy of the
+#: module state without any per-row pickling; the parent removes it again as
+#: soon as the fan-out returns.
+_EMBEDDING_PLAN_CACHE: dict[int, dict] = {}
+_PLAN_TOKENS = itertools.count()
+
+
+def _uses_fork_start() -> bool:
+    return multiprocessing.get_start_method(allow_none=False) == "fork"
+
+
+def _plan_from_cache(token: int) -> dict:
+    plan = _EMBEDDING_PLAN_CACHE.get(token)
+    if plan is None:
+        raise RuntimeError(
+            f"embedding plan {token} is not present in this process; the "
+            "payload-light fan-out requires the 'fork' start method (workers "
+            "inherit the parent's plan cache when the pool is created)"
+        )
+    return plan
+
+
+def _te_row_args(plan: dict, i_index: int) -> tuple:
+    return (
+        plan["skips"][i_index],
+        plan["futures"][i_index],
+        plan["pasts"][i_index],
+        plan["aligneds"],
+        plan["k"],
+        plan["backend"],
+        plan["workers"],
+    )
+
+
+def _mi_row_args(plan: dict, i_index: int) -> tuple:
+    return (
+        plan["skips"][i_index],
+        plan["targets"][i_index],
+        plan["sources"],
+        plan["k"],
+        plan["backend"],
+        plan["variant"],
+        plan["workers"],
+    )
+
+
+def _te_row_from_plan(token: int, i_index: int) -> np.ndarray:
+    """Worker-side TE row task: rebuild the row arguments from the shared plan."""
+    return _te_row(*_te_row_args(_plan_from_cache(token), i_index))
+
+
+def _mi_row_from_plan(token: int, i_index: int) -> np.ndarray:
+    """Worker-side lagged-MI row task: rebuild the row arguments from the shared plan."""
+    return _mi_row(*_mi_row_args(_plan_from_cache(token), i_index))
+
+
+def _fan_out_rows(row_func, plan_row_func, row_args, plan: dict, n_rows: int, *, n_jobs: int | None) -> np.ndarray:
+    """Run the per-row tasks serially (with a cross-row dense cache) or pooled.
+
+    Parallel mode prefers the payload-light path: the plan is registered in
+    the module-level cache so forked workers inherit it and each row task
+    pickles only ``(token, row index)``.  On non-fork start methods the rows
+    fall back to carrying their full argument tuples.  Either way the row
+    functions and :func:`parallel_starmap`'s deterministic ordering are
+    identical, so the resulting matrix is bit-identical across modes.
+    """
+    if n_rows == 0:
         return np.zeros((0, 0))
-    if effective_n_jobs(n_jobs) == 1 or len(payloads) <= 1:
+    if effective_n_jobs(n_jobs) == 1 or n_rows <= 1:
         cross_row_cache: dict = {}
-        rows = [row_func(*payload, cross_row_cache) for payload in payloads]
+        rows = [row_func(*row_args(plan, i_index), cross_row_cache) for i_index in range(n_rows)]
+    elif _uses_fork_start():
+        token = next(_PLAN_TOKENS)
+        _EMBEDDING_PLAN_CACHE[token] = plan
+        try:
+            rows = parallel_starmap(
+                plan_row_func, [(token, i_index) for i_index in range(n_rows)], n_jobs=n_jobs
+            )
+        finally:
+            del _EMBEDDING_PLAN_CACHE[token]
     else:
-        rows = parallel_starmap(row_func, payloads, n_jobs=n_jobs)
+        rows = parallel_starmap(
+            row_func, [row_args(plan, i_index) for i_index in range(n_rows)], n_jobs=n_jobs
+        )
     return np.stack(rows)
 
 
@@ -256,14 +360,16 @@ def pairwise_transfer_entropy(
     step_stride: int = 1,
     backend: str = "auto",
     n_jobs: int | None = None,
+    workers: int = 1,
 ) -> np.ndarray:
     """Directed transfer-entropy matrix between the selected particles (bits).
 
     Entry ``[i, j]`` is ``T_{particle_j → particle_i}`` (information the past
     of ``j`` adds about the next step of ``i`` beyond ``i``'s own past).  The
     diagonal is zero by convention.  ``step_stride`` thins the trajectories to
-    control cost; ``backend`` and ``n_jobs`` select the estimator backend and
-    the row fan-out width (see the module docstring) — neither changes the
+    control cost; ``backend``, ``n_jobs`` and ``workers`` select the
+    estimator backend, the row fan-out width and the per-row tree-query
+    thread count (see the module docstring) — none of them changes the
     values beyond floating-point backend tolerance.
     """
     particles = _selected_particles(ensemble, particles)
@@ -281,11 +387,16 @@ def pairwise_transfer_entropy(
     resolved = resolve_estimator_backend(
         backend, n_samples=futures[0].shape[0], min_samples=TE_PAIRWISE_KDTREE_MIN_SAMPLES
     )
-    payloads = [
-        (_self_pair_indices(particles, i_index), futures[i_index], pasts[i_index], aligneds, k, resolved)
-        for i_index in range(particles.size)
-    ]
-    return _fan_out_rows(_te_row, payloads, n_jobs=n_jobs)
+    plan = {
+        "skips": [_self_pair_indices(particles, i_index) for i_index in range(particles.size)],
+        "futures": futures,
+        "pasts": pasts,
+        "aligneds": aligneds,
+        "k": k,
+        "backend": resolved,
+        "workers": workers,
+    }
+    return _fan_out_rows(_te_row, _te_row_from_plan, _te_row_args, plan, particles.size, n_jobs=n_jobs)
 
 
 def pairwise_lagged_mutual_information(
@@ -297,14 +408,20 @@ def pairwise_lagged_mutual_information(
     step_stride: int = 1,
     backend: str = "auto",
     n_jobs: int | None = None,
+    variant: str = "ksg1",
+    workers: int = 1,
 ) -> np.ndarray:
     """Matrix of lagged mutual informations between the selected particles (bits).
 
     Entry ``[i, j]`` is ``I(particle_j at t ; particle_i at t + lag)`` — the
     unconditioned precursor of the transfer entropy, useful as a cheaper
-    screening quantity.  ``backend``/``n_jobs`` as in
+    screening quantity.  ``variant`` selects the KSG estimator variant
+    (default algorithm 1, the cheapest screen; ``"ksg2"`` gives the
+    calibrated pipeline estimator); ``backend``/``n_jobs``/``workers`` as in
     :func:`pairwise_transfer_entropy`.
     """
+    if variant not in KSG_VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected 'paper', 'ksg1' or 'ksg2'")
     particles = _selected_particles(ensemble, particles)
     _validate_window_args(ensemble, step_stride=step_stride, lag=lag)
     sources, targets = [], []
@@ -319,11 +436,16 @@ def pairwise_lagged_mutual_information(
     resolved = resolve_estimator_backend(
         backend, n_samples=sources[0].shape[0], min_samples=MI_PAIRWISE_KDTREE_MIN_SAMPLES
     )
-    payloads = [
-        (_self_pair_indices(particles, i_index), targets[i_index], sources, k, resolved)
-        for i_index in range(particles.size)
-    ]
-    return _fan_out_rows(_mi_row, payloads, n_jobs=n_jobs)
+    plan = {
+        "skips": [_self_pair_indices(particles, i_index) for i_index in range(particles.size)],
+        "targets": targets,
+        "sources": sources,
+        "k": k,
+        "backend": resolved,
+        "variant": variant,
+        "workers": workers,
+    }
+    return _fan_out_rows(_mi_row, _mi_row_from_plan, _mi_row_args, plan, particles.size, n_jobs=n_jobs)
 
 
 def net_information_flow(transfer_matrix: np.ndarray) -> np.ndarray:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -81,6 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
             "steps from the current bounding box (0 disables adaptivity)",
         )
 
+    def add_estimator_flags(sub) -> None:
+        sub.add_argument(
+            "--estimator-backend", choices=("dense", "kdtree", "auto"), default=None,
+            help="override the measurement pipeline's estimator backend "
+            "(dense O(m^2) matrices, tree-backed queries, or pick by sample count); "
+            "non-default backends enter the run-unit content hash",
+        )
+        sub.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="thread count for the tree backend's cKDTree queries "
+            "(-1 = all cores); pure throughput knob, excluded from the content hash",
+        )
+
     run_parser = subparsers.add_parser("run", help="run the experiment(s) behind one figure")
     run_parser.add_argument("figure", help="figure id, e.g. fig4, fig5, fig9")
     run_parser.add_argument("--full", action="store_true", help="use the paper's scale (m=500, t_max=250)")
@@ -92,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--n-jobs", type=int, default=None, help="process-pool width for the simulation")
     add_engine_flags(run_parser)
+    add_estimator_flags(run_parser)
     run_parser.add_argument("--quiet", action="store_true", help="suppress the ASCII plot")
 
     sweep_parser = subparsers.add_parser(
@@ -123,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="persist raw ensemble trajectories as .npz next to the JSON documents",
         )
         add_engine_flags(sub)
+        add_estimator_flags(sub)
         sub.add_argument("--quiet", action="store_true", help="suppress the per-unit progress lines")
 
     status_parser = subparsers.add_parser(
@@ -138,9 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-units", type=int, default=None,
         help="inspect at most this many units of the plan (default: all)",
     )
-    # Engine knobs enter the content hash, so status must accept the same
-    # overrides as the sweep it inspects to look up the same units.
+    # Engine knobs (and a non-default estimator backend) enter the content
+    # hash, so status must accept the same overrides as the sweep it
+    # inspects to look up the same units.
     add_engine_flags(status_parser)
+    add_estimator_flags(status_parser)
 
     curves_parser = subparsers.add_parser("curves", help="print the Fig. 2 force-scaling curves")
     curves_parser.add_argument("--output", type=Path, default=None, help="optional CSV output path")
@@ -181,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimator backend: dense O(m^2) matrices, tree-backed queries, or pick by sample count",
     )
     analyze_parser.add_argument("--n-jobs", type=int, default=None, help="process-pool width for the pair fan-out")
+    analyze_parser.add_argument(
+        "--variant", default="ksg2",
+        help="KSG estimator variant for the lagged-MI matrix: 'paper', 'ksg1' or "
+        "'ksg2' (default: ksg2; the TE matrix always uses the KSG1-style CMI)",
+    )
+    analyze_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="thread count for the tree backend's cKDTree queries (-1 = all cores)",
+    )
     analyze_parser.add_argument("--full", action="store_true", help="use the paper's scale for the figure spec")
     analyze_parser.add_argument("--seed", type=int, default=None, help="override the figure spec's seed")
     analyze_parser.add_argument("--output", type=Path, default=Path("results"), help="output directory")
@@ -214,6 +241,17 @@ def _apply_engine_overrides(simulation, args: argparse.Namespace):
     if getattr(args, "domain", None) is not None:
         overrides["domain"] = args.domain
     return simulation.with_updates(**overrides) if overrides else simulation
+
+
+def _apply_analysis_overrides(spec: ExperimentSpec, args: argparse.Namespace) -> ExperimentSpec:
+    overrides = {}
+    if getattr(args, "estimator_backend", None) is not None:
+        overrides["estimator_backend"] = args.estimator_backend
+    if getattr(args, "workers", None) is not None:
+        overrides["workers"] = args.workers
+    if not overrides:
+        return spec
+    return spec.with_updates(analysis=replace(spec.analysis, **overrides))
 
 
 def _run_spec(spec: ExperimentSpec, args: argparse.Namespace, stream) -> dict:
@@ -268,11 +306,14 @@ def _command_run(args: argparse.Namespace, stream) -> int:
     # surfaces here as a clean error instead of a traceback.
     try:
         specs = [
-            spec.with_updates(simulation=_apply_engine_overrides(spec.simulation, args))
+            _apply_analysis_overrides(
+                spec.with_updates(simulation=_apply_engine_overrides(spec.simulation, args)),
+                args,
+            )
             for spec in specs
         ]
     except (KeyError, ValueError) as exc:
-        stream.write(f"invalid engine/domain override: {exc}\n")
+        stream.write(f"invalid engine/domain/estimator override: {exc}\n")
         return 2
     if args.neighbor_backend is not None and all(
         spec.simulation.resolved_engine == "dense" for spec in specs
@@ -300,17 +341,22 @@ def _figure_plan(args: argparse.Namespace, stream) -> ExperimentPlan | None:
         or getattr(args, "neighbor_backend", None)
         or getattr(args, "domain", None)
         or getattr(args, "auto_reresolve_every", None) is not None
+        or getattr(args, "estimator_backend", None)
+        or getattr(args, "workers", None) is not None
     ):
         try:
             plan = plan.map_specs(
-                lambda spec: spec.with_updates(
-                    simulation=_apply_engine_overrides(spec.simulation, args)
+                lambda spec: _apply_analysis_overrides(
+                    spec.with_updates(
+                        simulation=_apply_engine_overrides(spec.simulation, args)
+                    ),
+                    args,
                 )
             )
         except (KeyError, ValueError) as exc:
-            # e.g. a malformed --domain spec, or a periodic box smaller than
-            # twice the figure's cut-off radius.
-            stream.write(f"invalid engine/domain override: {exc}\n")
+            # e.g. a malformed --domain spec, a periodic box smaller than
+            # twice the figure's cut-off radius, or workers=0.
+            stream.write(f"invalid engine/domain/estimator override: {exc}\n")
             return None
     max_units = getattr(args, "max_units", None)
     if max_units is not None:
@@ -447,7 +493,17 @@ def _command_analyze(args: argparse.Namespace, stream) -> int:
         pairwise_lagged_mutual_information,
         pairwise_transfer_entropy,
     )
+    from repro.infotheory.ksg import KSG_VARIANTS
     from repro.particles.trajectory import EnsembleTrajectory
+
+    # Validate upfront: under the default --quantity te the variant is never
+    # consulted (TE always uses KSG1-style CMI), so a lazy check would let a
+    # typo exit 0 silently.
+    if args.variant not in KSG_VARIANTS:
+        stream.write(
+            f"analyze: unknown variant {args.variant!r}; expected 'paper', 'ksg1' or 'ksg2'\n"
+        )
+        return 2
 
     if args.ensemble is not None:
         ensemble = EnsembleTrajectory.load(args.ensemble)
@@ -480,6 +536,7 @@ def _command_analyze(args: argparse.Namespace, stream) -> int:
         step_stride=args.step_stride,
         backend=args.backend,
         n_jobs=args.n_jobs,
+        workers=args.workers,
     )
     payload: dict = {
         "source": name,
@@ -487,29 +544,40 @@ def _command_analyze(args: argparse.Namespace, stream) -> int:
         "k": args.k,
         "step_stride": args.step_stride,
         "backend": args.backend,
+        "workers": args.workers,
         "n_samples": ensemble.n_samples,
         "n_steps": ensemble.n_steps,
     }
-    if args.quantity in ("te", "both"):
-        te = pairwise_transfer_entropy(ensemble, history=args.history, **common)
-        flow = net_information_flow(te)
-        payload["history"] = args.history
-        payload["transfer_entropy_bits"] = te.tolist()
-        payload["net_information_flow_bits"] = flow.tolist()
-        if not args.quiet:
-            stream.write(_matrix_table(te, particles, "T") + "\n")
-        ranked = sorted(zip(particles, flow), key=lambda item: -item[1])
-        stream.write(
-            f"{name}: strongest net source is particle {ranked[0][0]} "
-            f"({ranked[0][1]:+.3f} bits), strongest sink is particle {ranked[-1][0]} "
-            f"({ranked[-1][1]:+.3f} bits)\n"
-        )
-    if args.quantity in ("lagged-mi", "both"):
-        lagged = pairwise_lagged_mutual_information(ensemble, lag=args.lag, **common)
-        payload["lag"] = args.lag
-        payload["lagged_mutual_information_bits"] = lagged.tolist()
-        if not args.quiet:
-            stream.write(_matrix_table(lagged, particles, "I") + "\n")
+    # An unknown variant/backend combination (or a bad k for this sample
+    # count) surfaces from the estimator layer as ValueError; turn it into a
+    # one-line message and exit code 2 instead of a traceback.
+    try:
+        if args.quantity in ("te", "both"):
+            te = pairwise_transfer_entropy(ensemble, history=args.history, **common)
+            flow = net_information_flow(te)
+            payload["history"] = args.history
+            payload["transfer_entropy_bits"] = te.tolist()
+            payload["net_information_flow_bits"] = flow.tolist()
+            if not args.quiet:
+                stream.write(_matrix_table(te, particles, "T") + "\n")
+            ranked = sorted(zip(particles, flow), key=lambda item: -item[1])
+            stream.write(
+                f"{name}: strongest net source is particle {ranked[0][0]} "
+                f"({ranked[0][1]:+.3f} bits), strongest sink is particle {ranked[-1][0]} "
+                f"({ranked[-1][1]:+.3f} bits)\n"
+            )
+        if args.quantity in ("lagged-mi", "both"):
+            lagged = pairwise_lagged_mutual_information(
+                ensemble, lag=args.lag, variant=args.variant, **common
+            )
+            payload["lag"] = args.lag
+            payload["variant"] = args.variant
+            payload["lagged_mutual_information_bits"] = lagged.tolist()
+            if not args.quiet:
+                stream.write(_matrix_table(lagged, particles, "I") + "\n")
+    except ValueError as exc:
+        stream.write(f"analyze: {exc}\n")
+        return 2
     path = save_json(args.output / f"{name}_infodynamics.json", payload)
     stream.write(f"information-dynamics results written to {path}\n")
     return 0

@@ -78,11 +78,16 @@ def unit_content_hash(spec: "ExperimentSpec") -> str:
     as ``engine``, which never change results but are hashed conservatively),
     the full analysis config, the seed and the ensemble size.  Cosmetic
     fields (name, description, expectation, tags) are excluded, so renaming a
-    sweep point never invalidates its cache entry.
+    sweep point never invalidates its cache entry — and so is the analysis
+    ``workers`` thread count, a pure throughput knob that never changes any
+    result (``estimator_backend`` stays hashed: backends agree only to
+    float tolerance).
     """
+    analysis = spec.analysis.to_dict()
+    analysis.pop("workers", None)
     payload = {
         "simulation": spec.simulation.to_dict(),
-        "analysis": spec.analysis.to_dict(),
+        "analysis": analysis,
         "n_samples": int(spec.n_samples),
         "seed": int(spec.seed),
     }

@@ -77,6 +77,17 @@ class AnalysisConfig:
     seed:
         Seed for the (small) stochastic parts of the analysis, i.e. k-means
         restarts in the cluster-mean mode.
+    estimator_backend:
+        ``"dense"`` (default), ``"kdtree"`` or ``"auto"`` — the estimator
+        backend forwarded to every KSG / entropy call (see
+        :mod:`repro.infotheory.ksg`).  The default stays dense so existing
+        stored results keep their exact values; non-default backends change
+        values within the backends' float-tolerance contract and therefore
+        *do* enter the run-unit content hash.
+    workers:
+        Thread count for the tree backend's cKDTree queries (scipy
+        semantics: ``-1`` = all cores).  Pure throughput knob — it never
+        changes any result and is excluded from the content hash.
     """
 
     k_neighbors: int = 4
@@ -90,6 +101,8 @@ class AnalysisConfig:
     icp_max_iterations: int = 30
     icp_tolerance: float = 1e-5
     seed: int = 0
+    estimator_backend: str = "dense"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.k_neighbors < 1:
@@ -98,6 +111,13 @@ class AnalysisConfig:
             raise ValueError("step_stride must be >= 1")
         if self.n_clusters < 1:
             raise ValueError("n_clusters must be >= 1")
+        if self.estimator_backend not in ("dense", "kdtree", "auto"):
+            raise ValueError(
+                f"estimator_backend must be 'dense', 'kdtree' or 'auto', "
+                f"got {self.estimator_backend!r}"
+            )
+        if self.workers == 0 or self.workers < -1:
+            raise ValueError(f"workers must be a positive int or -1 (all cores), got {self.workers}")
         object.__setattr__(self, "observer_mode", ObserverMode(self.observer_mode))
 
     def icp(self) -> TypeAwareICP:
@@ -105,8 +125,15 @@ class AnalysisConfig:
         return TypeAwareICP(max_iterations=self.icp_max_iterations, tolerance=self.icp_tolerance)
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serialisable representation (used by the run-unit content hash)."""
-        return {
+        """JSON-serialisable representation (used by the run-unit content hash).
+
+        The two post-PR-4 fields are omitted at their defaults so every
+        pre-existing document (and its content hash) round-trips byte-for-byte:
+        ``estimator_backend`` only appears when it can change values, and
+        ``workers`` — serialised for config fidelity — is additionally
+        stripped by the content hash itself (cosmetic field).
+        """
+        data: dict[str, Any] = {
             "k_neighbors": self.k_neighbors,
             "estimator_variant": self.estimator_variant,
             "observer_mode": ObserverMode(self.observer_mode).value,
@@ -119,6 +146,11 @@ class AnalysisConfig:
             "icp_tolerance": self.icp_tolerance,
             "seed": self.seed,
         }
+        if self.estimator_backend != "dense":
+            data["estimator_backend"] = self.estimator_backend
+        if self.workers != 1:
+            data["workers"] = self.workers
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "AnalysisConfig":
@@ -306,14 +338,28 @@ class SelfOrganizationAnalysis:
             values = observers.values
 
             multi_information[index] = ksg_multi_information(
-                values, k=config.k_neighbors, variant=config.estimator_variant
+                values,
+                k=config.k_neighbors,
+                variant=config.estimator_variant,
+                backend=config.estimator_backend,
+                workers=config.workers,
             )
             if config.compute_entropies:
                 joint = values.reshape(values.shape[0], -1)
-                joint_entropy[index] = kozachenko_leonenko_entropy(joint, k=config.k_neighbors)
+                joint_entropy[index] = kozachenko_leonenko_entropy(
+                    joint,
+                    k=config.k_neighbors,
+                    backend=config.estimator_backend,
+                    workers=config.workers,
+                )
                 marginal_entropy[index] = float(
                     sum(
-                        kozachenko_leonenko_entropy(values[:, i, :], k=config.k_neighbors)
+                        kozachenko_leonenko_entropy(
+                            values[:, i, :],
+                            k=config.k_neighbors,
+                            backend=config.estimator_backend,
+                            workers=config.workers,
+                        )
                         for i in range(values.shape[1])
                     )
                 )
@@ -323,7 +369,11 @@ class SelfOrganizationAnalysis:
                         values,
                         observers.type_groups(),
                         estimator=lambda vs: ksg_multi_information(
-                            vs, k=config.k_neighbors, variant=config.estimator_variant
+                            vs,
+                            k=config.k_neighbors,
+                            variant=config.estimator_variant,
+                            backend=config.estimator_backend,
+                            workers=config.workers,
                         ),
                     )
                 )

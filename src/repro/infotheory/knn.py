@@ -109,11 +109,37 @@ def chebyshev_over_variables(per_var: np.ndarray) -> np.ndarray:
     return per_var.max(axis=0)
 
 
+def _canonical_k_smallest(
+    candidate_dist: np.ndarray, k: int, kth: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rows × columns of the canonical k smallest entries per row.
+
+    ``candidate_dist`` is ``(u, c)`` with columns already in ascending
+    *candidate-identity* order; ``kth`` is each row's k-th smallest value.
+    Selection is by ``(distance, identity)`` lexicographic order: everything
+    strictly below the k-th value, then ties *at* the k-th value by ascending
+    column until exactly k are chosen.  This is the tie-breaking contract
+    shared by the dense and tree backends, so rectangle variants (KSG2 /
+    "paper") pick the *same* neighbour set on tie-heavy inputs — a
+    prerequisite for bitwise cross-backend agreement on integer grids.
+    """
+    below = candidate_dist < kth[:, None]
+    at = candidate_dist == kth[:, None]
+    need = k - below.sum(axis=1)  # >= 1: the k-th value itself is a tie
+    rank = np.cumsum(at, axis=1)
+    chosen = below | (at & (rank <= need[:, None]))
+    rows, cols = np.nonzero(chosen)  # row-major: per-row ascending columns
+    return rows.reshape(-1, k), cols.reshape(-1, k)
+
+
 def k_nearest_neighbor_indices(distance_matrix: np.ndarray, k: int) -> np.ndarray:
     """Indices of the k nearest neighbours of every sample (self excluded), shape ``(m, k)``.
 
-    The neighbours are ordered by increasing distance, so column ``k - 1`` is
-    the k-th nearest neighbour.
+    The neighbours are ordered by increasing ``(distance, index)`` — ties at
+    equal distance are broken by ascending sample index, so the selected set
+    and its order are canonical (identical between the dense and tree
+    backends, even on degenerate inputs with many repeated distances).
+    Column ``k - 1`` is the k-th nearest neighbour.
     """
     distance_matrix = np.asarray(distance_matrix, dtype=float)
     m = distance_matrix.shape[0]
@@ -123,10 +149,36 @@ def k_nearest_neighbor_indices(distance_matrix: np.ndarray, k: int) -> np.ndarra
         raise ValueError(f"k must be in [1, m-1] = [1, {m - 1}], got {k}")
     work = distance_matrix.copy()
     np.fill_diagonal(work, np.inf)
-    candidate_idx = np.argpartition(work, kth=k - 1, axis=1)[:, :k]
-    candidate_dist = np.take_along_axis(work, candidate_idx, axis=1)
-    order = np.argsort(candidate_dist, axis=1)
-    return np.take_along_axis(candidate_idx, order, axis=1)
+    if k < m - 1:
+        # A single partition at rank k pins the (k+1)-th value and leaves
+        # the k smallest (unordered) in the first k columns; the selected
+        # set is ambiguous only when a tie straddles that boundary.
+        candidate_idx = np.argpartition(work, kth=k, axis=1)[:, : k + 1]
+        candidate_dist = np.take_along_axis(work, candidate_idx, axis=1)
+        kth_value = candidate_dist[:, :k].max(axis=1)
+        ambiguous = candidate_dist[:, k] == kth_value
+    else:
+        candidate_idx = np.argpartition(work, kth=k - 1, axis=1)
+        candidate_dist = np.take_along_axis(work, candidate_idx, axis=1)
+        kth_value = candidate_dist[:, k - 1]
+        ambiguous = np.zeros(m, dtype=bool)
+    sel_idx = candidate_idx[:, :k]
+    sel_dist = candidate_dist[:, :k]
+    # Canonical order within the set: pre-sort by identity, then a stable
+    # sort by distance keeps ascending index inside every tie group.
+    by_index = np.argsort(sel_idx, axis=1)
+    sel_idx = np.take_along_axis(sel_idx, by_index, axis=1)
+    sel_dist = np.take_along_axis(sel_dist, by_index, axis=1)
+    order = np.argsort(sel_dist, axis=1, kind="stable")
+    out = np.take_along_axis(sel_idx, order, axis=1)
+    if np.any(ambiguous):
+        rows = np.nonzero(ambiguous)[0]
+        sub = work[rows]
+        rr, cols = _canonical_k_smallest(sub, k, kth_value[rows])
+        dist = sub[rr, cols]
+        order = np.argsort(dist, axis=1, kind="stable")
+        out[rows] = np.take_along_axis(cols, order, axis=1)
+    return out
 
 
 def kth_neighbor_indices(distance_matrix: np.ndarray, k: int) -> np.ndarray:
@@ -241,6 +293,52 @@ class ProductMetricTree:
             n_candidates = min(m, 2 * n_candidates)
         return eps
 
+    def k_joint_neighbor_indices(self, k: int) -> np.ndarray:
+        """Indices of the k nearest joint neighbours of every sample, shape ``(m, k)``.
+
+        Same canonical ``(distance, index)`` ordering as
+        :func:`k_nearest_neighbor_indices` on the dense joint matrix, and the
+        same adaptive candidate search as :meth:`kth_neighbor_distances` —
+        but the candidate *identities* are kept.  Once the k-th exact
+        distance sits strictly inside the covered L∞ radius, every point
+        with joint distance ≤ that value is guaranteed to be among the
+        candidates (L∞ lower-bounds the product metric), so the canonical
+        selection over the candidates is exact.  This is what the rectangle
+        estimator variants (KSG2 / "paper") need: the neighbours themselves,
+        not just the k-th distance.
+        """
+        m = self.n_samples
+        if not 1 <= k <= m - 1:
+            raise ValueError(f"k must be in [1, m-1] = [1, {m - 1}], got {k}")
+        out = np.empty((m, k), dtype=np.intp)
+        pending = np.arange(m)
+        n_candidates = min(m, 2 * (k + 1))
+        while pending.size:
+            dist_inf, idx = self._tree.query(
+                self._coords[pending], k=n_candidates, p=np.inf, workers=self.workers
+            )
+            exact = self._block_distances(pending, idx)
+            exact[idx == pending[:, None]] = np.inf  # exclude self by index
+            kth = np.partition(exact, k - 1, axis=1)[:, k - 1]
+            if n_candidates >= m:
+                resolved = np.ones(pending.size, dtype=bool)
+            else:
+                resolved = kth * (1.0 + 1e-12) < dist_inf[:, -1]
+            if np.any(resolved):
+                # Candidate columns sorted by sample index so the canonical
+                # tie ranking (ascending index at equal distance) applies.
+                by_index = np.argsort(idx[resolved], axis=1, kind="stable")
+                idx_sorted = np.take_along_axis(idx[resolved], by_index, axis=1)
+                exact_sorted = np.take_along_axis(exact[resolved], by_index, axis=1)
+                rows, cols = _canonical_k_smallest(exact_sorted, k, kth[resolved])
+                sel_idx = idx_sorted[rows, cols]
+                sel_dist = exact_sorted[rows, cols]
+                order = np.argsort(sel_dist, axis=1, kind="stable")
+                out[pending[resolved]] = np.take_along_axis(sel_idx, order, axis=1)
+            pending = pending[~resolved]
+            n_candidates = min(m, 2 * n_candidates)
+        return out
+
     def candidate_pairs_within(self, radii: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Flat ``(query_idx, neighbor_idx)`` pairs of the per-sample L∞ balls.
 
@@ -280,17 +378,23 @@ class ProductMetricTree:
 
 
 class EuclideanBallCounter:
-    """List-free strict ball counts for a *single* variable block.
+    """List-free strict *or* inclusive ball counts for a *single* variable block.
 
     For one block the product metric degenerates to plain Euclidean distance,
-    so per-sample counts of points strictly inside per-sample radii can use
+    so per-sample counts of points inside per-sample radii can use
     ``cKDTree.query_ball_point(..., return_length=True)`` — no Python
     candidate lists.  Strictness comes from shrinking each radius by one ulp:
     for doubles ``d < r  ⇔  d <= pred(r)``, so the tree's inclusive test at
-    the shrunk radius counts exactly the strict ball (distances that are
-    exactly representable, e.g. on integer grids, are handled exactly; for
-    generic data the tree's internal rounding can differ from the dense
-    path's in the last ulp, the same caveat as everywhere else).
+    the shrunk radius counts exactly the strict ball.  The inclusive mode
+    (KSG2's ``<=`` rectangle counts) is the symmetric construction: the
+    radius is *inflated* by a relative-ulp margin so the tree's internal
+    squared-distance rounding can never drop a boundary point — e.g. on an
+    integer grid ``fl(sqrt(3))**2 = 2.999…96 < 3``, so querying at the exact
+    threshold would miss points the dense ``d <= r`` comparison counts.  The
+    inflation is far below the relative gap between distinct grid distances
+    (≈ 1/(2r²)), so grid counts are bitwise exact; for generic continuous
+    data boundary rounding can flip a count by ±1, the same last-ulp caveat
+    as everywhere else (covered by the estimators' tolerance contract).
     """
 
     def __init__(self, block: np.ndarray, *, workers: int = 1) -> None:
@@ -302,11 +406,25 @@ class EuclideanBallCounter:
         self.workers = int(workers)
         self._tree = cKDTree(block)
 
-    def counts_within(self, radii: np.ndarray) -> np.ndarray:
-        """Per-sample count of points with ``||x_i - x_j||_2 < radii[i]`` (self excluded)."""
+    def counts_within(self, radii: np.ndarray, *, inclusive: bool = False) -> np.ndarray:
+        """Per-sample count of neighbours within ``radii`` (self excluded).
+
+        Strict mode (default) counts ``||x_i - x_j||_2 < radii[i]``;
+        ``inclusive=True`` counts ``<= radii[i]``, the KSG2 rectangle rule.
+        """
         radii = np.asarray(radii, dtype=float)
         if radii.shape != (self.n_samples,):
             raise ValueError(f"radii must have shape ({self.n_samples},), got {radii.shape}")
+        if inclusive:
+            # d <= r ⇔ d < succ(r): inflate by at least one ulp, and by a
+            # relative margin so the tree's internal rounding of boundary
+            # distances can never exclude a point the dense comparison counts.
+            grown = np.maximum(np.nextafter(radii, np.inf), radii * (1.0 + 1e-12))
+            lengths = self._tree.query_ball_point(
+                self.block, r=grown, p=2.0, return_length=True, workers=self.workers
+            )
+            # The self-pair (distance 0) is always inside an inclusive ball.
+            return lengths - 1
         positive = radii > 0
         shrunk = np.where(positive, np.nextafter(radii, -np.inf), 0.0)
         lengths = self._tree.query_ball_point(
@@ -332,6 +450,7 @@ def kozachenko_leonenko_entropy(
 
     samples = np.atleast_2d(np.asarray(samples, dtype=float))
     m, d = samples.shape
+    backend = resolve_estimator_backend(backend, n_samples=m)
     eps = kth_neighbor_distances(samples, k, backend=backend, workers=workers)
     eps = np.maximum(eps, 1e-300)
     log_ball_volume = (d / 2.0) * np.log(np.pi) - gammaln(d / 2.0 + 1.0)

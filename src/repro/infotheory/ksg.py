@@ -37,18 +37,24 @@ Three variants are exposed:
 Backends
 --------
 Like the simulation engines and the §7.3 estimators, the estimator takes
-``backend="dense" | "kdtree" | "auto"``.  The tree backend answers the KSG1
-queries through :class:`~repro.infotheory.knn.ProductMetricTree` (joint
-k-th-neighbour radii under the exact Eq. 19 product metric) and
-:class:`~repro.infotheory.knn.EuclideanBallCounter` (list-free strict
-per-observer ball counts), so it computes the *same* counts as the dense
-``(n_vars, m, m)`` matrices — the two agree to floating-point tolerance,
-bit-exactly on inputs whose distances are exactly representable.  ``"auto"``
-switches to the tree at :data:`KSG1_KDTREE_MIN_SAMPLES` pooled samples.
-``"ksg2"`` and ``"paper"`` need *inclusive* rectangle counts (and KSG2
-additionally neighbour identities), which the ball counter does not provide;
-requesting ``backend="kdtree"`` for them raises, and ``"auto"`` resolves to
-the dense path (the ROADMAP tracks the KSG2 tree variant as a follow-up).
+``backend="dense" | "kdtree" | "auto"`` — for **every** variant.  The tree
+backend answers the queries through
+:class:`~repro.infotheory.knn.ProductMetricTree` (joint k-th-neighbour radii
+— and, for the rectangle variants, the neighbour *identities* — under the
+exact Eq. 19 product metric) and
+:class:`~repro.infotheory.knn.EuclideanBallCounter` (list-free strict or
+inclusive per-observer ball counts), so it computes the *same* counts as the
+dense ``(n_vars, m, m)`` matrices — the two agree to floating-point
+tolerance, bit-exactly on inputs whose distances are exactly representable
+(integer grids, duplicated samples).  Neighbour ties are broken canonically
+by ``(distance, sample index)`` on both backends, so even the tie-heavy
+degenerate inputs select the same rectangle.  ``"auto"`` switches to the
+tree at a per-variant measured crossover: :data:`KSG1_KDTREE_MIN_SAMPLES`
+for ``"ksg1"`` (its strict counts are cheapest),
+:data:`KSG2_KDTREE_MIN_SAMPLES` / :data:`PAPER_KDTREE_MIN_SAMPLES` for the
+rectangle variants (their tree paths additionally materialise the ``(m, k)``
+identity table).  ``workers=`` threads every underlying cKDTree query
+(scipy semantics, ``-1`` = all cores) without changing any result.
 
 All results are converted to **bits** (the digamma identities are in nats).
 """
@@ -74,16 +80,39 @@ __all__ = [
     "ksg_multi_information",
     "KSGDiagnostics",
     "ksg_multi_information_with_diagnostics",
+    "KSG_VARIANTS",
     "KSG1_KDTREE_MIN_SAMPLES",
+    "KSG2_KDTREE_MIN_SAMPLES",
+    "PAPER_KDTREE_MIN_SAMPLES",
 ]
 
 _LN2 = float(np.log(2.0))
+
+#: Every supported estimator variant, in the order the error messages cite.
+KSG_VARIANTS = ("paper", "ksg1", "ksg2")
 
 #: Measured dense/kdtree crossover of the KSG1 estimator: its marginal counts
 #: are list-free tree queries, so the tree backend wins far earlier than for
 #: the Frenzel–Pompe CMI (whose product-metric counts must filter candidate
 #: lists).
 KSG1_KDTREE_MIN_SAMPLES = 256
+
+#: Measured dense/kdtree crossovers of the rectangle variants (2 × 2-D
+#: observer blocks, k = 4, single worker; tree/dense ratio 1.25× at the KSG2
+#: constant and ~1.1× at the "paper" one, growing to >25× by m = 4096).
+#: Both pay for the adaptive identity search on top of KSG1's radius query;
+#: "paper" crosses slightly later because its strict counts are cheaper on
+#: the dense side.  Either way the tree overtakes well below paper scale
+#: (m = 500 joint samples per figure point, m = 4000 pooled in §7.3).
+KSG2_KDTREE_MIN_SAMPLES = 256
+PAPER_KDTREE_MIN_SAMPLES = 384
+
+#: Per-variant ``"auto"`` crossover table of :func:`_resolve_ksg_backend`.
+_KSG_TREE_MIN_SAMPLES = {
+    "ksg1": KSG1_KDTREE_MIN_SAMPLES,
+    "ksg2": KSG2_KDTREE_MIN_SAMPLES,
+    "paper": PAPER_KDTREE_MIN_SAMPLES,
+}
 
 
 def _ksg1_value_from_counts(per_block_counts: list[np.ndarray], k: int, m: int) -> float:
@@ -97,10 +126,30 @@ def _ksg1_value_from_counts(per_block_counts: list[np.ndarray], k: int, m: int) 
     return value_nats / _LN2
 
 
+def _rect_value_from_counts(counts: np.ndarray, k: int, m: int, variant: str) -> float:
+    """Digamma average of the rectangle variants ("paper" / "ksg2"), in bits.
+
+    ``counts`` is the stacked ``(n_vars, m)`` count table.  Counts are >= k-ish
+    by construction but can be 0 in degenerate cases (duplicated samples);
+    clamp to 1 to keep psi finite, mirroring common implementations.  Shared
+    by the dense and tree backends so the arithmetic — and hence the result —
+    is identical across them.
+    """
+    n_vars = counts.shape[0]
+    safe_counts = np.maximum(counts, 1)
+    psi_terms = digamma(safe_counts).sum(axis=0)
+    value_nats = digamma(k) + (n_vars - 1) * digamma(m) - psi_terms.mean()
+    if variant == "ksg2":
+        value_nats -= (n_vars - 1) / k
+    return float(value_nats / _LN2)
+
+
 def _ksg1_tree_counts(
     blocks: list[np.ndarray],
     k: int,
     block_counters: list[EuclideanBallCounter] | None = None,
+    *,
+    workers: int = 1,
 ) -> list[np.ndarray]:
     """Per-block strict neighbour counts of the tree-backed KSG1 path.
 
@@ -110,12 +159,64 @@ def _ksg1_tree_counts(
     reuse target-side counters across matrix rows — a fresh counter yields
     the same counts, which keeps the shared path bit-identical.
     """
-    joint = ProductMetricTree(blocks)
+    joint = ProductMetricTree(blocks, workers=workers)
     epsilon = joint.kth_neighbor_distances(k)
     counters = (
-        block_counters if block_counters is not None else [EuclideanBallCounter(b) for b in blocks]
+        block_counters
+        if block_counters is not None
+        else [EuclideanBallCounter(b, workers=workers) for b in blocks]
     )
     return [counter.counts_within(epsilon) for counter in counters]
+
+
+def _rect_tree_counts(
+    blocks: list[np.ndarray],
+    k: int,
+    variant: str,
+    block_counters: list[EuclideanBallCounter] | None = None,
+    *,
+    workers: int = 1,
+) -> list[np.ndarray]:
+    """Per-block neighbour counts of the tree-backed rectangle variants.
+
+    The joint tree supplies the canonical ``(m, k)`` neighbour *identities*;
+    per-observer thresholds are then exact coordinate distances to those
+    neighbours ("paper": to the k-th; "ksg2": the rectangle extent over all
+    k), and the single-block ball counter answers the counts — strict for
+    "paper" (Eq. 20), inclusive for "ksg2" (algorithm 2 of Kraskov et al.).
+    """
+    joint = ProductMetricTree(blocks, workers=workers)
+    knn_idx = joint.k_joint_neighbor_indices(k)
+    counters = (
+        block_counters
+        if block_counters is not None
+        else [EuclideanBallCounter(b, workers=workers) for b in blocks]
+    )
+    counts: list[np.ndarray] = []
+    for block, counter in zip(blocks, counters):
+        if variant == "paper":
+            diff = block - block[knn_idx[:, -1]]
+            thresholds = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            counts.append(counter.counts_within(thresholds))
+        else:
+            diff = block[:, None, :] - block[knn_idx]  # (m, k, d)
+            dists = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+            counts.append(counter.counts_within(dists.max(axis=1), inclusive=True))
+    return counts
+
+
+def _ksg_tree_counts(
+    blocks: list[np.ndarray],
+    k: int,
+    variant: str,
+    block_counters: list[EuclideanBallCounter] | None = None,
+    *,
+    workers: int = 1,
+) -> list[np.ndarray]:
+    """Variant dispatch for the tree-backed count tables."""
+    if variant == "ksg1":
+        return _ksg1_tree_counts(blocks, k, block_counters, workers=workers)
+    return _rect_tree_counts(blocks, k, variant, block_counters, workers=workers)
 
 
 def _ksg1_kdtree(
@@ -123,10 +224,26 @@ def _ksg1_kdtree(
     k: int,
     *,
     block_counters: list[EuclideanBallCounter] | None = None,
+    workers: int = 1,
 ) -> float:
     """Tree-backed KSG algorithm 1 (strict counts, ``ψ(c_i + 1)`` average)."""
-    counts = _ksg1_tree_counts(blocks, k, block_counters)
+    counts = _ksg1_tree_counts(blocks, k, block_counters, workers=workers)
     return _ksg1_value_from_counts(counts, k, blocks[0].shape[0])
+
+
+def _ksg_kdtree(
+    blocks: list[np.ndarray],
+    k: int,
+    variant: str,
+    *,
+    block_counters: list[EuclideanBallCounter] | None = None,
+    workers: int = 1,
+) -> float:
+    """Tree-backed KSG value for any variant (used by the §7.3 matrix rows)."""
+    counts = _ksg_tree_counts(blocks, k, variant, block_counters, workers=workers)
+    if variant == "ksg1":
+        return _ksg1_value_from_counts(counts, k, blocks[0].shape[0])
+    return _rect_value_from_counts(np.stack(counts), k, blocks[0].shape[0], variant)
 
 
 @dataclass(frozen=True)
@@ -162,6 +279,7 @@ def ksg_multi_information(
     *,
     variant: str = "ksg2",
     backend: str = "dense",
+    workers: int = 1,
 ) -> float:
     """KSG estimate of the multi-information ``I(W_1, …, W_n)`` in bits.
 
@@ -177,26 +295,23 @@ def ksg_multi_information(
     variant:
         ``"ksg2"`` (default), ``"ksg1"`` or ``"paper"`` — see module docstring.
     backend:
-        ``"dense"`` (default), ``"kdtree"`` (KSG1 only) or ``"auto"`` — see
-        the *Backends* section of the module docstring.
+        ``"dense"`` (default), ``"kdtree"`` or ``"auto"`` — see the
+        *Backends* section of the module docstring.
+    workers:
+        Thread count for the tree backend's cKDTree queries (scipy
+        semantics, ``-1`` = all cores).  Pure throughput knob: never changes
+        the result.  Ignored by the dense backend.
     """
     return ksg_multi_information_with_diagnostics(
-        variables, k, variant=variant, backend=backend
+        variables, k, variant=variant, backend=backend, workers=workers
     ).value_bits
 
 
 def _resolve_ksg_backend(backend: str, variant: str, m: int) -> str:
-    """Resolve the backend request for a variant (tree path exists for KSG1 only)."""
-    if variant == "ksg1":
-        return resolve_estimator_backend(backend, n_samples=m, min_samples=KSG1_KDTREE_MIN_SAMPLES)
-    if backend == "kdtree":
-        raise ValueError(
-            f"backend='kdtree' is implemented for variant='ksg1' only (got {variant!r}); "
-            "the inclusive rectangle counts of 'ksg2'/'paper' need neighbour identities "
-            "(tracked as a ROADMAP follow-up)"
-        )
-    resolve_estimator_backend(backend, n_samples=m)  # validates the name
-    return "dense"
+    """Resolve the backend request for a variant (per-variant auto crossover)."""
+    return resolve_estimator_backend(
+        backend, n_samples=m, min_samples=_KSG_TREE_MIN_SAMPLES[variant]
+    )
 
 
 def ksg_multi_information_with_diagnostics(
@@ -205,19 +320,24 @@ def ksg_multi_information_with_diagnostics(
     *,
     variant: str = "ksg2",
     backend: str = "dense",
+    workers: int = 1,
 ) -> KSGDiagnostics:
     """Same as :func:`ksg_multi_information` but returning intermediate counts."""
     var_list = as_variable_list(variables)
     n_vars = len(var_list)
     m = var_list[0].shape[0]
     _validate_k(k, m)
-    if variant not in ("paper", "ksg1", "ksg2"):
+    if variant not in KSG_VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; expected 'paper', 'ksg1' or 'ksg2'")
 
     if _resolve_ksg_backend(backend, variant, m) == "kdtree":
-        tree_counts = _ksg1_tree_counts(var_list, k)
+        tree_counts = _ksg_tree_counts(var_list, k, variant, workers=workers)
+        if variant == "ksg1":
+            value_bits = _ksg1_value_from_counts(tree_counts, k, m)
+        else:
+            value_bits = _rect_value_from_counts(np.stack(tree_counts), k, m, variant)
         return KSGDiagnostics(
-            value_bits=_ksg1_value_from_counts(tree_counts, k, m),
+            value_bits=value_bits,
             counts=np.stack(tree_counts),
             k=k,
             variant=variant,
@@ -255,18 +375,12 @@ def ksg_multi_information_with_diagnostics(
     if variant == "ksg1":
         psi_terms = digamma(counts + 1).sum(axis=0)
         value_nats = digamma(k) + (n_vars - 1) * digamma(m) - psi_terms.mean()
+        value_bits = float(value_nats / _LN2)
     else:
-        # "paper" and "ksg2": psi of the raw counts.  Counts are >= k-ish by
-        # construction but can be 0 in degenerate cases (duplicated samples);
-        # clamp to 1 to keep psi finite, mirroring common implementations.
-        safe_counts = np.maximum(counts, 1)
-        psi_terms = digamma(safe_counts).sum(axis=0)
-        value_nats = digamma(k) + (n_vars - 1) * digamma(m) - psi_terms.mean()
-        if variant == "ksg2":
-            value_nats -= (n_vars - 1) / k
+        value_bits = _rect_value_from_counts(counts, k, m, variant)
 
     return KSGDiagnostics(
-        value_bits=float(value_nats / _LN2),
+        value_bits=value_bits,
         counts=counts,
         k=k,
         variant=variant,

@@ -49,13 +49,15 @@ from repro.infotheory.knn import (
     resolve_estimator_backend,
 )
 
-# The KSG1 tree path and its crossover live with the estimator itself
+# The KSG tree paths and their crossovers live with the estimator itself
 # (repro.infotheory.ksg) and are shared here so the lagged-MI path and the
 # pairwise shared-embedding plan use bit-identical arithmetic.
 from repro.infotheory.ksg import (  # noqa: F401  (re-exported for the pairwise analysis)
     KSG1_KDTREE_MIN_SAMPLES,
     _ksg1_kdtree,
     _ksg1_value_from_counts,
+    _ksg_kdtree,
+    _rect_value_from_counts,
 )
 
 __all__ = [
@@ -134,6 +136,7 @@ def _cmi_kdtree(
     *,
     ac_tree: ProductMetricTree | None = None,
     c_counter: EuclideanBallCounter | None = None,
+    workers: int = 1,
 ) -> float:
     """Tree-backed Frenzel–Pompe value.
 
@@ -145,12 +148,12 @@ def _cmi_kdtree(
     per matrix row and passes them in — a fresh structure yields the same
     counts, which keeps the shared path bit-identical to the per-pair one.
     """
-    joint = ProductMetricTree([a, b, c])
+    joint = ProductMetricTree([a, b, c], workers=workers)
     epsilon = joint.kth_neighbor_distances(k)
-    ac = ac_tree if ac_tree is not None else ProductMetricTree([a, c])
-    cc = c_counter if c_counter is not None else EuclideanBallCounter(c)
+    ac = ac_tree if ac_tree is not None else ProductMetricTree([a, c], workers=workers)
+    cc = c_counter if c_counter is not None else EuclideanBallCounter(c, workers=workers)
     n_ac = ac.counts_within(epsilon)
-    n_bc = ProductMetricTree([b, c]).counts_within(epsilon)
+    n_bc = ProductMetricTree([b, c], workers=workers).counts_within(epsilon)
     n_c = cc.counts_within(epsilon)
     return _cmi_value_from_counts(n_ac, n_bc, n_c, k)
 
@@ -162,6 +165,7 @@ def conditional_mutual_information(
     k: int = 4,
     *,
     backend: str = "auto",
+    workers: int = 1,
 ) -> float:
     """Frenzel–Pompe kNN estimate of ``I(A; B | C)`` in bits.
 
@@ -173,7 +177,9 @@ def conditional_mutual_information(
     ``I(A; B | C) ≈ ψ(k) - ⟨ψ(n_{AC} + 1) + ψ(n_{BC} + 1) - ψ(n_C + 1)⟩``.
 
     ``backend`` selects the dense-matrix or tree-backed implementation (see
-    the module docstring); ``"auto"`` picks by sample count.
+    the module docstring); ``"auto"`` picks by sample count.  ``workers``
+    threads the tree backend's cKDTree queries (scipy semantics, ``-1`` =
+    all cores) without changing any result; the dense backend ignores it.
     """
     a = _as_samples(a)
     b = _as_samples(b)
@@ -184,7 +190,7 @@ def conditional_mutual_information(
     if not 1 <= k <= m - 1:
         raise ValueError(f"k must satisfy 1 <= k <= m-1 (m={m}), got {k}")
     if resolve_estimator_backend(backend, n_samples=m) == "kdtree":
-        return _cmi_kdtree(a, b, c, k)
+        return _cmi_kdtree(a, b, c, k, workers=workers)
     per_var = per_variable_distances([a, b, c])  # (3, m, m)
     d_a, d_b, d_c = per_var[0], per_var[1], per_var[2]
     return _cmi_from_dense_blocks(np.maximum(d_a, d_c), d_b, d_c, k)
@@ -199,6 +205,34 @@ def _ksg1_from_dense_blocks(per_var_blocks: list[np.ndarray], k: int) -> float:
     epsilon = joint[np.arange(m), kth_idx]
     counts = [_counts_within(block, epsilon) for block in per_var_blocks]
     return _ksg1_value_from_counts(counts, k, m)
+
+
+def _ksg_from_dense_blocks(per_var_blocks: list[np.ndarray], k: int, variant: str) -> float:
+    """Any KSG variant from precomputed per-variable dense distance blocks.
+
+    Computes the exact same counts as
+    :func:`repro.infotheory.ksg.ksg_multi_information_with_diagnostics` on the
+    dense backend (canonical neighbour selection included), so the pairwise
+    shared-embedding rows stay bit-identical to the per-pair estimator calls.
+    """
+    if variant == "ksg1":
+        return _ksg1_from_dense_blocks(per_var_blocks, k)
+    m = per_var_blocks[0].shape[0]
+    joint = np.maximum.reduce(per_var_blocks)
+    knn_idx = k_nearest_neighbor_indices(joint, k)
+    sample_idx = np.arange(m)
+    counts = []
+    for block in per_var_blocks:
+        if variant == "paper":
+            thresholds = block[sample_idx, knn_idx[:, -1]]
+            inside = block < thresholds[:, None]
+            self_inside = np.diagonal(block) < thresholds
+        else:  # ksg2
+            thresholds = block[sample_idx[:, None], knn_idx].max(axis=1)
+            inside = block <= thresholds[:, None]
+            self_inside = np.diagonal(block) <= thresholds
+        counts.append(inside.sum(axis=1) - self_inside.astype(np.intp))
+    return _rect_value_from_counts(np.stack(counts), k, m, variant)
 
 
 def embed_history(series: np.ndarray, history: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -234,14 +268,17 @@ def time_lagged_mutual_information(
     lag: int = 1,
     k: int = 4,
     backend: str = "auto",
+    variant: str = "ksg1",
+    workers: int = 1,
 ) -> float:
     """``I(source_t ; target_{t+lag})`` pooled over realisations and time, in bits.
 
     Both inputs have shape ``(n_realizations, n_steps, d)``.  This is the
     (unconditioned) precursor of the transfer entropy; it does not remove the
-    target's own history.  Estimated with KSG algorithm 1 on the pooled
-    (source-past, target-future) pairs; ``backend`` selects the dense or
-    tree-backed implementation.
+    target's own history.  Estimated with KSG ``variant`` (default algorithm
+    1, the cheapest screening estimator) on the pooled (source-past,
+    target-future) pairs; ``backend`` selects the dense or tree-backed
+    implementation and ``workers`` threads the tree queries.
     """
     from repro.infotheory.ksg import ksg_multi_information
 
@@ -256,9 +293,11 @@ def time_lagged_mutual_information(
         raise ValueError("need more time steps than the lag")
     past = source[:, : n_steps - lag, :].reshape(-1, source.shape[2])
     future = target[:, lag:, :].reshape(-1, target.shape[2])
-    # The estimator owns the KSG1 backend registry (including the measured
-    # crossover), so the backend request is simply forwarded.
-    return ksg_multi_information([past, future], k=k, variant="ksg1", backend=backend)
+    # The estimator owns the KSG backend registry (including the per-variant
+    # measured crossovers), so the backend request is simply forwarded.
+    return ksg_multi_information(
+        [past, future], k=k, variant=variant, backend=backend, workers=workers
+    )
 
 
 def transfer_entropy(
@@ -268,14 +307,15 @@ def transfer_entropy(
     history: int = 1,
     k: int = 4,
     backend: str = "auto",
+    workers: int = 1,
 ) -> float:
     """Transfer entropy ``T_{source → target}`` in bits.
 
     ``T = I(target_{t+1} ; source_t | target_t^{(history)})`` with samples
     pooled over realisations and time steps.  ``source`` and ``target`` have
     shape ``(n_realizations, n_steps, d)`` and must use the *raw* particle
-    trajectories (identity preserved over time).  ``backend`` is forwarded to
-    :func:`conditional_mutual_information`.
+    trajectories (identity preserved over time).  ``backend`` and ``workers``
+    are forwarded to :func:`conditional_mutual_information`.
     """
     source = np.asarray(source, dtype=float)
     target = np.asarray(target, dtype=float)
@@ -287,4 +327,4 @@ def transfer_entropy(
     a = future.reshape(-1, d)
     b = source_aligned.reshape(-1, d)
     c = target_past.reshape(-1, history * d)
-    return conditional_mutual_information(a, b, c, k=k, backend=backend)
+    return conditional_mutual_information(a, b, c, k=k, backend=backend, workers=workers)

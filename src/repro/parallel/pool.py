@@ -120,17 +120,25 @@ def parallel_starmap_iter(
         for item in items:
             yield func(*item)
         return
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    # Manual pool lifecycle: the `with` form's __exit__ calls
+    # shutdown(wait=True), which blocks until *running* tasks finish even
+    # after pending futures are cancelled — so one failed row would wait out
+    # every in-flight row before the exception reaches the caller.
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
         futures = [pool.submit(func, *item) for item in items]
-        try:
-            for future in futures:
-                yield future.result()
-        except BaseException:
-            # A task error (or the consumer abandoning the generator) must
-            # not wait for the whole queue to drain: drop what hasn't started.
-            for future in futures:
-                future.cancel()
-            raise
+        for future in futures:
+            yield future.result()
+    except BaseException:
+        # A task error (or the consumer abandoning the generator) must not
+        # wait for the whole queue to drain: drop what hasn't started and
+        # propagate immediately.  Already-running tasks cannot be
+        # interrupted; they finish in the background while the caller
+        # already has the exception.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    else:
+        pool.shutdown(wait=True)
 
 
 def parallel_starmap_unordered(
@@ -154,15 +162,18 @@ def parallel_starmap_unordered(
         for index, item in enumerate(items):
             yield index, func(*item)
         return
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    # Manual pool lifecycle for the same reason as parallel_starmap_iter: the
+    # `with` form would block in shutdown(wait=True) on in-flight tasks.
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
         future_to_index = {pool.submit(func, *item): index for index, item in enumerate(items)}
-        try:
-            for future in as_completed(future_to_index):
-                yield future_to_index[future], future.result()
-        except BaseException:
-            # Same early-exit discipline as parallel_starmap_iter: an error
-            # (e.g. a failed checkpoint write in the consumer) surfaces
-            # immediately instead of after every queued task has run.
-            for future in future_to_index:
-                future.cancel()
-            raise
+        for future in as_completed(future_to_index):
+            yield future_to_index[future], future.result()
+    except BaseException:
+        # Same early-exit discipline as parallel_starmap_iter: an error
+        # (e.g. a failed checkpoint write in the consumer) surfaces
+        # immediately instead of after every queued and running task has run.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    else:
+        pool.shutdown(wait=True)

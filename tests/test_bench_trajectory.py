@@ -20,6 +20,7 @@ import trajectory
 from trajectory import (
     TrajectoryError,
     compare_run,
+    gateable_headline,
     load_trajectory,
     record_run,
     runs_from_benchmark_report,
@@ -196,8 +197,117 @@ class TestCompare:
         assert report.gated and report.ok
 
 
-def make_report(scale: float = 1.0) -> dict:
+class TestHeadlineGate:
+    """The speedup/ratio headline numbers are gated machine-independently."""
+
+    HEADLINE = {"shared_kdtree_speedup": 10.0, "pooled_samples": 4000}
+
+    def test_gateable_headline_selects_ratio_like_numeric_keys(self):
+        assert gateable_headline(
+            {
+                "shared_kdtree_speedup": 10.0,
+                "cell_RATIO": 3,  # case-insensitive match, int accepted
+                "pooled_samples": 4000,  # not ratio-like
+                "speedup_claimed": True,  # bool is not a ratio
+                "speedup_label": "10x",  # nor is a string
+                "inf_speedup": float("inf"),  # unusable as a baseline
+                "negative_ratio": -2.0,
+            }
+        ) == {"shared_kdtree_speedup": 10.0, "cell_RATIO": 3.0}
+        assert gateable_headline(None) == {}
+
+    def test_round_trip_headline_passes(self, tmp_path):
+        record_baseline(tmp_path, headline=self.HEADLINE)
+        report = compare_run(
+            "engine", SERIES, mode="quick", root=tmp_path, machine=MACHINE,
+            headline=self.HEADLINE,
+        )
+        assert report.ok
+        (entry,) = report.headline_entries  # pooled_samples is not gated
+        assert entry.name == "shared_kdtree_speedup" and entry.status == "ok"
+
+    def test_collapsed_speedup_fails_even_across_machines(self, tmp_path):
+        # The wall-time gate is advisory across machines, but a speedup is a
+        # ratio of two timings from one box — its collapse must fail anywhere.
+        record_baseline(tmp_path, machine="some-other-box", headline=self.HEADLINE)
+        report = compare_run(
+            "engine", SERIES, mode="quick", root=tmp_path, machine=MACHINE,
+            headline={"shared_kdtree_speedup": 2.0},
+        )
+        assert not report.gated  # wall-time gate: advisory
+        assert not report.ok  # headline gate: enforced regardless
+        (entry,) = report.headline_regressions
+        assert entry.name == "shared_kdtree_speedup"
+        text = report.format()
+        assert "REGRESSION" in text and "shared_kdtree_speedup" in text
+
+    def test_noise_floor_absorbs_small_ratio_drops(self, tmp_path):
+        # 1.2 -> 0.75 breaches the /1.5 threshold but only drops 0.45 < 0.5.
+        record_baseline(tmp_path, headline={"x_ratio": 1.2})
+        report = compare_run(
+            "engine", SERIES, mode="quick", root=tmp_path, machine=MACHINE,
+            headline={"x_ratio": 0.75},
+        )
+        assert report.ok
+        (entry,) = report.headline_entries
+        assert entry.status == "within-noise"
+
+    def test_new_and_missing_headline_keys_pass(self, tmp_path):
+        record_baseline(tmp_path, headline={"old_speedup": 5.0})
+        report = compare_run(
+            "engine", SERIES, mode="quick", root=tmp_path, machine=MACHINE,
+            headline={"new_speedup": 3.0},
+        )
+        assert report.ok
+        statuses = {entry.name: entry.status for entry in report.headline_entries}
+        assert statuses == {"new_speedup": "new", "old_speedup": "missing"}
+
+    def test_headline_baseline_skips_runs_without_gateable_values(self, tmp_path):
+        # A record pass that omitted extra_info must not reset the baseline.
+        record_baseline(tmp_path, headline=self.HEADLINE, commit="with-headline")
+        record_baseline(tmp_path, headline={"pooled_samples": 4000}, commit="without")
+        report = compare_run(
+            "engine", SERIES, mode="quick", root=tmp_path, machine=MACHINE,
+            headline={"shared_kdtree_speedup": 2.0},
+        )
+        assert report.headline_baseline["commit"] == "with-headline"
+        assert not report.ok
+
+    def test_no_headline_given_keeps_the_old_behaviour(self, tmp_path):
+        record_baseline(tmp_path, headline=self.HEADLINE)
+        report = compare_run("engine", SERIES, mode="quick", root=tmp_path, machine=MACHINE)
+        assert report.ok and report.headline_entries == []
+
+    def test_headline_threshold_and_floor_are_validated(self, tmp_path):
+        record_baseline(tmp_path, headline=self.HEADLINE)
+        with pytest.raises(TrajectoryError, match="headline threshold"):
+            compare_run("engine", SERIES, mode="quick", root=tmp_path,
+                        headline=self.HEADLINE, headline_threshold=1.0)
+        with pytest.raises(TrajectoryError, match="headline noise floor"):
+            compare_run("engine", SERIES, mode="quick", root=tmp_path,
+                        headline=self.HEADLINE, headline_noise_floor=-0.1)
+
+    def test_cli_compare_fails_on_a_headline_regression(self, tmp_path, monkeypatch, capsys):
+        # Identical wall times, collapsed speedup: only the headline gate
+        # can catch this, and it must flip the CLI exit code.
+        monkeypatch.setenv("REPRO_BENCH_MACHINE", MACHINE)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_report()))
+        assert trajectory.main(
+            ["record", "--report", str(baseline), "--mode", "quick", "--root", str(tmp_path)]
+        ) == 0
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(make_report(headline_scale=0.2)))
+        code = trajectory.main(
+            ["compare", "--report", str(regressed), "--mode", "quick", "--root", str(tmp_path)]
+        )
+        assert code == 1
+        assert "headline" in capsys.readouterr().out
+
+
+def make_report(scale: float = 1.0, headline_scale: float = 1.0) -> dict:
     def bench(name, seconds, extra):
+        extra = {key: value * headline_scale for key, value in extra.items()}
         return {"name": name, "stats": {"min": seconds * scale}, "extra_info": extra}
 
     return {

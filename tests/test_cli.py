@@ -38,6 +38,36 @@ class TestParser:
         args = build_parser().parse_args(["status", "fig9", "--engine", "sparse"])
         assert args.engine == "sparse"
 
+    def test_estimator_flags_are_parsed_on_run_sweep_and_status(self):
+        # A non-default estimator backend enters the content hash, so the
+        # same override set must round-trip through all three commands.
+        for command in ("run", "sweep", "status"):
+            args = build_parser().parse_args(
+                [command, "fig9", "--estimator-backend", "kdtree", "--workers", "3"]
+            )
+            assert args.estimator_backend == "kdtree"
+            assert args.workers == 3
+
+    def test_estimator_overrides_are_applied_to_the_analysis_config(self):
+        from repro.cli import _apply_analysis_overrides
+        from repro.core.experiments import all_figure_specs
+
+        args = build_parser().parse_args(
+            ["run", "fig5", "--estimator-backend", "auto", "--workers", "-1"]
+        )
+        spec = _apply_analysis_overrides(all_figure_specs(full=False)["fig5"][0], args)
+        assert spec.analysis.estimator_backend == "auto"
+        assert spec.analysis.workers == -1
+
+    def test_invalid_workers_is_a_clean_error(self, tmp_path):
+        stream = io.StringIO()
+        code = main(
+            ["run", "fig5", "--workers", "0", "--output", str(tmp_path)], stream=stream
+        )
+        assert code == 2
+        assert "invalid engine/domain/estimator override" in stream.getvalue()
+        assert not list(tmp_path.glob("*.json"))  # nothing ran
+
 
 class TestListCommand:
     def test_lists_every_figure(self):
@@ -146,10 +176,87 @@ class TestAnalyzeCommand:
         assert args.history == 1
         assert args.step_stride == 1
         assert args.n_jobs is None
+        assert args.variant == "ksg2"
+        assert args.workers == 1
 
     def test_invalid_backend_is_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["analyze", "fig5", "--backend", "warp"])
+
+    def test_kdtree_backend_works_with_the_default_variant(self, tmp_path):
+        # Regression: the default lagged-MI variant is ksg2, so an explicit
+        # --backend kdtree must dispatch to the rectangle tree path rather
+        # than rejecting the combination.
+        ensemble_path = tmp_path / "ens.npz"
+        self._tiny_ensemble(ensemble_path)
+        stream = io.StringIO()
+        code = main(
+            [
+                "analyze", "--ensemble", str(ensemble_path), "--backend", "kdtree",
+                "--quantity", "both", "--workers", "2", "--output", str(tmp_path),
+            ],
+            stream=stream,
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "ens_infodynamics.json").read_text())
+        assert payload["backend"] == "kdtree"
+        assert payload["variant"] == "ksg2"
+        assert payload["workers"] == 2
+        assert "lagged_mutual_information_bits" in payload
+        assert "transfer_entropy_bits" in payload
+
+    def test_unknown_variant_is_a_one_line_error(self, tmp_path):
+        ensemble_path = tmp_path / "ens.npz"
+        self._tiny_ensemble(ensemble_path)
+        stream = io.StringIO()
+        code = main(
+            [
+                "analyze", "--ensemble", str(ensemble_path), "--quantity", "lagged-mi",
+                "--variant", "warp", "--output", str(tmp_path),
+            ],
+            stream=stream,
+        )
+        assert code == 2
+        output = stream.getvalue()
+        assert "unknown variant 'warp'" in output
+        assert len(output.strip().splitlines()) == 1  # one line, no traceback
+        assert not (tmp_path / "ens_infodynamics.json").exists()
+
+    def test_unknown_variant_is_rejected_even_when_te_never_consults_it(self, tmp_path):
+        # Regression: under the default --quantity te the variant is unused,
+        # so a lazy check let a typo exit 0 and silently analyze anyway.
+        ensemble_path = tmp_path / "ens.npz"
+        self._tiny_ensemble(ensemble_path)
+        stream = io.StringIO()
+        code = main(
+            [
+                "analyze", "--ensemble", str(ensemble_path),
+                "--variant", "warp", "--output", str(tmp_path),
+            ],
+            stream=stream,
+        )
+        assert code == 2
+        assert "unknown variant 'warp'" in stream.getvalue()
+        assert not (tmp_path / "ens_infodynamics.json").exists()
+
+    def test_variant_flag_changes_the_lagged_mi_matrix(self, tmp_path):
+        ensemble_path = tmp_path / "ens.npz"
+        self._tiny_ensemble(ensemble_path)
+        matrices = {}
+        for variant in ("ksg1", "ksg2"):
+            out = tmp_path / variant
+            code = main(
+                [
+                    "analyze", "--ensemble", str(ensemble_path), "--quantity", "lagged-mi",
+                    "--variant", variant, "--quiet", "--output", str(out),
+                ],
+                stream=io.StringIO(),
+            )
+            assert code == 0
+            payload = json.loads((out / "ens_infodynamics.json").read_text())
+            assert payload["variant"] == variant
+            matrices[variant] = payload["lagged_mutual_information_bits"]
+        assert matrices["ksg1"] != matrices["ksg2"]
 
     def test_requires_figure_or_ensemble(self, tmp_path):
         stream = io.StringIO()
@@ -439,7 +546,7 @@ class TestDomainFlag:
             stream=stream,
         )
         assert code == 2
-        assert "invalid engine/domain override" in stream.getvalue()
+        assert "invalid engine/domain/estimator override" in stream.getvalue()
 
     def test_incompatible_periodic_cutoff_is_a_clean_error(self, tmp_path, tiny_scale):
         # fig4 has cutoff 5.0; a periodic box of side 6 allows at most 3.0.
@@ -449,7 +556,7 @@ class TestDomainFlag:
             stream=stream,
         )
         assert code == 2
-        assert "invalid engine/domain override" in stream.getvalue()
+        assert "invalid engine/domain/estimator override" in stream.getvalue()
 
     def test_sweep_and_status_share_domain_hashes(self, tmp_path, tiny_scale):
         store = str(tmp_path / "store")

@@ -299,6 +299,99 @@ class TestSharedEmbeddingMatchesNaiveLoop:
         assert sub[1, 0] == full[0, 2]
 
 
+class TestVariantAndWorkersThreading:
+    """variant= and workers= must thread through the pairwise pipeline."""
+
+    @pytest.fixture(scope="class")
+    def ensemble(self):
+        return _driven_ensemble(seed=5)
+
+    @pytest.mark.parametrize("backend", ["dense", "kdtree"])
+    @pytest.mark.parametrize("variant", ["paper", "ksg1", "ksg2"])
+    def test_pairwise_lagged_mi_variant_matches_per_pair_loop(self, ensemble, backend, variant):
+        series = [particle_series(ensemble, p) for p in range(ensemble.n_particles)]
+        n = ensemble.n_particles
+        shared = pairwise_lagged_mutual_information(
+            ensemble, lag=1, k=4, backend=backend, variant=variant
+        )
+        naive = np.zeros((n, n))
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    naive[i, j] = time_lagged_mutual_information(
+                        series[j], series[i], lag=1, k=4, backend=backend, variant=variant
+                    )
+        np.testing.assert_array_equal(shared, naive)
+
+    def test_variants_differ_on_the_same_data(self, ensemble):
+        # Guards against a silently ignored variant=: the three estimators
+        # apply different counting rules, so their matrices must not coincide.
+        values = {
+            variant: pairwise_lagged_mutual_information(
+                ensemble, lag=1, k=4, backend="dense", variant=variant
+            )
+            for variant in ("paper", "ksg1", "ksg2")
+        }
+        assert not np.array_equal(values["paper"], values["ksg1"])
+        assert not np.array_equal(values["ksg1"], values["ksg2"])
+
+    @pytest.mark.parametrize("backend", ["dense", "kdtree"])
+    def test_workers_are_bitwise_invariant(self, ensemble, backend):
+        base_te = pairwise_transfer_entropy(ensemble, history=1, k=4, backend=backend, workers=1)
+        many_te = pairwise_transfer_entropy(ensemble, history=1, k=4, backend=backend, workers=-1)
+        np.testing.assert_array_equal(base_te, many_te)
+        base_mi = pairwise_lagged_mutual_information(
+            ensemble, lag=1, k=4, backend=backend, variant="ksg2", workers=1
+        )
+        many_mi = pairwise_lagged_mutual_information(
+            ensemble, lag=1, k=4, backend=backend, variant="ksg2", workers=-1
+        )
+        np.testing.assert_array_equal(base_mi, many_mi)
+
+    def test_unknown_variant_is_rejected_upfront(self, ensemble):
+        with pytest.raises(ValueError, match="unknown variant"):
+            pairwise_lagged_mutual_information(ensemble, lag=1, k=4, variant="warp")
+
+
+class TestPayloadLightFanOut:
+    """The pooled fan-out ships (token, row) and rebuilds rows worker-side."""
+
+    @pytest.fixture(autouse=True)
+    def _two_workers(self, monkeypatch):
+        # A single-CPU box would clip n_jobs=2 to serial and never exercise
+        # the plan-cache path; the rows are tiny, so sharing one core is fine.
+        monkeypatch.setattr("repro.parallel.pool.os.cpu_count", lambda: 2)
+
+    def test_forked_pool_matches_serial_bitwise(self):
+        ensemble = _driven_ensemble(seed=9)
+        serial_te = pairwise_transfer_entropy(ensemble, history=1, k=4, n_jobs=1)
+        pooled_te = pairwise_transfer_entropy(ensemble, history=1, k=4, n_jobs=2)
+        np.testing.assert_array_equal(serial_te, pooled_te)
+        serial_mi = pairwise_lagged_mutual_information(
+            ensemble, lag=1, k=4, variant="ksg2", n_jobs=1
+        )
+        pooled_mi = pairwise_lagged_mutual_information(
+            ensemble, lag=1, k=4, variant="ksg2", n_jobs=2
+        )
+        np.testing.assert_array_equal(serial_mi, pooled_mi)
+
+    def test_plan_cache_is_empty_after_the_fan_out(self):
+        from repro.analysis import information_dynamics as infod
+
+        ensemble = _driven_ensemble(seed=9)
+        pairwise_transfer_entropy(ensemble, history=1, k=4, n_jobs=2)
+        assert infod._EMBEDDING_PLAN_CACHE == {}
+
+    def test_non_fork_start_falls_back_to_full_payloads(self, monkeypatch):
+        from repro.analysis import information_dynamics as infod
+
+        monkeypatch.setattr(infod, "_uses_fork_start", lambda: False)
+        ensemble = _driven_ensemble(seed=9)
+        serial = pairwise_transfer_entropy(ensemble, history=1, k=4, n_jobs=1)
+        pooled = pairwise_transfer_entropy(ensemble, history=1, k=4, n_jobs=2)
+        np.testing.assert_array_equal(serial, pooled)
+
+
 class TestCountsWithinContract:
     """Satellite: the helper must not rely on mutating shared distance blocks."""
 

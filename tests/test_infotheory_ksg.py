@@ -134,7 +134,7 @@ class TestEstimatorProperties:
 
 
 class TestBackends:
-    """The KSG1 tree backend must answer exactly the dense path's queries."""
+    """The tree backends must answer exactly the dense path's queries."""
 
     @pytest.mark.parametrize("m", [60, 300])
     @pytest.mark.parametrize("n_vars", [2, 4])
@@ -168,14 +168,78 @@ class TestBackends:
             dense = ksg_multi_information(values, k=3, variant="ksg1", backend="dense")
             assert auto == pytest.approx(dense, abs=1e-9)
 
-    def test_kdtree_is_rejected_for_non_ksg1_variants(self):
-        variables = _correlated_gaussians(0.5, 100, seed=13)
-        for variant in ("ksg2", "paper"):
-            with pytest.raises(ValueError, match="ksg1"):
-                ksg_multi_information(variables, k=3, variant=variant, backend="kdtree")
-        # "auto" stays valid for those variants and resolves to the dense path.
-        value = ksg_multi_information(variables, k=3, variant="ksg2", backend="auto")
-        assert value == ksg_multi_information(variables, k=3, variant="ksg2", backend="dense")
+    @pytest.mark.parametrize("variant", ["ksg2", "paper"])
+    @pytest.mark.parametrize("m", [60, 300])
+    def test_rect_variant_kdtree_matches_dense(self, variant, m):
+        variables = _correlated_gaussians(0.5, m, seed=13)
+        dense = ksg_multi_information(variables, k=3, variant=variant, backend="dense")
+        tree = ksg_multi_information(variables, k=3, variant=variant, backend="kdtree")
+        assert tree == pytest.approx(dense, abs=1e-9)
+
+    @pytest.mark.parametrize("variant", ["ksg2", "paper"])
+    def test_rect_variant_kdtree_matches_dense_counts_exactly_on_grid(self, variant):
+        # Integer coordinates make every pairwise distance exactly
+        # representable and force heavy distance ties at the k-th neighbour;
+        # the canonical (distance, index) tie-breaking shared by the two
+        # backends must make them agree bit-for-bit anyway.
+        rng = np.random.default_rng(17)
+        values = rng.integers(0, 12, size=(120, 3, 2)).astype(float)
+        dense = ksg_multi_information_with_diagnostics(values, k=3, variant=variant, backend="dense")
+        tree = ksg_multi_information_with_diagnostics(values, k=3, variant=variant, backend="kdtree")
+        np.testing.assert_array_equal(dense.counts, tree.counts)
+        assert dense.value_bits == tree.value_bits
+
+    @pytest.mark.parametrize("variant", ["ksg1", "ksg2", "paper"])
+    def test_duplicates_and_constant_blocks_agree_bitwise(self, variant):
+        # Exact duplicate rows and a constant observer are the worst tie
+        # cases (zero distances everywhere in one block).
+        rng = np.random.default_rng(21)
+        values = rng.integers(0, 4, size=(90, 3, 2)).astype(float)
+        values[10:20] = values[0:10]
+        values[:, 2, :] = 1.0
+        dense = ksg_multi_information_with_diagnostics(values, k=4, variant=variant, backend="dense")
+        tree = ksg_multi_information_with_diagnostics(values, k=4, variant=variant, backend="kdtree")
+        np.testing.assert_array_equal(dense.counts, tree.counts)
+        assert dense.value_bits == tree.value_bits
+
+    def test_auto_crossover_is_per_variant(self):
+        from repro.infotheory.ksg import (
+            KSG1_KDTREE_MIN_SAMPLES,
+            KSG2_KDTREE_MIN_SAMPLES,
+            PAPER_KDTREE_MIN_SAMPLES,
+            _resolve_ksg_backend,
+        )
+
+        minimums = {
+            "ksg1": KSG1_KDTREE_MIN_SAMPLES,
+            "ksg2": KSG2_KDTREE_MIN_SAMPLES,
+            "paper": PAPER_KDTREE_MIN_SAMPLES,
+        }
+        for variant, minimum in minimums.items():
+            assert _resolve_ksg_backend("auto", variant, minimum - 1) == "dense"
+            assert _resolve_ksg_backend("auto", variant, minimum) == "kdtree"
+
+    def test_workers_do_not_change_tree_results(self):
+        variables = _correlated_gaussians(0.6, 400, seed=30)
+        for variant in ("ksg1", "ksg2", "paper"):
+            one = ksg_multi_information(
+                variables, k=4, variant=variant, backend="kdtree", workers=1
+            )
+            many = ksg_multi_information(
+                variables, k=4, variant=variant, backend="kdtree", workers=-1
+            )
+            assert one == many
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("variant", ["ksg2", "paper"])
+    def test_rect_variant_kdtree_matches_dense_at_scale(self, variant):
+        # Above the measured crossover the tree path is the one "auto"
+        # actually takes; agreement must hold there too, not just at the
+        # small sizes the quick tests cover.
+        variables = _correlated_gaussians(0.4, 3000, seed=31)
+        dense = ksg_multi_information(variables, k=4, variant=variant, backend="dense")
+        tree = ksg_multi_information(variables, k=4, variant=variant, backend="kdtree")
+        assert tree == pytest.approx(dense, abs=1e-7)
 
     def test_unknown_backend_is_rejected(self):
         variables = _correlated_gaussians(0.5, 50, seed=14)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 from hypothesis import given
@@ -24,6 +25,15 @@ def _sleepy_identity(delay: float) -> float:
 
 def _weighted_sum(x: int, y: int, w: int = 1) -> int:
     return x + w * y
+
+
+def _maybe_boom(delay: float, boom: bool) -> float:
+    import time
+
+    time.sleep(delay)
+    if boom:
+        raise ValueError("poison task")
+    return delay
 
 
 class TestEffectiveNJobs:
@@ -172,3 +182,54 @@ class TestParallelStarmapUnordered:
             iter(parallel_starmap_unordered(_sleepy_identity, [(1.5,), (0.0,)], n_jobs=2))
         )
         assert first_index == 1  # the fast task surfaces before the slow one
+
+
+class TestErrorPropagation:
+    """A failed task must surface promptly, not after the queue drains.
+
+    The old implementation wrapped the pool in a ``with`` block whose
+    ``__exit__`` calls ``shutdown(wait=True)`` — so one poison task stalled
+    behind every in-flight slow task before its exception reached the
+    caller.  These tests submit an instantly-failing task next to multi-
+    second sleepers and assert the exception arrives well before the
+    sleepers could have finished.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _two_workers(self, monkeypatch):
+        # A single-CPU box would clip n_jobs=2 to serial and bypass the pool
+        # entirely; the race needs a real pool, and sleeping tasks don't
+        # contend for the core.
+        monkeypatch.setattr("repro.parallel.pool.os.cpu_count", lambda: 2)
+
+    SLOW = 2.5  # seconds each slow task sleeps
+    PROMPT = 1.5  # generous bound; the old code path needed >= SLOW
+
+    # Poison first in submission order, three sleepers behind it: with two
+    # workers the poison fails immediately while a sleeper is mid-flight and
+    # more are queued.
+    ITEMS = [(0.0, True), (SLOW, False), (SLOW, False), (SLOW, False)]
+
+    def test_starmap_iter_propagates_the_error_promptly(self):
+        from repro.parallel.pool import parallel_starmap_iter
+
+        start = time.monotonic()
+        with pytest.raises(ValueError, match="poison task"):
+            list(parallel_starmap_iter(_maybe_boom, self.ITEMS, n_jobs=2))
+        assert time.monotonic() - start < self.PROMPT
+
+    def test_starmap_unordered_propagates_the_error_promptly(self):
+        from repro.parallel.pool import parallel_starmap_unordered
+
+        start = time.monotonic()
+        with pytest.raises(ValueError, match="poison task"):
+            list(parallel_starmap_unordered(_maybe_boom, self.ITEMS, n_jobs=2))
+        assert time.monotonic() - start < self.PROMPT
+
+    def test_successful_batches_still_complete_after_the_fix(self):
+        # The manual shutdown path must not leak pools or drop results on
+        # the happy path.
+        from repro.parallel.pool import parallel_starmap_iter
+
+        items = [(0.0, False)] * 6
+        assert list(parallel_starmap_iter(_maybe_boom, items, n_jobs=2)) == [0.0] * 6
