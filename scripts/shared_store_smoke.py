@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Shared-store smoke test: two workers drain one served sweep, byte-identically.
+
+End-to-end exercise of the distributed-sweep stack in one process tree:
+
+1. run a tiny sweep serially into a reference store (the byte-level oracle);
+2. start ``repro``'s store service on a loopback port (port 0 = ephemeral);
+3. fork two worker processes that execute the *same* plan against the
+   service URL, synchronised on a barrier so they really do race;
+4. assert every unit was computed exactly once across the fleet and that the
+   shared store's documents are byte-identical to the serial reference;
+5. resume from the warm store and assert zero units are recomputed.
+
+Exit status 0 means the whole chain holds.  Run as::
+
+    PYTHONPATH=src python scripts/shared_store_smoke.py
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.experiments import ExperimentSpec
+from repro.core.plan import ExperimentPlan
+from repro.core.self_organization import AnalysisConfig
+from repro.io.artifacts import RunStore
+from repro.io.remote import open_store
+from repro.io.service import serve_store
+from repro.particles.model import SimulationConfig
+from repro.particles.types import InteractionParams
+
+N_WORKERS = 2
+_FORK = multiprocessing.get_context("fork")
+
+
+def _spec(index: int) -> ExperimentSpec:
+    params = InteractionParams.clustering(2, self_distance=1.0, cross_distance=2.0)
+    return ExperimentSpec(
+        name=f"smoke-{index}",
+        description="shared-store smoke spec",
+        simulation=SimulationConfig(
+            type_counts=(4, 4), params=params, force="F1", dt=0.02, n_steps=6, init_radius=2.0
+        ),
+        analysis=AnalysisConfig(step_stride=3, k_neighbors=2),
+        n_samples=10,
+        seed=100 + index,
+    )
+
+
+def _plan() -> ExperimentPlan:
+    return ExperimentPlan.from_specs(_spec(i) for i in range(3))
+
+
+def _worker(url: str, barrier, queue) -> None:
+    try:
+        store = open_store(url)
+        barrier.wait(timeout=30.0)
+        execution = _plan().execute(store, lease_ttl_seconds=60.0, lease_poll_seconds=0.05)
+        queue.put({"computed": sorted(execution.computed)})
+    except Exception as exc:
+        queue.put({"error": f"{type(exc).__name__}: {exc}"})
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as scratch:
+        scratch_path = Path(scratch)
+
+        reference = RunStore(scratch_path / "reference")
+        serial = _plan().execute(reference)
+        print(f"serial reference: {serial.n_computed} unit(s) computed")
+
+        server = serve_store(scratch_path / "shared", port=0)
+        thread = server.serve_in_background()
+        print(f"store service: {server.url}")
+        try:
+            barrier = _FORK.Barrier(N_WORKERS)
+            queue = _FORK.Queue()
+            workers = [
+                _FORK.Process(target=_worker, args=(server.url, barrier, queue), daemon=True)
+                for _ in range(N_WORKERS)
+            ]
+            for worker in workers:
+                worker.start()
+            reports = [queue.get(timeout=120.0) for _ in workers]
+            for worker in workers:
+                worker.join(timeout=30.0)
+            errors = [report["error"] for report in reports if "error" in report]
+            if errors:
+                print(f"FAIL: worker error(s): {errors}")
+                return 1
+
+            computed = sorted(h for report in reports for h in report["computed"])
+            expected = sorted(unit.content_hash for unit in _plan().units())
+            if computed != expected:
+                print(f"FAIL: duplicate or missing compute — {computed} vs {expected}")
+                return 1
+            print(f"fleet of {N_WORKERS}: each unit computed exactly once")
+
+            shared = server.store
+            for content_hash in expected:
+                name = f"{content_hash}.json"
+                if (shared.units_dir / name).read_bytes() != (
+                    reference.units_dir / name
+                ).read_bytes():
+                    print(f"FAIL: {name} differs from the serial reference")
+                    return 1
+            print("shared store is byte-identical to the serial reference")
+
+            resume = _plan().execute(open_store(server.url))
+            if resume.n_computed != 0 or resume.n_cached != len(_plan()):
+                print(
+                    f"FAIL: warm resume recomputed {resume.n_computed} unit(s), "
+                    f"cached {resume.n_cached}"
+                )
+                return 1
+            print("warm resume through the service computed zero units")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+    print("shared-store smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,7 +71,7 @@ from repro.core import (
     single,
     zip_,
 )
-from repro.io import RunStore
+from repro.io import RunStore, open_store
 
 __all__ = [
     "__version__",
@@ -107,6 +107,7 @@ __all__ = [
     "ExperimentPlan",
     "RunUnit",
     "RunStore",
+    "open_store",
     "single",
     "chain",
     "grid",

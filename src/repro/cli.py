@@ -8,6 +8,9 @@ without writing Python::
     python -m repro.cli sweep fig9 --store results/store --n-jobs 4
     python -m repro.cli status fig9 --store results/store
     python -m repro.cli resume fig9 --store results/store
+    python -m repro.cli serve-store --store results/store --port 8750
+    python -m repro.cli sweep fig9 --store http://sweep-host:8750   # remote worker
+    python -m repro.cli query fig9 --store http://sweep-host:8750
     python -m repro.cli curves                     # Fig. 2 force-scaling curves
     python -m repro.cli analyze fig5               # §7.3 pairwise transfer entropy
 
@@ -26,6 +29,14 @@ and/or lagged mutual information between particles) on a figure's simulated
 ensemble or on a saved ``.npz`` trajectory, with ``--backend`` selecting the
 estimator backend and ``--n-jobs`` fanning the pair matrix out across
 processes.
+
+Every ``--store`` flag accepts a directory path **or** an ``http(s)://`` URL
+of a ``serve-store`` service (:func:`repro.io.remote.open_store` picks the
+backend), so any number of workers on any number of hosts can drain one sweep
+against one shared store — lease-based dispatch in the plan executor keeps
+them from duplicating work.  ``serve-store`` runs that service over a local
+store directory, and ``query`` answers "figure X at these params" cache-first
+from a store without ever simulating (exit code 1 when units are missing).
 """
 
 from __future__ import annotations
@@ -39,7 +50,8 @@ import numpy as np
 
 from repro.core.experiments import ExperimentSpec, all_figure_specs, fig2_force_curves, figure_plan
 from repro.core.plan import ConsoleObserver, ExperimentPlan, PlanObserver
-from repro.io.artifacts import RunStore, RunStoreError
+from repro.io.artifacts import RunStoreBackend, RunStoreError
+from repro.io.remote import open_store
 from repro.io.storage import save_measurement
 from repro.particles.engine import DRIFT_ENGINES
 from repro.particles.neighbors import NEIGHBOR_BACKENDS
@@ -120,8 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
     for sub in (sweep_parser, resume_parser):
         sub.add_argument("figure", help="figure id, e.g. fig8, fig9, fig10")
         sub.add_argument(
-            "--store", type=Path, default=DEFAULT_STORE,
-            help=f"run-store directory (default: {DEFAULT_STORE})",
+            "--store", type=str, default=str(DEFAULT_STORE),
+            help="run-store directory, or http(s):// URL of a 'serve-store' "
+            f"service shared between hosts (default: {DEFAULT_STORE})",
         )
         sub.add_argument("--full", action="store_true", help="use the paper's scale (m=500, t_max=250)")
         sub.add_argument("--n-jobs", type=int, default=None, help="process-pool width for the unit fan-out")
@@ -146,19 +159,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status_parser.add_argument("figure", help="figure id, e.g. fig8, fig9, fig10")
     status_parser.add_argument(
-        "--store", type=Path, default=DEFAULT_STORE,
-        help=f"run-store directory (default: {DEFAULT_STORE})",
+        "--store", type=str, default=str(DEFAULT_STORE),
+        help="run-store directory, or http(s):// URL of a 'serve-store' "
+        f"service (default: {DEFAULT_STORE})",
     )
     status_parser.add_argument("--full", action="store_true", help="use the paper's scale")
     status_parser.add_argument(
         "--max-units", type=int, default=None,
         help="inspect at most this many units of the plan (default: all)",
     )
+    status_parser.add_argument(
+        "--sweep-orphans", action="store_true",
+        help="delete aged orphaned files (crash leftovers) instead of only "
+        "reporting them; opt-in because deleting on a store other hosts are "
+        "writing to is not always safe under clock skew",
+    )
     # Engine knobs (and a non-default estimator backend) enter the content
     # hash, so status must accept the same overrides as the sweep it
     # inspects to look up the same units.
     add_engine_flags(status_parser)
     add_estimator_flags(status_parser)
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help="answer a figure's results cache-first from a run store (never simulates)",
+    )
+    query_parser.add_argument("figure", help="figure id, e.g. fig8, fig9, fig10")
+    query_parser.add_argument(
+        "--store", type=str, default=str(DEFAULT_STORE),
+        help="run-store directory, or http(s):// URL of a 'serve-store' "
+        f"service (default: {DEFAULT_STORE})",
+    )
+    query_parser.add_argument("--full", action="store_true", help="use the paper's scale")
+    query_parser.add_argument(
+        "--max-units", type=int, default=None,
+        help="query at most this many units of the plan (default: all)",
+    )
+    query_parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the per-unit payload as JSON to PATH",
+    )
+    # Same reasoning as status: overrides change the hashes being queried.
+    add_engine_flags(query_parser)
+    add_estimator_flags(query_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve-store",
+        help="serve a filesystem run store over HTTP so remote workers can share it",
+    )
+    serve_parser.add_argument(
+        "--store", type=str, default=str(DEFAULT_STORE),
+        help=f"run-store directory to serve (default: {DEFAULT_STORE})",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: loopback only; bind 0.0.0.0 to serve other hosts)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8750,
+        help="bind port (default: 8750; 0 picks a free port, printed at startup)",
+    )
+    serve_parser.add_argument("--verbose", action="store_true", help="log one line per request")
 
     curves_parser = subparsers.add_parser("curves", help="print the Fig. 2 force-scaling curves")
     curves_parser.add_argument("--output", type=Path, default=None, help="optional CSV output path")
@@ -367,9 +428,9 @@ def _figure_plan(args: argparse.Namespace, stream) -> ExperimentPlan | None:
     return plan
 
 
-def _open_store(args: argparse.Namespace, stream, *, create: bool) -> RunStore | None:
+def _open_store(args: argparse.Namespace, stream, *, create: bool) -> RunStoreBackend | None:
     try:
-        return RunStore(args.store, create=create)
+        return open_store(args.store, create=create)
     except RunStoreError as exc:
         stream.write(f"{exc}\n")
         if not create:
@@ -429,11 +490,22 @@ def _command_status(args: argparse.Namespace, stream) -> int:
     if store is None:
         return 2
     # A crash between the .npz and JSON writes (or mid-write) can leave
-    # orphaned archives/temporaries behind; no read path uses them, so
-    # status is the natural place to clean up and mention it.
-    swept = store.sweep_orphans()
-    if swept:
-        stream.write(f"swept {len(swept)} orphaned file(s) from {args.store}\n")
+    # orphaned archives/temporaries (and expired leases) behind; no read
+    # path uses them, so status reports them.  *Deleting* them is opt-in:
+    # on a store shared between hosts, another machine's clock skew can
+    # make a live writer's in-flight file look older than the grace
+    # period, and an unconditional sweep would destroy its save.
+    if args.sweep_orphans:
+        swept = store.sweep_orphans()
+        if swept:
+            stream.write(f"swept {len(swept)} orphaned file(s) from {args.store}\n")
+    else:
+        orphans = store.orphaned_files()
+        if orphans:
+            stream.write(
+                f"{len(orphans)} orphaned file(s) in {args.store} "
+                "(pass --sweep-orphans to delete)\n"
+            )
     status = plan.status(store)
     try:
         # Surface damaged documents before a resume trips on them — the full
@@ -453,6 +525,91 @@ def _command_status(args: argparse.Namespace, stream) -> int:
         stream.write("plan complete; 'sweep' or 'resume' would recompute nothing.\n")
     else:
         stream.write(f"run: repro resume {args.figure.lower()} --store {args.store}\n")
+    return 0
+
+
+def _command_query(args: argparse.Namespace, stream) -> int:
+    """Answer a figure's results from a store without simulating anything.
+
+    Exit code 0 when every unit of the (possibly limited/overridden) plan is
+    cached, 1 when some are missing — so scripts can branch to a sweep.
+    """
+    plan = _figure_plan(args, stream)
+    if plan is None:
+        return 2
+    store = _open_store(args, stream, create=False)
+    if store is None:
+        return 2
+    figure = args.figure.lower()
+    rows: list[dict] = []
+    deltas: list[float] = []
+    try:
+        for unit in plan.status(None).units:  # deduplicated, plan order
+            if store.has(unit.content_hash):
+                result = store.load(unit.content_hash, with_ensemble=False)
+                delta = float(result.delta_multi_information)
+                deltas.append(delta)
+                rows.append(
+                    {
+                        "name": unit.name,
+                        "content_hash": unit.content_hash,
+                        "cached": True,
+                        "delta_multi_information_bits": delta,
+                    }
+                )
+                stream.write(
+                    f"  cached   {unit.name} ({unit.content_hash[:12]}): "
+                    f"delta I = {delta:+.3f} bits\n"
+                )
+            else:
+                rows.append(
+                    {
+                        "name": unit.name,
+                        "content_hash": unit.content_hash,
+                        "cached": False,
+                        "delta_multi_information_bits": None,
+                    }
+                )
+                stream.write(f"  missing  {unit.name} ({unit.content_hash[:12]})\n")
+    except RunStoreError as exc:
+        stream.write(f"{exc}\n")
+        return 2
+    stream.write(f"{figure}: {len(deltas)}/{len(rows)} unit(s) cached in {args.store}")
+    if deltas:
+        stream.write(f"; mean delta I over cached = {float(np.mean(deltas)):+.3f} bits")
+    stream.write("\n")
+    if args.json is not None:
+        path = save_json(
+            args.json, {"figure": figure, "store": str(args.store), "units": rows}
+        )
+        stream.write(f"query payload written to {path}\n")
+    if len(deltas) == len(rows):
+        return 0
+    stream.write(f"complete the sweep: repro resume {figure} --store {args.store}\n")
+    return 1
+
+
+def _command_serve_store(args: argparse.Namespace, stream) -> int:
+    from repro.io.service import serve_store
+
+    if str(args.store).startswith(("http://", "https://")):
+        stream.write("serve-store fronts a local filesystem store; pass a directory path\n")
+        return 2
+    try:
+        server = serve_store(args.store, args.host, args.port, quiet=not args.verbose)
+    except RunStoreError as exc:
+        stream.write(f"{exc}\n")
+        return 2
+    except OSError as exc:
+        stream.write(f"cannot bind {args.host}:{args.port}: {exc}\n")
+        return 2
+    stream.write(f"serving run store {args.store} at {server.url} (Ctrl-C to stop)\n")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        stream.write("stopped\n")
+    finally:
+        server.server_close()
     return 0
 
 
@@ -616,6 +773,10 @@ def main(argv: list[str] | None = None, stream=None) -> int:
         return _command_sweep(args, stream, resuming=True)
     if args.command == "status":
         return _command_status(args, stream)
+    if args.command == "query":
+        return _command_query(args, stream)
+    if args.command == "serve-store":
+        return _command_serve_store(args, stream)
     if args.command == "curves":
         return _command_curves(args, stream)
     if args.command == "analyze":

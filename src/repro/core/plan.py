@@ -38,6 +38,10 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import os
+import secrets
+import socket
+import threading
 import time
 from dataclasses import dataclass, replace
 from functools import cached_property
@@ -46,11 +50,12 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.core.pipeline import ExperimentResult, run_experiment
+from repro.io.artifacts import DEFAULT_LEASE_TTL_SECONDS
 from repro.parallel.pool import parallel_starmap_unordered
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.core.experiments import ExperimentSpec
-    from repro.io.artifacts import RunStore
+    from repro.io.artifacts import RunStoreBackend
 
 __all__ = [
     "RunUnit",
@@ -328,7 +333,10 @@ class PlanExecution:
 
     ``results`` is aligned with the plan's unit order (duplicated units share
     one result object).  ``computed`` / ``cached`` hold the content hashes
-    that were freshly run vs. served from the store.
+    that were freshly run vs. served from the store; ``external`` holds units
+    that a *concurrent* worker on the same store computed while this
+    execution ran — they were missing at the start, another worker's lease
+    covered them, and their results were loaded once that worker committed.
     """
 
     units: tuple[RunUnit, ...]
@@ -336,6 +344,7 @@ class PlanExecution:
     computed: tuple[str, ...]
     cached: tuple[str, ...]
     wall_time_seconds: float = 0.0
+    external: tuple[str, ...] = ()
 
     @property
     def n_computed(self) -> int:
@@ -344,6 +353,10 @@ class PlanExecution:
     @property
     def n_cached(self) -> int:
         return len(self.cached)
+
+    @property
+    def n_external(self) -> int:
+        return len(self.external)
 
     def summaries(self) -> list[dict[str, Any]]:
         """Compact per-unit summaries (see :meth:`ExperimentResult.summary`)."""
@@ -422,7 +435,7 @@ class ExperimentPlan:
         return iter(self.units())
 
     # cache interrogation ------------------------------------------------ #
-    def status(self, store: "RunStore | None") -> PlanStatus:
+    def status(self, store: "RunStoreBackend | None") -> PlanStatus:
         """Which units are already in the store, without executing anything."""
         units = self._unique_units()
         if store is None:
@@ -440,38 +453,65 @@ class ExperimentPlan:
     # execution ---------------------------------------------------------- #
     def execute(
         self,
-        store: "RunStore | None" = None,
+        store: "RunStoreBackend | None" = None,
         *,
         n_jobs: int | None = None,
         observer: PlanObserver | None = None,
         recompute: bool = False,
         keep_ensembles: bool = False,
+        lease_ttl_seconds: float = DEFAULT_LEASE_TTL_SECONDS,
+        lease_poll_seconds: float = 0.5,
     ) -> PlanExecution:
         """Execute the plan, skipping units already present in ``store``.
 
         Parameters
         ----------
         store:
-            Content-addressed result cache.  Units whose hash is present are
-            *not* recomputed — their persisted results are loaded
-            bit-identically.  Freshly computed units are persisted as their
-            results arrive (not after the whole batch), so an interrupted
-            execution loses at most the in-flight units and resumes where it
-            stopped.  ``None`` disables caching entirely (every unit runs).
+            Content-addressed result cache — any
+            :class:`~repro.io.artifacts.RunStoreBackend` (a local filesystem
+            :class:`~repro.io.artifacts.RunStore`, or an
+            :class:`~repro.io.remote.HTTPRunStore` for a store shared
+            between hosts).  Units whose hash is present are *not*
+            recomputed — their persisted results are loaded bit-identically.
+            Freshly computed units are persisted as their results arrive
+            (not after the whole batch), so an interrupted execution loses
+            at most the in-flight units and resumes where it stopped.
+            ``None`` disables caching entirely (every unit runs).
+
+            With a store, missing units are **leased** before computing:
+            any number of concurrent executions of the same plan against
+            one store partition the sweep between them — each worker
+            computes the units it leases, waits on (and then loads) units
+            another live worker holds, and steals leases whose holders
+            crashed.  Saves are write-once, so even a duplicated compute
+            (possible only across a lease expiry) never rewrites a
+            committed document.
         n_jobs:
             Process-pool width for the unit fan-out (``None``/1 = serial).
             Each unit's own simulation runs serially inside its worker; the
             per-sample RNG streams make results independent of this knob.
         observer:
             Progress hook; defaults to the silent :class:`PlanObserver`.
+            Units computed by a *concurrent* worker surface through
+            ``on_unit_complete(..., cached=True)`` once loaded.
         recompute:
             Ignore cache hits and recompute (and re-persist) every unit.
+            Concurrent workers still lease, so a recompute sweep shared
+            between workers recomputes every unit exactly once overall.
         keep_ensembles:
             Attach raw trajectories to results and persist them as ``.npz``
             next to the JSON documents (memory- and disk-heavy).  A cached
-            unit without a persisted ensemble does not satisfy this request
-            and is recomputed (its document is rewritten with the ensemble
-            reference).
+            unit counts as a hit only when its *document references* a
+            persisted ensemble — a bare sibling ``.npz`` may be an orphan
+            from a crashed save — otherwise it is recomputed (its document
+            is rewritten with the ensemble reference).
+        lease_ttl_seconds:
+            Lease lifetime; held leases are renewed at a third of this, so
+            the TTL only bounds how long a crashed worker's units stay
+            blocked for other workers.
+        lease_poll_seconds:
+            How often to re-check the store while every remaining unit is
+            leased by other workers.
         """
         observer = observer or PlanObserver()
         t0 = time.perf_counter()
@@ -482,9 +522,12 @@ class ExperimentPlan:
             if store is None or recompute or not store.has(unit.content_hash):
                 return False
             # A cache hit must satisfy the *whole* request: when ensembles
-            # are asked for, a document without its .npz is treated as
-            # missing and recomputed.
-            return not keep_ensembles or store.ensemble_path_for(unit.content_hash).is_file()
+            # are asked for, the document itself must reference a persisted
+            # archive.  (Checking for a sibling .npz file is NOT enough — an
+            # orphaned archive from a crashed save sits beside a document
+            # with no ensemble reference, and loading that "hit" would
+            # silently return ensemble=None.)
+            return not keep_ensembles or store.provides_ensemble(unit.content_hash)
 
         cache_flags = {unit.content_hash: is_cached(unit) for unit in unique_units}
         cached_units = [u for u in unique_units if cache_flags[u.content_hash]]
@@ -499,41 +542,199 @@ class ExperimentPlan:
             results_by_hash[unit.content_hash] = result
             observer.on_unit_complete(unit, result, cached=True)
 
+        computed_hashes: list[str] = []
+        external_hashes: list[str] = []
         if missing_units:
-            for index, unit in enumerate(missing_units):
-                observer.on_unit_start(unit, index, len(missing_units))
-            if len(missing_units) == 1:
-                # A lone unit gets the whole budget as *inner* (simulation
-                # batch) parallelism instead of a pointless one-task pool —
-                # this keeps `run --n-jobs` behaving as before the plan layer.
-                computed = iter([(0, _execute_spec(missing_units[0].spec, keep_ensembles, n_jobs))])
+            if store is None:
+                for index, unit in enumerate(missing_units):
+                    observer.on_unit_start(unit, index, len(missing_units))
+                for index, result in _compute_batch(missing_units, keep_ensembles, n_jobs):
+                    unit = missing_units[index]
+                    results_by_hash[unit.content_hash] = result
+                    computed_hashes.append(unit.content_hash)
+                    observer.on_unit_complete(unit, result, cached=False)
             else:
-                computed = parallel_starmap_unordered(
-                    _execute_spec,
-                    [(unit.spec, keep_ensembles) for unit in missing_units],
+                computed_hashes, external_hashes = self._execute_shared(
+                    store,
+                    missing_units,
+                    results_by_hash,
+                    observer,
                     n_jobs=n_jobs,
+                    recompute=recompute,
+                    keep_ensembles=keep_ensembles,
+                    lease_ttl_seconds=lease_ttl_seconds,
+                    lease_poll_seconds=lease_poll_seconds,
                 )
-            # Results surface in *completion* order and every unit is
-            # persisted the moment its result arrives — a slow early unit
-            # never holds finished ones hostage, so an interruption (Ctrl-C,
-            # crash, pre-emption) loses only the genuinely in-flight units.
-            # The execution's result list stays in plan order regardless.
-            for index, result in computed:
-                unit = missing_units[index]
-                if store is not None:
-                    store.save(unit, result)
-                results_by_hash[unit.content_hash] = result
-                observer.on_unit_complete(unit, result, cached=False)
 
         execution = PlanExecution(
             units=tuple(all_units),
             results=tuple(results_by_hash[u.content_hash] for u in all_units),
-            computed=tuple(u.content_hash for u in missing_units),
+            computed=tuple(computed_hashes),
             cached=tuple(u.content_hash for u in cached_units),
             wall_time_seconds=time.perf_counter() - t0,
+            external=tuple(external_hashes),
         )
         observer.on_plan_complete(execution)
         return execution
+
+    def _execute_shared(
+        self,
+        store: "RunStoreBackend",
+        missing_units: list[RunUnit],
+        results_by_hash: dict[str, ExperimentResult],
+        observer: PlanObserver,
+        *,
+        n_jobs: int | None,
+        recompute: bool,
+        keep_ensembles: bool,
+        lease_ttl_seconds: float,
+        lease_poll_seconds: float,
+    ) -> tuple[list[str], list[str]]:
+        """Drain missing units against a (possibly shared) store via leases.
+
+        Each pass leases whatever it can and computes that batch; units held
+        by other live workers are waited on and their committed results
+        loaded (``external``).  A lease whose holder stopped renewing (a
+        crash) expires and is stolen on a later pass — the only window in
+        which a unit can be computed twice, and the write-once save makes
+        even that window persistence-safe.
+        """
+        owner = f"{socket.gethostname()}-{os.getpid()}-{secrets.token_hex(4)}"
+        keeper = _LeaseKeeper(store, owner, lease_ttl_seconds)
+        keeper.start()
+        computed_hashes: list[str] = []
+        external_hashes: list[str] = []
+        total = len(missing_units)
+        started = 0
+        pending = list(missing_units)
+        try:
+            while pending:
+                # Adopt whatever a concurrent worker committed since the last
+                # pass *before* trying to lease — a finished worker releases
+                # its lease right after saving, and leasing first would grab
+                # that freed lease and recompute a unit whose result is
+                # already sitting in the store.  Under ``recompute`` nothing
+                # is ever adopted — this worker insists on computing, so it
+                # waits its turn for the lease instead.
+                remaining: list[RunUnit] = []
+                for unit in pending:
+                    committed = (
+                        not recompute
+                        and store.has(unit.content_hash)
+                        and (not keep_ensembles or store.provides_ensemble(unit.content_hash))
+                    )
+                    if committed:
+                        result = store.load(unit.content_hash, with_ensemble=keep_ensembles)
+                        results_by_hash[unit.content_hash] = result
+                        external_hashes.append(unit.content_hash)
+                        observer.on_unit_complete(unit, result, cached=True)
+                    else:
+                        remaining.append(unit)
+                mine: list[RunUnit] = []
+                held_elsewhere: list[RunUnit] = []
+                for unit in remaining:
+                    if store.try_acquire_lease(unit.content_hash, owner, lease_ttl_seconds):
+                        keeper.track(unit.content_hash)
+                        mine.append(unit)
+                    else:
+                        held_elsewhere.append(unit)
+                if mine:
+                    for unit in mine:
+                        observer.on_unit_start(unit, started, total)
+                        started += 1
+                    # Results surface in *completion* order and every unit is
+                    # persisted the moment its result arrives — a slow early
+                    # unit never holds finished ones hostage, so an
+                    # interruption loses only the genuinely in-flight units.
+                    for index, result in _compute_batch(mine, keep_ensembles, n_jobs):
+                        unit = mine[index]
+                        # Write-once unless the caller explicitly asked to
+                        # recompute: if a lease expired and another worker
+                        # committed this unit first, the save is a no-op.
+                        store.save(unit, result, overwrite=recompute)
+                        keeper.untrack(unit.content_hash)
+                        store.release_lease(unit.content_hash, owner)
+                        results_by_hash[unit.content_hash] = result
+                        computed_hashes.append(unit.content_hash)
+                        observer.on_unit_complete(unit, result, cached=False)
+                    pending = held_elsewhere
+                    continue
+                # Every remaining unit is leased by another live worker:
+                # poll until a result lands (adopted by the next pass) or a
+                # dead worker's lease expires (stolen by the next pass).
+                if held_elsewhere:
+                    time.sleep(lease_poll_seconds)
+                pending = held_elsewhere
+        finally:
+            # Always drop every lease still held — a failed save (or an
+            # observer raising) must not block other workers (or a later
+            # execution in this very process) until the TTL runs out.
+            keeper.stop()
+            for content_hash in keeper.tracked():
+                try:
+                    store.release_lease(content_hash, owner)
+                except Exception:  # pragma: no cover - store died mid-teardown
+                    pass
+        return computed_hashes, external_hashes
+
+
+def _compute_batch(
+    units: list[RunUnit], keep_ensembles: bool, n_jobs: int | None
+) -> Iterator[tuple[int, ExperimentResult]]:
+    """Compute a batch of units, yielding ``(index, result)`` in completion order."""
+    if len(units) == 1:
+        # A lone unit gets the whole budget as *inner* (simulation batch)
+        # parallelism instead of a pointless one-task pool — this keeps
+        # `run --n-jobs` behaving as before the plan layer.
+        return iter([(0, _execute_spec(units[0].spec, keep_ensembles, n_jobs))])
+    return parallel_starmap_unordered(
+        _execute_spec,
+        [(unit.spec, keep_ensembles) for unit in units],
+        n_jobs=n_jobs,
+    )
+
+
+class _LeaseKeeper(threading.Thread):
+    """Daemon thread renewing the leases one plan execution currently holds.
+
+    Renewal at a third of the TTL keeps live computations' leases from
+    expiring no matter how long a unit takes; renewals are best-effort — a
+    missed one only widens the (already persistence-safe) duplicate-compute
+    window.
+    """
+
+    def __init__(self, store: "RunStoreBackend", owner: str, ttl_seconds: float) -> None:
+        super().__init__(name="plan-lease-keeper", daemon=True)
+        self._store = store
+        self._owner = owner
+        self._ttl = float(ttl_seconds)
+        self._held: set[str] = set()
+        self._lock = threading.Lock()
+        self._stopped = threading.Event()
+
+    def track(self, content_hash: str) -> None:
+        with self._lock:
+            self._held.add(content_hash)
+
+    def untrack(self, content_hash: str) -> None:
+        with self._lock:
+            self._held.discard(content_hash)
+
+    def tracked(self) -> list[str]:
+        with self._lock:
+            return sorted(self._held)
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+    def run(self) -> None:
+        interval = max(0.05, self._ttl / 3.0)
+        while not self._stopped.wait(interval):
+            for content_hash in self.tracked():
+                try:
+                    self._store.renew_lease(content_hash, self._owner, self._ttl)
+                except Exception:  # noqa: BLE001 - keep renewing the rest
+                    continue
 
 
 # --------------------------------------------------------------------------- #

@@ -1,18 +1,31 @@
 """Content-addressed persistence of plan run units.
 
-A :class:`RunStore` is the on-disk cache behind
-:meth:`repro.core.plan.ExperimentPlan.execute`: every executed
-:class:`~repro.core.plan.RunUnit` is persisted under its content hash as a
-JSON document (``units/<hash>.json``), with the raw ensemble optionally kept
-as a sibling ``units/<hash>.npz``.
+A run store is the cache behind :meth:`repro.core.plan.ExperimentPlan.execute`:
+every executed :class:`~repro.core.plan.RunUnit` is persisted under its
+content hash as a JSON document (``units/<hash>.json``), with the raw ensemble
+optionally kept as a sibling ``units/<hash>.npz``.
+
+Two implementations share one interface, the :class:`RunStoreBackend`
+protocol: the filesystem :class:`RunStore` defined here (the reference
+implementation) and the HTTP client in :mod:`repro.io.remote`, which talks to
+a ``repro serve-store`` server fronting a filesystem store on another host.
+:func:`repro.io.remote.open_store` picks the backend from a path-or-URL spec.
 
 Design points:
 
 * **Deterministic documents** — the stored JSON is a pure function of the
   unit's specification and its (seeded, hence reproducible) result: volatile
-  wall-time diagnostics are stripped before writing.  Re-executing a plan
+  wall-time diagnostics are stripped before writing (:func:`build_document` /
+  :func:`encode_document` are shared by every backend, so a document is
+  byte-identical no matter which backend persisted it).  Re-executing a plan
   against a warm store therefore leaves every byte of the store untouched,
   which is what makes resumed sweeps bit-identical to uninterrupted ones.
+* **Write-once commits** — on a store shared between concurrent workers,
+  ``save(..., overwrite=False)`` never rewrites a document that already
+  satisfies the request: the filesystem backend commits with an exclusive
+  hard-link rename, the HTTP backend with a content-hash-conditional PUT.
+  Combined with the deterministic bytes, "first writer wins" and every later
+  writer is a no-op.
 * **Atomic, durable writes** — documents are written to a temporary sibling,
   fsynced, and renamed into place (the containing directory is fsynced too),
   so an interrupted execution — or a power loss right after it — never
@@ -22,13 +35,22 @@ Design points:
   **orphaned** archive (never a document referencing a missing archive);
   orphans are ignored by every read path and can be listed/removed with
   :meth:`RunStore.orphaned_files` / :meth:`RunStore.sweep_orphans` (the CLI
-  ``status`` command does this automatically).
+  ``status`` command reports them; ``status --sweep-orphans`` deletes them —
+  deletion is opt-in because on a *shared* store another host's clock skew
+  can make a live writer's in-flight file look older than it is).
+* **Leases, not locks** — concurrent workers draining one plan coordinate
+  through advisory, expiring leases (``leases/<hash>.json``): a worker
+  leases a unit before computing it, renews the lease while the computation
+  runs, and releases it after the save.  A crashed worker's lease simply
+  expires, so the unit is picked up again — at-most-rare duplicate compute,
+  and never duplicate persistence (see above).
 * **Readable layout** — documents are indented, sorted JSON carrying the full
   configs, so a store can be inspected (and diffed) with standard tools.
 """
 
 from __future__ import annotations
 
+import abc
 import json
 import os
 import time
@@ -42,7 +64,15 @@ from repro.particles.trajectory import EnsembleTrajectory
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.plan import RunUnit
 
-__all__ = ["RunStore", "RunStoreError", "ORPHAN_MIN_AGE_SECONDS"]
+__all__ = [
+    "RunStore",
+    "RunStoreBackend",
+    "RunStoreError",
+    "ORPHAN_MIN_AGE_SECONDS",
+    "DEFAULT_LEASE_TTL_SECONDS",
+    "build_document",
+    "encode_document",
+]
 
 _HASH_LENGTH = 64  # sha256 hexdigest
 
@@ -51,9 +81,14 @@ _HASH_LENGTH = 64  # sha256 hexdigest
 #: and JSON commits), which a sweep must never touch.
 ORPHAN_MIN_AGE_SECONDS = 3600.0
 
+#: Default lease lifetime.  Holders renew well before expiry (the plan
+#: executor renews at a third of the TTL), so the TTL only bounds how long a
+#: *crashed* worker blocks other workers from picking its unit up.
+DEFAULT_LEASE_TTL_SECONDS = 60.0
+
 
 class RunStoreError(RuntimeError):
-    """A store directory or document is missing, truncated or malformed."""
+    """A store (directory or service) or document is missing, truncated or malformed."""
 
 
 def _as_hash(unit_or_hash: "RunUnit | str") -> str:
@@ -63,8 +98,179 @@ def _as_hash(unit_or_hash: "RunUnit | str") -> str:
     return content_hash
 
 
-class RunStore:
+def build_document(unit: "RunUnit", result: ExperimentResult) -> dict[str, Any]:
+    """The deterministic JSON document of a unit's result (no ensemble entry).
+
+    Volatile wall-time diagnostics are stripped so the bytes depend only on
+    the unit's specification and its seeded result.  Backends that persist a
+    raw ensemble add the ``unit.ensemble`` reference themselves, *after* the
+    archive is durably committed.
+    """
+    document = experiment_result_to_dict(result)
+    document["wall_time_seconds"] = {}
+    document["summary"]["wall_time_seconds"] = {}
+    document["unit"] = {
+        "name": unit.spec.name,
+        "description": unit.spec.description,
+        "tags": list(unit.spec.tags),
+        "content_hash": unit.content_hash,
+    }
+    return document
+
+
+def encode_document(document: dict[str, Any]) -> str:
+    """Canonical text encoding of a store document (shared by all backends)."""
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+class RunStoreBackend(abc.ABC):
+    """Interface every run-store backend implements.
+
+    The contract the plan executor relies on:
+
+    * documents are **deterministic** (built via :func:`build_document` /
+      :func:`encode_document`), so any two backends holding the same unit
+      hold byte-identical documents;
+    * :meth:`save` with ``overwrite=False`` never rewrites a document that
+      already satisfies the request (write-once commits on shared stores);
+    * :meth:`provides_ensemble` consults the *document's* ``unit.ensemble``
+      reference — never the mere existence of a sibling archive, which may
+      be an orphan from a crashed save;
+    * leases are advisory and expire: :meth:`try_acquire_lease` /
+      :meth:`renew_lease` / :meth:`release_lease` let concurrent workers
+      partition a sweep with at-most-rare duplicate compute.
+    """
+
+    # interrogation ------------------------------------------------------ #
+    @abc.abstractmethod
+    def has(self, unit_or_hash: "RunUnit | str") -> bool:
+        """Whether a completed result for this unit is present."""
+
+    @abc.abstractmethod
+    def keys(self) -> list[str]:
+        """Content hashes of every persisted unit (sorted for determinism)."""
+
+    @abc.abstractmethod
+    def load_document(self, unit_or_hash: "RunUnit | str") -> dict[str, Any]:
+        """Raw JSON document of a persisted unit."""
+
+    def __contains__(self, unit_or_hash: "RunUnit | str") -> bool:
+        return self.has(unit_or_hash)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def provides_ensemble(self, unit_or_hash: "RunUnit | str") -> bool:
+        """Whether a persisted document exists *and* references a raw ensemble.
+
+        This is the cache check for ``keep_ensembles`` requests.  It reads
+        the document's ``unit.ensemble`` reference: a bare ``.npz`` beside a
+        reference-less document is an orphan from a crashed save (possibly
+        still inside the sweep grace period) and must not count as a hit.
+        """
+        try:
+            document = self.load_document(unit_or_hash)
+        except RunStoreError:
+            return False
+        return document.get("unit", {}).get("ensemble") is not None
+
+    def _existing_satisfies(self, unit: "RunUnit", result: ExperimentResult) -> bool:
+        """Whether the already-persisted state fully covers this save request."""
+        if not self.has(unit):
+            return False
+        return result.ensemble is None or self.provides_ensemble(unit)
+
+    # persistence -------------------------------------------------------- #
+    @abc.abstractmethod
+    def save(self, unit: "RunUnit", result: ExperimentResult, *, overwrite: bool = True):
+        """Persist a unit's result under its content hash.
+
+        ``overwrite=False`` is the shared-store mode: if an equivalent
+        document is already committed (same hash, and carrying an ensemble
+        reference whenever this result carries an ensemble), nothing is
+        written — the existing bytes are guaranteed identical by the
+        deterministic-document contract.
+        """
+
+    # reconstruction ----------------------------------------------------- #
+    def load(self, unit_or_hash: "RunUnit | str", *, with_ensemble: bool = True) -> ExperimentResult:
+        """Reconstruct the full :class:`ExperimentResult` of a persisted unit.
+
+        ``with_ensemble=False`` skips reading the referenced ``.npz`` even
+        when one exists — callers that only need the summaries (e.g. a warm
+        sweep that did not ask for ensembles) avoid pulling whole raw
+        trajectories into memory.
+
+        Only an archive the document *references* (``unit.ensemble``) is
+        attached: a sibling ``.npz`` that merely exists is an orphan from a
+        crashed save — possibly still inside the sweep grace period — and
+        must never round-trip into a result whose run kept no ensemble.
+        """
+        document = self.load_document(unit_or_hash)
+        try:
+            result = experiment_result_from_dict(document)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RunStoreError(
+                f"corrupt run-store document {self._document_label(unit_or_hash)}: {exc}"
+            ) from exc
+        ensemble_name = document.get("unit", {}).get("ensemble")
+        if with_ensemble and ensemble_name is not None:
+            result.ensemble = self._read_ensemble(unit_or_hash, ensemble_name)
+        return result
+
+    @abc.abstractmethod
+    def _document_label(self, unit_or_hash: "RunUnit | str") -> str:
+        """Human-readable location of the unit's document (path or URL)."""
+
+    @abc.abstractmethod
+    def _read_ensemble(self, unit_or_hash: "RunUnit | str", ensemble_name: str) -> EnsembleTrajectory:
+        """Fetch the referenced raw-ensemble archive (raising :class:`RunStoreError`)."""
+
+    # maintenance -------------------------------------------------------- #
+    @abc.abstractmethod
+    def orphaned_files(self, min_age_seconds: float = ORPHAN_MIN_AGE_SECONDS) -> list:
+        """Stray files a crash can leave behind (nothing any read path uses)."""
+
+    @abc.abstractmethod
+    def sweep_orphans(self, min_age_seconds: float = ORPHAN_MIN_AGE_SECONDS) -> list:
+        """Delete orphaned files (see :meth:`orphaned_files`); returns what was removed."""
+
+    # leases ------------------------------------------------------------- #
+    @abc.abstractmethod
+    def try_acquire_lease(
+        self,
+        unit_or_hash: "RunUnit | str",
+        owner: str,
+        ttl_seconds: float = DEFAULT_LEASE_TTL_SECONDS,
+    ) -> bool:
+        """Claim a unit for computation; False when another live owner holds it.
+
+        An expired lease (its holder crashed or stalled past the TTL) is
+        stolen.  Acquiring a lease one already holds renews it.
+        """
+
+    @abc.abstractmethod
+    def renew_lease(
+        self,
+        unit_or_hash: "RunUnit | str",
+        owner: str,
+        ttl_seconds: float = DEFAULT_LEASE_TTL_SECONDS,
+    ) -> bool:
+        """Extend one's own lease; False when it expired and was taken over."""
+
+    @abc.abstractmethod
+    def release_lease(self, unit_or_hash: "RunUnit | str", owner: str) -> None:
+        """Drop one's own lease (no-op when not held)."""
+
+
+class RunStore(RunStoreBackend):
     """Content-addressed on-disk cache of experiment results.
+
+    The reference :class:`RunStoreBackend` implementation — and the storage
+    a ``repro serve-store`` service fronts for remote workers.
 
     Parameters
     ----------
@@ -81,6 +287,7 @@ class RunStore:
     def __init__(self, root: str | Path, *, create: bool = True) -> None:
         self.root = Path(root)
         self.units_dir = self.root / "units"
+        self.leases_dir = self.root / "leases"
         marker = self.root / self.MARKER_NAME
         if create:
             try:
@@ -106,13 +313,17 @@ class RunStore:
         """Path of the unit's optional raw-ensemble archive."""
         return self.units_dir / f"{_as_hash(unit_or_hash)}.npz"
 
+    def lease_path_for(self, unit_or_hash: "RunUnit | str") -> Path:
+        """Path of the unit's advisory lease file (whether or not it exists)."""
+        return self.leases_dir / f"{_as_hash(unit_or_hash)}.json"
+
+    def _document_label(self, unit_or_hash: "RunUnit | str") -> str:
+        return str(self.path_for(unit_or_hash))
+
     # interrogation ------------------------------------------------------ #
     def has(self, unit_or_hash: "RunUnit | str") -> bool:
         """Whether a completed result for this unit is present."""
         return self.path_for(unit_or_hash).is_file()
-
-    def __contains__(self, unit_or_hash: "RunUnit | str") -> bool:
-        return self.has(unit_or_hash)
 
     def keys(self) -> list[str]:
         """Content hashes of every persisted unit (sorted for determinism)."""
@@ -120,32 +331,23 @@ class RunStore:
             return []
         return sorted(path.stem for path in self.units_dir.glob("*.json"))
 
-    def __len__(self) -> int:
-        return len(self.keys())
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self.keys())
-
     # persistence -------------------------------------------------------- #
-    def save(self, unit: "RunUnit", result: ExperimentResult) -> Path:
+    def save(self, unit: "RunUnit", result: ExperimentResult, *, overwrite: bool = True) -> Path:
         """Persist a unit's result under its content hash; returns the JSON path.
 
-        The document is deterministic: wall-time diagnostics are stripped so
-        the bytes depend only on the unit's specification and its seeded
-        result.  When the result carries its raw ensemble, the trajectory is
-        written as a sibling ``.npz`` (the JSON never embeds arrays of that
-        size).
+        The document is deterministic (see :func:`build_document`).  When the
+        result carries its raw ensemble, the trajectory is written as a
+        sibling ``.npz`` (the JSON never embeds arrays of that size).
+
+        ``overwrite=False`` makes the commit write-once: a document that
+        already satisfies the request is left byte-for-byte untouched, and
+        when two workers race on a genuinely new unit the loser's rename
+        fails against the winner's committed (identical) document.
         """
-        document = experiment_result_to_dict(result)
-        document["wall_time_seconds"] = {}
-        document["summary"]["wall_time_seconds"] = {}
-        document["unit"] = {
-            "name": unit.spec.name,
-            "description": unit.spec.description,
-            "tags": list(unit.spec.tags),
-            "content_hash": unit.content_hash,
-        }
         path = self.path_for(unit)
+        if not overwrite and self._existing_satisfies(unit, result):
+            return path
+        document = build_document(unit, result)
         if result.ensemble is not None:
             ensemble_path = self.ensemble_path_for(unit)
             # Same write-fsync-rename discipline (and pid-unique temp name)
@@ -160,19 +362,24 @@ class RunStore:
             os.replace(tmp, ensemble_path)
             _fsync_path(ensemble_path.parent)
             document["unit"]["ensemble"] = ensemble_path.name
-        _atomic_write(path, json.dumps(document, indent=2, sort_keys=True))
+        # Exclusive (link-based) commit only when nothing is there yet: if a
+        # partial document exists (e.g. it lacks the ensemble reference this
+        # result carries), the rewrite is a deliberate upgrade.
+        _atomic_write(path, encode_document(document), exclusive=not overwrite and not self.has(unit))
         return path
 
     # maintenance -------------------------------------------------------- #
     def orphaned_files(self, min_age_seconds: float = ORPHAN_MIN_AGE_SECONDS) -> list[Path]:
         """Stray files a crash can leave behind (nothing any read path uses).
 
-        Two kinds: raw-ensemble ``.npz`` archives whose JSON document was
+        Three kinds: raw-ensemble ``.npz`` archives whose JSON document was
         never committed (the save order makes this the *only* possible
-        inconsistency), and ``*.tmp`` / ``*.tmp.npz`` temporaries abandoned
-        by a writer that died before its rename — in ``units/`` *and* at the
-        store root, where a writer that died between creating the directory
-        and renaming the store marker leaks ``run_store.json.<pid>.tmp``.
+        inconsistency), ``*.tmp`` / ``*.tmp.npz`` temporaries abandoned by a
+        writer that died before its rename — in ``units/``, ``leases/`` *and*
+        at the store root, where a writer that died between creating the
+        directory and renaming the store marker leaks
+        ``run_store.json.<pid>.tmp`` — and **expired lease files** whose
+        holder never released them (a crashed worker's leftovers).
 
         Files younger than ``min_age_seconds`` are *not* reported: a live
         writer in another process looks exactly like a crash for the moment
@@ -184,7 +391,7 @@ class RunStore:
         newest_allowed = time.time() - min_age_seconds
         orphans: list[Path] = []
 
-        def scan(directory: Path, *, stray_npz: bool) -> None:
+        def scan(directory: Path, *, stray_npz: bool, expired_leases: bool = False) -> None:
             if not directory.is_dir():
                 return
             for path in sorted(directory.iterdir()):
@@ -197,6 +404,12 @@ class RunStore:
                     # (another sweep's crash leftover) is as orphaned as one
                     # with no document at all.
                     candidate = not self._archive_is_referenced(path)
+                elif expired_leases and name.endswith(".json"):
+                    # A lease past its expiry whose holder never released it.
+                    # Live holders renew (refreshing both expiry and mtime),
+                    # so only genuinely abandoned leases age into candidates.
+                    lease = self._read_lease(path)
+                    candidate = lease is None or lease["expires"] <= time.time()
                 else:
                     candidate = False
                 if not candidate:
@@ -212,6 +425,7 @@ class RunStore:
         # are ours to sweep — any other stray file is not a store artifact.
         scan(self.root, stray_npz=False)
         scan(self.units_dir, stray_npz=True)
+        scan(self.leases_dir, stray_npz=False, expired_leases=True)
         return orphans
 
     def _archive_is_referenced(self, archive: Path) -> bool:
@@ -250,44 +464,90 @@ class RunStore:
         except json.JSONDecodeError as exc:
             raise RunStoreError(f"corrupt run-store document {path}: {exc}") from exc
 
-    def load(self, unit_or_hash: "RunUnit | str", *, with_ensemble: bool = True) -> ExperimentResult:
-        """Reconstruct the full :class:`ExperimentResult` of a persisted unit.
-
-        ``with_ensemble=False`` skips reading the referenced ``.npz`` even
-        when one exists — callers that only need the summaries (e.g. a warm
-        sweep that did not ask for ensembles) avoid pulling whole raw
-        trajectories into memory.
-
-        Only an archive the document *references* (``unit.ensemble``) is
-        attached: a sibling ``.npz`` that merely exists on disk is an orphan
-        from a crashed save — possibly still inside the sweep grace period —
-        and must never round-trip into a result whose run kept no ensemble.
-        """
-        document = self.load_document(unit_or_hash)
-        try:
-            result = experiment_result_from_dict(document)
-        except (KeyError, TypeError, ValueError) as exc:
+    def _read_ensemble(self, unit_or_hash: "RunUnit | str", ensemble_name: str) -> EnsembleTrajectory:
+        ensemble_path = self.units_dir / ensemble_name
+        if not ensemble_path.is_file():
+            # The save order (npz before its document) makes this state
+            # unreachable by crashes; something external removed the
+            # archive, and silently dropping the ensemble would hide it.
             raise RunStoreError(
-                f"corrupt run-store document {self.path_for(unit_or_hash)}: {exc}"
+                f"run-store document {self.path_for(unit_or_hash)} references "
+                f"missing ensemble archive {ensemble_name}"
+            )
+        try:
+            return EnsembleTrajectory.load(ensemble_path)
+        except Exception as exc:  # zipfile/OSError zoo from a damaged archive
+            raise RunStoreError(
+                f"corrupt run-store ensemble {ensemble_path}: {exc}"
             ) from exc
-        ensemble_name = document.get("unit", {}).get("ensemble")
-        if with_ensemble and ensemble_name is not None:
-            ensemble_path = self.units_dir / ensemble_name
-            if not ensemble_path.is_file():
-                # The save order (npz before its document) makes this state
-                # unreachable by crashes; something external removed the
-                # archive, and silently dropping the ensemble would hide it.
-                raise RunStoreError(
-                    f"run-store document {self.path_for(unit_or_hash)} references "
-                    f"missing ensemble archive {ensemble_name}"
-                )
-            try:
-                result.ensemble = EnsembleTrajectory.load(ensemble_path)
-            except Exception as exc:  # zipfile/OSError zoo from a damaged archive
-                raise RunStoreError(
-                    f"corrupt run-store ensemble {ensemble_path}: {exc}"
-                ) from exc
-        return result
+
+    # leases ------------------------------------------------------------- #
+    def _read_lease(self, path: Path) -> dict[str, Any] | None:
+        """The lease payload, or None when the file is gone or unreadable."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or "owner" not in payload or "expires" not in payload:
+            return None
+        return payload
+
+    def _write_lease(self, path: Path, owner: str, ttl_seconds: float) -> None:
+        payload = json.dumps({"owner": owner, "expires": time.time() + float(ttl_seconds)})
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, path)  # advisory state: atomic, but no fsync needed
+
+    def try_acquire_lease(
+        self,
+        unit_or_hash: "RunUnit | str",
+        owner: str,
+        ttl_seconds: float = DEFAULT_LEASE_TTL_SECONDS,
+    ) -> bool:
+        path = self.lease_path_for(unit_or_hash)
+        try:
+            self.leases_dir.mkdir(parents=True, exist_ok=True)
+            # The exclusive create is the atomic claim: exactly one of N
+            # concurrent acquirers wins the O_EXCL race on a shared filesystem.
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            current = self._read_lease(path)
+            if current is not None and current["owner"] != owner and current["expires"] > time.time():
+                return False  # held by a live (or at least unexpired) owner
+            # Unreadable, expired, or already ours: take it over.  Two
+            # stealers can both replace; reading back arbitrates — exactly
+            # one sees its own owner id in the committed file.
+            self._write_lease(path, owner, ttl_seconds)
+            confirmed = self._read_lease(path)
+            return confirmed is not None and confirmed["owner"] == owner
+        except OSError as exc:
+            raise RunStoreError(f"cannot write lease in {self.leases_dir}: {exc}") from exc
+        with os.fdopen(fd, "w", encoding="utf8") as handle:
+            handle.write(json.dumps({"owner": owner, "expires": time.time() + float(ttl_seconds)}))
+        return True
+
+    def renew_lease(
+        self,
+        unit_or_hash: "RunUnit | str",
+        owner: str,
+        ttl_seconds: float = DEFAULT_LEASE_TTL_SECONDS,
+    ) -> bool:
+        path = self.lease_path_for(unit_or_hash)
+        current = self._read_lease(path)
+        if current is None or current["owner"] != owner:
+            return False  # expired and stolen (or never held): do not revive
+        self._write_lease(path, owner, ttl_seconds)
+        return True
+
+    def release_lease(self, unit_or_hash: "RunUnit | str", owner: str) -> None:
+        path = self.lease_path_for(unit_or_hash)
+        current = self._read_lease(path)
+        if current is None or current["owner"] != owner:
+            return  # not ours (anymore): never drop another worker's claim
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - raced with a stealer/cleaner
+            pass
 
 
 def _fsync_path(path: Path) -> None:
@@ -302,7 +562,7 @@ def _fsync_path(path: Path) -> None:
         os.close(fd)
 
 
-def _atomic_write(path: Path, text: str) -> None:
+def _atomic_write(path: Path, text: str, *, exclusive: bool = False) -> bool:
     """Write-fsync-rename so readers never observe a partially written file.
 
     The temp name carries the pid so concurrent writers of the same unit
@@ -312,11 +572,29 @@ def _atomic_write(path: Path, text: str) -> None:
     rename could surface a *committed name with uncommitted bytes* (an empty
     or truncated document) on journaled filesystems; syncing the directory
     afterwards makes the rename itself durable.
+
+    ``exclusive=True`` commits via :func:`os.link`, which fails (instead of
+    replacing) when the target already exists — the write-once mode shared
+    stores use; returns False when another writer won the race.  Filesystems
+    without hard links fall back to the plain replace.
     """
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     with open(tmp, "w", encoding="utf8") as handle:
         handle.write(text)
         handle.flush()
         os.fsync(handle.fileno())
+    if exclusive:
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            os.unlink(tmp)
+            return False  # first writer already committed (identical bytes)
+        except OSError:  # pragma: no cover - e.g. FAT/exotic network mounts
+            os.replace(tmp, path)
+        else:
+            os.unlink(tmp)
+        _fsync_path(path.parent)
+        return True
     os.replace(tmp, path)
     _fsync_path(path.parent)
+    return True

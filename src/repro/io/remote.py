@@ -1,0 +1,296 @@
+"""HTTP :class:`~repro.io.artifacts.RunStoreBackend` client and the store factory.
+
+:class:`HTTPRunStore` talks to a ``repro serve-store`` server (see
+:mod:`repro.io.service`) with nothing but :mod:`urllib` — the documents and
+archives on the wire are the filesystem store's own artifacts, so a unit
+persisted through HTTP is byte-identical to one persisted locally.
+
+:func:`open_store` is the one entry point callers need: it turns a CLI-level
+store spec — a directory path or an ``http(s)://`` URL — into the right
+backend, probing remote stores for reachability up front so a typo'd URL
+fails before any simulation starts.
+
+Client behaviour on an unreliable network:
+
+* every request has a **timeout** and **bounded retries** with linear
+  backoff — but only for connection-level failures and 5xx responses;
+  4xx responses are semantic answers and surface immediately;
+* retried PUTs are safe because commits are **content-hash conditional**:
+  the server answers ``412`` for an artifact that already exists (without
+  writing), and the client treats that as success — an artifact whose hash
+  is already committed is never re-uploaded or rewritten, so a retry after
+  an ambiguous first attempt cannot double-commit.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.core.pipeline import ExperimentResult
+from repro.io.artifacts import (
+    DEFAULT_LEASE_TTL_SECONDS,
+    ORPHAN_MIN_AGE_SECONDS,
+    RunStore,
+    RunStoreBackend,
+    RunStoreError,
+    _as_hash,
+    build_document,
+    encode_document,
+)
+from repro.particles.trajectory import EnsembleTrajectory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.plan import RunUnit
+
+__all__ = ["HTTPRunStore", "open_store"]
+
+_RETRYABLE_STATUS = range(500, 600)
+
+
+def open_store(spec: str | Path, *, create: bool = True) -> RunStoreBackend:
+    """Open the store a path-or-URL spec names.
+
+    ``http://`` / ``https://`` specs yield an :class:`HTTPRunStore` (probed
+    immediately, so an unreachable or non-store URL raises
+    :class:`RunStoreError` here rather than mid-sweep); anything else is a
+    filesystem path handed to :class:`~repro.io.artifacts.RunStore`, where
+    ``create`` keeps its usual meaning.  Remote stores are created (or not)
+    by the *server* side; ``create`` is ignored for them.
+    """
+    text = str(spec)
+    if text.startswith(("http://", "https://")):
+        store = HTTPRunStore(text)
+        store.ping()
+        return store
+    return RunStore(spec, create=create)
+
+
+class HTTPRunStore(RunStoreBackend):
+    """Client for a run store served over HTTP by ``repro serve-store``.
+
+    Parameters
+    ----------
+    url:
+        Base URL of the service, e.g. ``http://sweep-host:8750``.
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Attempts per request (connection failures and 5xx only).
+    backoff_seconds:
+        Sleep between attempt *k* and *k+1* is ``backoff_seconds * k``.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 10.0,
+        retries: int = 3,
+        backoff_seconds: float = 0.25,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+        self.retries = max(1, int(retries))
+        self.backoff_seconds = float(backoff_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"HTTPRunStore({self.url!r})"
+
+    # wire plumbing ------------------------------------------------------ #
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        accept: tuple[int, ...] = (200,),
+        allow: tuple[int, ...] = (),
+    ) -> tuple[int, bytes]:
+        """One HTTP round trip with bounded retries.
+
+        ``accept`` statuses return normally; ``allow`` statuses are semantic
+        non-success answers the caller wants to branch on (404 for a missing
+        unit, 409 for a held lease, 412 for an already-committed artifact).
+        Anything else raises :class:`RunStoreError` — after exhausting
+        retries when it was a connection failure or a 5xx.
+        """
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/octet-stream"} if body is not None else {},
+        )
+        last_error: Exception | None = None
+        for attempt in range(1, self.retries + 1):
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return response.status, response.read()
+            except urllib.error.HTTPError as exc:
+                status, payload = exc.code, exc.read()
+                if status in accept or status in allow:
+                    return status, payload
+                if status in _RETRYABLE_STATUS and attempt < self.retries:
+                    last_error = exc
+                else:
+                    raise RunStoreError(
+                        f"run store {self.url} rejected {method} {path}: "
+                        f"HTTP {status} {_error_detail(payload)}"
+                    ) from exc
+            except (urllib.error.URLError, http.client.HTTPException, ConnectionError, TimeoutError, OSError) as exc:
+                if attempt >= self.retries:
+                    raise RunStoreError(f"run store {self.url} unreachable: {exc}") from exc
+                last_error = exc
+            time.sleep(self.backoff_seconds * attempt)
+        raise RunStoreError(f"run store {self.url} unreachable: {last_error}")  # pragma: no cover
+
+    def _request_json(self, method: str, path: str, payload: dict[str, Any] | None = None, **kwargs) -> tuple[int, dict[str, Any]]:
+        body = None if payload is None else json.dumps(payload).encode("utf8")
+        status, raw = self._request(method, path, body, **kwargs)
+        try:
+            decoded = json.loads(raw.decode("utf8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RunStoreError(f"run store {self.url} sent a malformed response for {path}: {exc}") from exc
+        return status, decoded if isinstance(decoded, dict) else {}
+
+    def ping(self) -> dict[str, Any]:
+        """Probe the service root; raises unless it identifies as a run store."""
+        status, marker = self._request_json("GET", "/")
+        if marker.get("format") != RunStore.FORMAT["format"]:
+            raise RunStoreError(f"{self.url} is not a run store service (marker: {marker!r})")
+        return marker
+
+    # interrogation ------------------------------------------------------ #
+    def has(self, unit_or_hash: "RunUnit | str") -> bool:
+        status, _ = self._request("HEAD", f"/units/{_as_hash(unit_or_hash)}.json", allow=(404,))
+        return status == 200
+
+    def keys(self) -> list[str]:
+        _, payload = self._request_json("GET", "/units")
+        keys = payload.get("keys", [])
+        return [key for key in keys if isinstance(key, str)]
+
+    def load_document(self, unit_or_hash: "RunUnit | str") -> dict[str, Any]:
+        content_hash = _as_hash(unit_or_hash)
+        status, raw = self._request("GET", f"/units/{content_hash}.json", allow=(404,))
+        if status == 404:
+            raise RunStoreError(f"no persisted result for {content_hash[:12]}… in {self.url}")
+        try:
+            return json.loads(raw.decode("utf8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RunStoreError(f"corrupt run-store document {self._document_label(content_hash)}: {exc}") from exc
+
+    def _document_label(self, unit_or_hash: "RunUnit | str") -> str:
+        return f"{self.url}/units/{_as_hash(unit_or_hash)}.json"
+
+    def _read_ensemble(self, unit_or_hash: "RunUnit | str", ensemble_name: str) -> EnsembleTrajectory:
+        status, raw = self._request("GET", f"/units/{ensemble_name}", allow=(404,))
+        if status == 404:
+            raise RunStoreError(
+                f"run-store document {self._document_label(unit_or_hash)} references "
+                f"missing ensemble archive {ensemble_name}"
+            )
+        # EnsembleTrajectory's (numpy's) archive format wants a real file;
+        # round-tripping through a temp file also reuses its own validation.
+        with tempfile.NamedTemporaryFile(suffix=".npz") as handle:
+            handle.write(raw)
+            handle.flush()
+            try:
+                return EnsembleTrajectory.load(handle.name)
+            except Exception as exc:  # zipfile/OSError zoo from a damaged archive
+                raise RunStoreError(f"corrupt run-store ensemble {ensemble_name} from {self.url}: {exc}") from exc
+
+    # persistence -------------------------------------------------------- #
+    def save(self, unit: "RunUnit", result: ExperimentResult, *, overwrite: bool = True) -> None:
+        """Persist a unit's result through the service.
+
+        Same document bytes and same commit order as the filesystem store
+        (archive before the document that references it).  Without
+        ``overwrite`` every PUT is conditional: the server refuses (412,
+        no write) artifacts that already exist, and an ensemble archive
+        already committed is not even uploaded again.
+        """
+        if not overwrite and self._existing_satisfies(unit, result):
+            return
+        content_hash = unit.content_hash
+        document = build_document(unit, result)
+        if result.ensemble is not None:
+            archive_name = f"{content_hash}.npz"
+            if overwrite or not self._artifact_exists(archive_name):
+                with tempfile.NamedTemporaryFile(suffix=".npz") as handle:
+                    result.ensemble.save(handle.name)
+                    handle.seek(0)
+                    payload = handle.read()
+                self._put(archive_name, payload, overwrite=overwrite)
+            document["unit"]["ensemble"] = archive_name
+        # A document that exists but does not yet reference the ensemble is
+        # upgraded in place — that rewrite must not be refused with 412.
+        force = overwrite or self.has(unit)
+        self._put(f"{content_hash}.json", encode_document(document).encode("utf8"), overwrite=force)
+
+    def _artifact_exists(self, name: str) -> bool:
+        status, _ = self._request("HEAD", f"/units/{name}", allow=(404,))
+        return status == 200
+
+    def _put(self, name: str, payload: bytes, *, overwrite: bool) -> None:
+        query = "?overwrite=1" if overwrite else ""
+        # 412 = already committed by another (or an earlier, ambiguously
+        # failed) writer; deterministic artifacts make that success.
+        self._request("PUT", f"/units/{name}{query}", payload, allow=(412,))
+
+    # maintenance -------------------------------------------------------- #
+    def orphaned_files(self, min_age_seconds: float = ORPHAN_MIN_AGE_SECONDS) -> list[str]:
+        _, payload = self._request_json("GET", f"/orphans?min_age={float(min_age_seconds)}")
+        return [name for name in payload.get("orphans", []) if isinstance(name, str)]
+
+    def sweep_orphans(self, min_age_seconds: float = ORPHAN_MIN_AGE_SECONDS) -> list[str]:
+        _, payload = self._request_json(
+            "POST", "/orphans/sweep", {"min_age_seconds": float(min_age_seconds)}
+        )
+        return [name for name in payload.get("removed", []) if isinstance(name, str)]
+
+    # leases ------------------------------------------------------------- #
+    def try_acquire_lease(
+        self,
+        unit_or_hash: "RunUnit | str",
+        owner: str,
+        ttl_seconds: float = DEFAULT_LEASE_TTL_SECONDS,
+    ) -> bool:
+        status, _ = self._request_json(
+            "POST",
+            f"/leases/{_as_hash(unit_or_hash)}/acquire",
+            {"owner": owner, "ttl_seconds": float(ttl_seconds)},
+            allow=(409,),
+        )
+        return status == 200
+
+    def renew_lease(
+        self,
+        unit_or_hash: "RunUnit | str",
+        owner: str,
+        ttl_seconds: float = DEFAULT_LEASE_TTL_SECONDS,
+    ) -> bool:
+        status, _ = self._request_json(
+            "POST",
+            f"/leases/{_as_hash(unit_or_hash)}/renew",
+            {"owner": owner, "ttl_seconds": float(ttl_seconds)},
+            allow=(409,),
+        )
+        return status == 200
+
+    def release_lease(self, unit_or_hash: "RunUnit | str", owner: str) -> None:
+        self._request_json("POST", f"/leases/{_as_hash(unit_or_hash)}/release", {"owner": owner})
+
+
+def _error_detail(payload: bytes) -> str:
+    try:
+        decoded = json.loads(payload.decode("utf8"))
+        return str(decoded.get("error", "")) if isinstance(decoded, dict) else ""
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return ""

@@ -9,13 +9,14 @@ experiments).
 """
 
 from repro.parallel.rng import seed_streams, spawn_generator, derive_seed
-from repro.parallel.pool import parallel_map, chunk_indices
+from repro.parallel.pool import available_cpu_count, parallel_map, chunk_indices
 from repro.parallel.batch import batch_slices, split_batches
 
 __all__ = [
     "seed_streams",
     "spawn_generator",
     "derive_seed",
+    "available_cpu_count",
     "parallel_map",
     "chunk_indices",
     "batch_slices",

@@ -19,6 +19,7 @@ __all__ = [
     "parallel_starmap_iter",
     "parallel_starmap_unordered",
     "chunk_indices",
+    "available_cpu_count",
     "effective_n_jobs",
 ]
 
@@ -26,13 +27,32 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def available_cpu_count() -> int:
+    """CPUs actually available to *this process*, not merely present.
+
+    ``os.cpu_count()`` reports the machine's cores even when a cgroup quota
+    or a CPU-affinity mask (containerised CI, ``taskset``, SLURM cpusets)
+    grants the process far fewer — sizing a pool from it oversubscribes the
+    real allocation.  The scheduler affinity mask reflects those limits, so
+    it wins wherever the platform exposes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
 def effective_n_jobs(n_jobs: int | None) -> int:
     """Resolve an ``n_jobs`` request against the available CPU count.
 
-    ``None`` or ``1`` → serial execution (1).  ``-1`` → all cores.  Positive
-    values are clipped to the number of available cores.
+    ``None`` or ``1`` → serial execution (1).  ``-1`` → all *available*
+    cores (affinity/cgroup aware, see :func:`available_cpu_count`).
+    Positive values are clipped to the number of available cores.
     """
-    cpus = os.cpu_count() or 1
+    cpus = available_cpu_count()
     if n_jobs is None:
         return 1
     if n_jobs == -1:

@@ -576,7 +576,11 @@ class TestDomainFlag:
         assert main(["status", "fig5", "--store", store], stream=free) == 0
         assert "0/1 unit(s) cached" in free.getvalue()
 
-    def test_status_sweeps_aged_orphaned_archives(self, tmp_path, tiny_scale):
+    def test_status_reports_orphans_and_sweeps_only_on_request(self, tmp_path, tiny_scale):
+        # Deleting crash leftovers is destructive on a store other hosts may
+        # be writing to (their clock skew can make an in-flight file look
+        # aged), so default status only *reports* orphans; --sweep-orphans
+        # opts into deletion.
         import os
         from pathlib import Path
 
@@ -586,14 +590,23 @@ class TestDomainFlag:
                     stream=stream) == 0
         orphan = Path(store_dir) / "units" / ("c" * 64 + ".npz")
         orphan.write_bytes(b"crashed mid-save")
-        # Fresh strays are protected (they could be a live writer mid-save);
-        # status only sweeps once they have aged past the grace period.
+        # Fresh strays are protected (they could be a live writer mid-save):
+        # neither reported nor sweepable until past the grace period.
         fresh_stream = io.StringIO()
         assert main(["status", "fig5", "--store", str(store_dir)], stream=fresh_stream) == 0
-        assert "swept" not in fresh_stream.getvalue()
+        assert "orphaned" not in fresh_stream.getvalue()
         assert orphan.exists()
         os.utime(orphan, (0, 0))
-        status_stream = io.StringIO()
-        assert main(["status", "fig5", "--store", str(store_dir)], stream=status_stream) == 0
-        assert "swept 1 orphaned file(s)" in status_stream.getvalue()
+        # Aged orphan, default status: reported, not deleted.
+        report_stream = io.StringIO()
+        assert main(["status", "fig5", "--store", str(store_dir)], stream=report_stream) == 0
+        assert "1 orphaned file(s)" in report_stream.getvalue()
+        assert "--sweep-orphans" in report_stream.getvalue()
+        assert "swept" not in report_stream.getvalue()
+        assert orphan.exists()
+        # Opt-in sweep deletes it.
+        sweep_stream = io.StringIO()
+        assert main(["status", "fig5", "--store", str(store_dir), "--sweep-orphans"],
+                    stream=sweep_stream) == 0
+        assert "swept 1 orphaned file(s)" in sweep_stream.getvalue()
         assert not orphan.exists()

@@ -1,0 +1,160 @@
+"""Concurrent-execution suite: several worker processes draining one store.
+
+These are the end-to-end guarantees the lease layer exists for, checked with
+real ``fork`` processes against both backends:
+
+* a sweep drained by two concurrent workers leaves the store byte-identical
+  to a serial run;
+* every unit is computed exactly once across the worker fleet (leases make
+  duplicate compute at most rare; here, with long TTLs, it is zero) and
+  persisted exactly once;
+* a committed document is never rewritten afterwards — resuming from the
+  warm store computes zero units and touches no inodes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.plan import ExperimentPlan
+from repro.io.artifacts import RunStore
+from repro.io.remote import open_store
+from repro.io.service import serve_store
+
+from test_core_plan import tiny_spec
+
+_FORK = multiprocessing.get_context("fork")
+N_WORKERS = 2
+
+
+def _plan() -> ExperimentPlan:
+    return ExperimentPlan.from_specs(
+        tiny_spec(name=f"concurrent-{i}", seed=10 + i) for i in range(3)
+    )
+
+
+def _worker(store_spec: str, barrier, queue) -> None:
+    """One sweep worker: open the shared store, sync up, drain the plan."""
+    try:
+        store = open_store(store_spec)
+        barrier.wait(timeout=30.0)
+        execution = _plan().execute(store, lease_ttl_seconds=60.0, lease_poll_seconds=0.05)
+        queue.put(
+            {
+                "pid": os.getpid(),
+                "computed": sorted(execution.computed),
+                "cached": sorted(execution.cached),
+                "external": sorted(execution.external),
+                "deltas": [r.delta_multi_information for r in execution.results],
+            }
+        )
+    except Exception as exc:  # surfaced by the parent's assertion on reports
+        queue.put({"pid": os.getpid(), "error": f"{type(exc).__name__}: {exc}"})
+
+
+def _run_fleet(store_spec: str) -> list[dict]:
+    barrier = _FORK.Barrier(N_WORKERS)
+    queue = _FORK.Queue()
+    workers = [
+        _FORK.Process(target=_worker, args=(store_spec, barrier, queue), daemon=True)
+        for _ in range(N_WORKERS)
+    ]
+    for worker in workers:
+        worker.start()
+    reports = [queue.get(timeout=120.0) for _ in workers]
+    for worker in workers:
+        worker.join(timeout=30.0)
+        assert worker.exitcode == 0
+    assert not any("error" in report for report in reports), reports
+    return reports
+
+
+@pytest.fixture
+def serial_reference(tmp_path):
+    """A store populated by a plain serial execution — the byte-level oracle."""
+    store = RunStore(tmp_path / "reference")
+    execution = _plan().execute(store)
+    assert execution.n_computed == len(_plan())
+    return store
+
+
+def _assert_matches_reference(shared: RunStore, serial_reference: RunStore) -> None:
+    assert shared.keys() == serial_reference.keys()
+    for content_hash in serial_reference.keys():
+        assert (
+            (shared.units_dir / f"{content_hash}.json").read_bytes()
+            == (serial_reference.units_dir / f"{content_hash}.json").read_bytes()
+        )
+
+
+def _assert_exactly_once(reports: list[dict]) -> None:
+    all_hashes = sorted(unit.content_hash for unit in _plan().units())
+    computed = [h for report in reports for h in report["computed"]]
+    assert sorted(computed) == sorted(set(computed)), "a unit was computed twice"
+    assert sorted(computed) == all_hashes, "some unit was never computed"
+    for report in reports:
+        # Every worker ends holding the full sweep, one way or another.
+        assert sorted(report["computed"] + report["cached"] + report["external"]) == all_hashes
+
+
+class TestFilesystemFleet:
+    def test_two_workers_end_byte_identical_to_serial(self, tmp_path, serial_reference):
+        shared = RunStore(tmp_path / "shared")
+        reports = _run_fleet(str(shared.root))
+        _assert_exactly_once(reports)
+        _assert_matches_reference(shared, serial_reference)
+
+    def test_no_document_is_rewritten_after_first_commit(self, tmp_path):
+        shared = RunStore(tmp_path / "shared")
+        _run_fleet(str(shared.root))
+        stats = {
+            path.name: (path.stat().st_mtime_ns, path.stat().st_ino)
+            for path in shared.units_dir.iterdir()
+        }
+        resume = _plan().execute(shared)
+        assert resume.n_computed == 0 and resume.n_cached == len(_plan())
+        after = {
+            path.name: (path.stat().st_mtime_ns, path.stat().st_ino)
+            for path in shared.units_dir.iterdir()
+        }
+        assert after == stats
+
+
+class TestHTTPFleet:
+    @pytest.fixture
+    def server(self, tmp_path):
+        server = serve_store(tmp_path / "shared", port=0)
+        thread = server.serve_in_background()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+    def test_two_remote_workers_end_byte_identical_to_serial(self, server, serial_reference):
+        reports = _run_fleet(server.url)
+        _assert_exactly_once(reports)
+        _assert_matches_reference(server.store, serial_reference)
+
+    def test_resume_through_http_computes_nothing(self, server):
+        _run_fleet(server.url)
+        stats = {
+            path.name: (path.stat().st_mtime_ns, path.stat().st_ino)
+            for path in server.store.units_dir.iterdir()
+        }
+        resume = _plan().execute(open_store(server.url))
+        assert resume.n_computed == 0 and resume.n_cached == len(_plan())
+        after = {
+            path.name: (path.stat().st_mtime_ns, path.stat().st_ino)
+            for path in server.store.units_dir.iterdir()
+        }
+        assert after == stats
+
+    def test_remote_results_match_serial_results_numerically(self, server, serial_reference):
+        reports = _run_fleet(server.url)
+        serial = _plan().execute(serial_reference)
+        serial_deltas = [r.delta_multi_information for r in serial.results]
+        for report in reports:
+            assert report["deltas"] == pytest.approx(serial_deltas)

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import io
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -314,3 +316,106 @@ class TestExecution:
         summaries_only = plan.execute(store)
         assert summaries_only.n_computed == 0
         assert summaries_only.results[0].ensemble is None
+
+class TestSharedStoreExecution:
+    """Lease-based dispatch and write-once persistence on a (shared) store."""
+
+    @pytest.fixture
+    def plan(self, spec) -> ExperimentPlan:
+        return grid(spec, **{"simulation.cutoff": [None, 3.0]})
+
+    def test_orphaned_archive_does_not_satisfy_keep_ensembles(self, spec, tmp_path):
+        # Regression: a crashed keep_ensembles save leaves a bare .npz next
+        # to a document with no unit.ensemble reference.  The cache check
+        # must consult the document's reference, not the archive's mere
+        # existence — otherwise the unit counts as cached and
+        # load(with_ensemble=True) silently returns ensemble=None, violating
+        # the caller's explicit keep_ensembles=True request.
+        store = RunStore(tmp_path / "store")
+        plan = single(spec)
+        plan.execute(store)  # summaries-only document, no ensemble reference
+        unit = plan.units()[0]
+        orphan = store.ensemble_path_for(unit)
+        orphan.write_bytes(b"crashed keep_ensembles save leftovers")
+        execution = plan.execute(store, keep_ensembles=True)
+        assert execution.n_computed == 1 and execution.n_cached == 0
+        assert execution.results[0].ensemble is not None
+        # The document now references the (rewritten, genuine) archive and
+        # the request is satisfiable from cache.
+        assert store.load_document(unit)["unit"]["ensemble"] == orphan.name
+        warm = plan.execute(store, keep_ensembles=True)
+        assert warm.n_computed == 0 and warm.results[0].ensemble is not None
+
+    def test_committed_documents_are_never_rewritten(self, plan, tmp_path):
+        # Write-once: a later execution that computes *other* units must
+        # leave already-committed documents untouched at the inode level.
+        store = RunStore(tmp_path / "store")
+        first = plan.limit(1).execute(store)
+        assert first.n_computed == 1
+        committed = next(iter(store.units_dir.glob("*.json")))
+        before = committed.stat()
+        resumed = plan.execute(store)
+        assert resumed.n_computed == 1 and resumed.n_cached == 1
+        after = committed.stat()
+        assert (before.st_mtime_ns, before.st_ino) == (after.st_mtime_ns, after.st_ino)
+
+    def test_foreign_lease_defers_to_the_other_workers_result(self, spec, tmp_path):
+        # Another worker holds the unit's lease; this execution must wait
+        # and then adopt the result that worker commits (external), never
+        # duplicating the compute.
+        store = RunStore(tmp_path / "store")
+        plan = single(spec)
+        unit = plan.units()[0]
+        assert store.try_acquire_lease(unit.content_hash, "other-worker", ttl_seconds=30.0)
+
+        def commit_later():
+            # The other worker commits while *still holding* its lease (a
+            # real worker releases only after the save); the waiter must
+            # adopt the committed result, not wait for the lease.
+            time.sleep(0.3)
+            store.save(unit, unit.execute(), overwrite=False)
+
+        thread = threading.Thread(target=commit_later)
+        thread.start()
+        try:
+            execution = plan.execute(store, lease_poll_seconds=0.05)
+        finally:
+            thread.join()
+            store.release_lease(unit.content_hash, "other-worker")
+        assert execution.n_computed == 0 and execution.n_cached == 0
+        assert execution.external == (unit.content_hash,)
+        assert execution.n_external == 1
+        assert np.isfinite(execution.results[0].delta_multi_information)
+
+    def test_expired_foreign_lease_is_stolen_and_computed(self, spec, tmp_path):
+        # A crashed worker stops renewing; once its lease expires another
+        # worker steals the unit instead of waiting forever.
+        store = RunStore(tmp_path / "store")
+        plan = single(spec)
+        unit = plan.units()[0]
+        assert store.try_acquire_lease(unit.content_hash, "dead-worker", ttl_seconds=0.2)
+        execution = plan.execute(store, lease_poll_seconds=0.05)
+        assert execution.n_computed == 1
+        assert not store.lease_path_for(unit.content_hash).exists()
+
+    def test_all_leases_are_released_after_execution(self, plan, tmp_path):
+        store = RunStore(tmp_path / "store")
+        plan.execute(store)
+        assert len(store.keys()) == 2
+        assert list(store.leases_dir.glob("*.json")) == []
+
+    def test_leases_are_released_when_an_observer_raises(self, plan, tmp_path):
+        # A crash mid-execution must not leave leases behind that would
+        # stall other workers (or the next execution here) until the TTL.
+        class Interrupt(Exception):
+            pass
+
+        class InterruptingObserver(PlanObserver):
+            def on_unit_complete(self, unit, result, cached):
+                raise Interrupt
+
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(Interrupt):
+            plan.execute(store, observer=InterruptingObserver())
+        leftover = list(store.leases_dir.glob("*.json")) if store.leases_dir.is_dir() else []
+        assert leftover == []

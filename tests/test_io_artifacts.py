@@ -193,7 +193,7 @@ class TestDurabilityAndOrphans:
         store = RunStore(tmp_path / "store")
         result = unit.execute(keep_ensemble=True)
 
-        def boom(path, text):
+        def boom(path, text, **kwargs):
             raise RuntimeError("crash between npz and json")
 
         monkeypatch.setattr(artifacts, "_atomic_write", boom)
@@ -303,3 +303,120 @@ class TestDurabilityAndOrphans:
         assert execution.n_computed == 1
         assert store.has(unit)
         assert store.orphaned_files(min_age_seconds=0.0) == []
+
+class TestConditionalSave:
+    """Write-once semantics for stores shared between concurrent workers."""
+
+    def test_default_save_still_overwrites(self, tmp_path, executed):
+        # Deterministic-document tests (and recompute sweeps) rely on a plain
+        # save being unconditional.
+        unit, result = executed
+        store = RunStore(tmp_path / "store")
+        store.save(unit, result)
+        before = store.path_for(unit).stat()
+        store.save(unit, result)
+        assert store.path_for(unit).stat().st_mtime_ns >= before.st_mtime_ns
+
+    def test_conditional_save_never_touches_a_committed_document(self, tmp_path, executed):
+        unit, result = executed
+        store = RunStore(tmp_path / "store")
+        store.save(unit, result)
+        before = store.path_for(unit).stat()
+        store.save(unit, result, overwrite=False)
+        after = store.path_for(unit).stat()
+        assert (before.st_mtime_ns, before.st_ino) == (after.st_mtime_ns, after.st_ino)
+
+    def test_conditional_save_upgrades_an_ensembleless_document(self, tmp_path, unit):
+        # The one rewrite conditional save must allow: the document exists
+        # but does not reference an ensemble, and the new result carries one.
+        store = RunStore(tmp_path / "store")
+        store.save(unit, unit.execute(), overwrite=False)
+        assert "ensemble" not in store.load_document(unit)["unit"]
+        store.save(unit, unit.execute(keep_ensemble=True), overwrite=False)
+        document = store.load_document(unit)["unit"]
+        assert document["ensemble"] == store.ensemble_path_for(unit).name
+        assert store.load(unit).ensemble is not None
+
+    def test_provides_ensemble_reads_the_reference_not_the_sibling_file(self, tmp_path, unit):
+        store = RunStore(tmp_path / "store")
+        assert not store.provides_ensemble(unit)  # nothing persisted at all
+        store.save(unit, unit.execute())
+        assert store.has(unit) and not store.provides_ensemble(unit)
+        # A bare sibling .npz (orphan of a crashed save) must not count.
+        store.ensemble_path_for(unit).write_bytes(b"orphaned archive")
+        assert not store.provides_ensemble(unit)
+        store.save(unit, unit.execute(keep_ensemble=True))
+        assert store.provides_ensemble(unit)
+
+
+class TestLeases:
+    HASH = "a" * 64
+    OTHER = "b" * 64
+
+    def test_acquire_is_exclusive_until_released(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert store.try_acquire_lease(self.HASH, "worker-1", ttl_seconds=30.0)
+        assert not store.try_acquire_lease(self.HASH, "worker-2", ttl_seconds=30.0)
+        store.release_lease(self.HASH, "worker-1")
+        assert store.try_acquire_lease(self.HASH, "worker-2", ttl_seconds=30.0)
+
+    def test_reacquiring_ones_own_lease_renews_it(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert store.try_acquire_lease(self.HASH, "worker-1", ttl_seconds=30.0)
+        assert store.try_acquire_lease(self.HASH, "worker-1", ttl_seconds=30.0)
+
+    def test_independent_units_lease_independently(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert store.try_acquire_lease(self.HASH, "worker-1", ttl_seconds=30.0)
+        assert store.try_acquire_lease(self.OTHER, "worker-2", ttl_seconds=30.0)
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        import time
+
+        store = RunStore(tmp_path / "store")
+        assert store.try_acquire_lease(self.HASH, "dead-worker", ttl_seconds=0.05)
+        time.sleep(0.1)
+        assert store.try_acquire_lease(self.HASH, "worker-2", ttl_seconds=30.0)
+        # ... and the theft is visible to the dead owner's renewals.
+        assert not store.renew_lease(self.HASH, "dead-worker", ttl_seconds=30.0)
+
+    def test_renew_extends_only_ones_own_live_lease(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert not store.renew_lease(self.HASH, "worker-1")  # never acquired
+        assert store.try_acquire_lease(self.HASH, "worker-1", ttl_seconds=30.0)
+        assert store.renew_lease(self.HASH, "worker-1", ttl_seconds=30.0)
+        assert not store.renew_lease(self.HASH, "worker-2", ttl_seconds=30.0)
+
+    def test_release_ignores_leases_held_by_others(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        assert store.try_acquire_lease(self.HASH, "worker-1", ttl_seconds=30.0)
+        store.release_lease(self.HASH, "worker-2")  # not yours: no-op
+        assert not store.try_acquire_lease(self.HASH, "worker-2", ttl_seconds=30.0)
+
+    def test_unreadable_lease_file_is_treated_as_stale(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.leases_dir.mkdir(parents=True, exist_ok=True)
+        store.lease_path_for(self.HASH).write_text("not json {")
+        assert store.try_acquire_lease(self.HASH, "worker-1", ttl_seconds=30.0)
+
+    def test_expired_lease_files_are_orphans_once_aged(self, tmp_path):
+        import os
+
+        store = RunStore(tmp_path / "store")
+        assert store.try_acquire_lease(self.HASH, "dead-worker", ttl_seconds=0.0)
+        lease_path = store.lease_path_for(self.HASH)
+        # Young files stay protected even when expired (a renewal may be in
+        # flight); aged ones are crash leftovers and sweepable.
+        assert lease_path not in store.orphaned_files(min_age_seconds=3600.0)
+        os.utime(lease_path, (0, 0))
+        assert lease_path in store.orphaned_files()
+        store.sweep_orphans()
+        assert not lease_path.exists()
+
+    def test_live_lease_files_are_never_orphans(self, tmp_path):
+        import os
+
+        store = RunStore(tmp_path / "store")
+        assert store.try_acquire_lease(self.HASH, "worker-1", ttl_seconds=10_000.0)
+        os.utime(store.lease_path_for(self.HASH), (0, 0))
+        assert store.lease_path_for(self.HASH) not in store.orphaned_files()

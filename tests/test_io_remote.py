@@ -1,0 +1,257 @@
+"""Tests for the HTTP run-store service and client (repro.io.{service,remote}).
+
+A live server on a loopback port backs most tests: the point of the HTTP
+backend is byte-identity with the filesystem store, and that is only
+checkable end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.core.plan import RunUnit
+from repro.io.artifacts import RunStore, RunStoreError
+from repro.io.remote import HTTPRunStore, open_store
+from repro.io.service import serve_store
+
+from test_core_plan import tiny_spec
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A filesystem store, a live server over it, and a connected client."""
+    server = serve_store(tmp_path / "store", port=0)
+    thread = server.serve_in_background()
+    client = HTTPRunStore(server.url, timeout=5.0, retries=2, backoff_seconds=0.01)
+    yield server.store, client, server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def unit() -> RunUnit:
+    return RunUnit(tiny_spec())
+
+
+class TestRoundTrip:
+    def test_ping_reports_the_store_marker(self, served):
+        _, client, _ = served
+        marker = client.ping()
+        assert marker["format"] == RunStore.FORMAT["format"]
+
+    def test_save_produces_byte_identical_documents(self, tmp_path, served, unit):
+        fs_store, client, _ = served
+        result = unit.execute()
+        client.save(unit, result)
+        reference = RunStore(tmp_path / "reference")
+        reference.save(unit, result)
+        assert (
+            fs_store.path_for(unit).read_bytes()
+            == reference.path_for(unit).read_bytes()
+        )
+
+    def test_load_round_trips_the_result(self, served, unit):
+        _, client, _ = served
+        result = unit.execute()
+        client.save(unit, result)
+        assert client.has(unit) and unit.content_hash in client
+        assert client.keys() == [unit.content_hash]
+        loaded = client.load(unit)
+        np.testing.assert_array_equal(
+            loaded.measurement.multi_information, result.measurement.multi_information
+        )
+        assert loaded.analysis_config == result.analysis_config
+        assert loaded.seed == result.seed
+
+    def test_ensemble_round_trips_over_http(self, tmp_path, served, unit):
+        fs_store, client, _ = served
+        result = unit.execute(keep_ensemble=True)
+        client.save(unit, result)
+        assert fs_store.ensemble_path_for(unit).is_file()
+        loaded = client.load(unit)
+        np.testing.assert_array_equal(loaded.ensemble.positions, result.ensemble.positions)
+        assert client.load(unit, with_ensemble=False).ensemble is None
+        # The archive is byte-identical to a locally written one too.
+        reference = RunStore(tmp_path / "reference")
+        reference.save(unit, result)
+        assert (
+            fs_store.path_for(unit).read_bytes()
+            == reference.path_for(unit).read_bytes()
+        )
+
+    def test_missing_unit_raises_the_store_error(self, served, unit):
+        _, client, _ = served
+        assert not client.has(unit)
+        with pytest.raises(RunStoreError, match="no persisted result"):
+            client.load(unit)
+
+
+class TestConditionalCommit:
+    def test_committed_documents_are_not_rewritten(self, served, unit):
+        fs_store, client, _ = served
+        client.save(unit, unit.execute())
+        before = fs_store.path_for(unit).stat()
+        client.save(unit, unit.execute(), overwrite=False)
+        after = fs_store.path_for(unit).stat()
+        assert (before.st_mtime_ns, before.st_ino) == (after.st_mtime_ns, after.st_ino)
+
+    def test_committed_archives_are_not_reuploaded(self, served, unit):
+        fs_store, client, _ = served
+        client.save(unit, unit.execute(keep_ensemble=True))
+        before = fs_store.ensemble_path_for(unit).stat()
+        client.save(unit, unit.execute(keep_ensemble=True), overwrite=False)
+        after = fs_store.ensemble_path_for(unit).stat()
+        assert (before.st_mtime_ns, before.st_ino) == (after.st_mtime_ns, after.st_ino)
+
+    def test_ensembleless_document_is_upgraded_in_place(self, served, unit):
+        _, client, _ = served
+        client.save(unit, unit.execute(), overwrite=False)
+        assert not client.provides_ensemble(unit)
+        client.save(unit, unit.execute(keep_ensemble=True), overwrite=False)
+        assert client.provides_ensemble(unit)
+        assert client.load(unit).ensemble is not None
+
+    def test_default_save_overwrites(self, served, unit):
+        fs_store, client, _ = served
+        client.save(unit, unit.execute())
+        first = fs_store.path_for(unit).read_bytes()
+        client.save(unit, unit.execute())
+        assert fs_store.path_for(unit).read_bytes() == first  # deterministic bytes
+
+
+class TestServerValidation:
+    def test_mismatched_document_hash_is_rejected(self, served, unit):
+        fs_store, client, _ = served
+        fake_hash = "f" * 64
+        body = json.dumps({"unit": {"content_hash": unit.content_hash}}).encode()
+        with pytest.raises(RunStoreError, match="does not match URL hash"):
+            client._request("PUT", f"/units/{fake_hash}.json", body)
+        assert not (fs_store.units_dir / f"{fake_hash}.json").exists()
+
+    def test_invalid_json_document_is_rejected(self, served):
+        fs_store, client, _ = served
+        bad_hash = "e" * 64
+        with pytest.raises(RunStoreError, match="not valid JSON"):
+            client._request("PUT", f"/units/{bad_hash}.json", b"{ nope")
+        assert not (fs_store.units_dir / f"{bad_hash}.json").exists()
+
+    def test_malformed_paths_are_404(self, served):
+        _, client, _ = served
+        for path in ("/units/deadbeef.json", "/units/../../etc/passwd", "/nope"):
+            status, _ = client._request("GET", path, allow=(404,))
+            assert status == 404
+
+    def test_truncated_upload_leaves_the_store_untouched(self, served, unit):
+        """Fault injection: a PUT whose connection drops mid-body commits nothing."""
+        fs_store, client, server = served
+        host, port = server.server_address[:2]
+        target = f"/units/{unit.content_hash}.json"
+        with socket.create_connection((host, port), timeout=5.0) as raw:
+            raw.sendall(
+                f"PUT {target} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: 500000\r\n"
+                "\r\n".encode()
+                + b'{"unit": {"content_hash": '  # then hang up mid-body
+            )
+            raw.shutdown(socket.SHUT_WR)
+            raw.settimeout(5.0)
+            raw.recv(4096)  # 400, or an empty reply if the server just closed
+        assert not fs_store.path_for(unit).exists()
+        assert not list(fs_store.units_dir.glob("*.tmp*"))
+        # The store still works: a well-formed save commits normally.
+        client.save(unit, unit.execute())
+        assert client.has(unit)
+
+
+class TestLeasesOverHTTP:
+    HASH = "a" * 64
+
+    def test_acquire_conflict_release_cycle(self, served):
+        _, client, _ = served
+        assert client.try_acquire_lease(self.HASH, "worker-1", ttl_seconds=30.0)
+        assert not client.try_acquire_lease(self.HASH, "worker-2", ttl_seconds=30.0)
+        assert client.renew_lease(self.HASH, "worker-1", ttl_seconds=30.0)
+        assert not client.renew_lease(self.HASH, "worker-2", ttl_seconds=30.0)
+        client.release_lease(self.HASH, "worker-1")
+        assert client.try_acquire_lease(self.HASH, "worker-2", ttl_seconds=30.0)
+
+    def test_lease_state_is_shared_with_the_filesystem_backend(self, served):
+        fs_store, client, _ = served
+        assert client.try_acquire_lease(self.HASH, "remote-worker", ttl_seconds=30.0)
+        assert not fs_store.try_acquire_lease(self.HASH, "local-worker", ttl_seconds=30.0)
+
+
+class TestOrphanMaintenanceOverHTTP:
+    def test_report_and_sweep(self, served, unit):
+        import os
+
+        fs_store, client, _ = served
+        client.save(unit, unit.execute())
+        stray = fs_store.ensemble_path_for(unit)
+        stray.write_bytes(b"orphaned archive")
+        assert client.orphaned_files(min_age_seconds=0.0) == [stray.name]
+        assert client.orphaned_files() == []  # still inside the grace window
+        os.utime(stray, (0, 0))
+        assert client.sweep_orphans() == [stray.name]
+        assert not stray.exists()
+
+
+class TestClientRobustness:
+    def test_dead_port_raises_after_bounded_retries(self, tmp_path):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        client = HTTPRunStore(
+            f"http://127.0.0.1:{dead_port}", timeout=0.5, retries=2, backoff_seconds=0.01
+        )
+        with pytest.raises(RunStoreError, match="unreachable"):
+            client.ping()
+
+    def test_non_store_service_fails_the_ping(self, served):
+        _, client, server = served
+        impostor = HTTPRunStore(server.url + "/units", timeout=5.0, retries=1)
+        with pytest.raises(RunStoreError):
+            impostor.ping()
+
+    def test_corrupt_remote_document_raises(self, served, unit):
+        fs_store, client, _ = served
+        client.save(unit, unit.execute())
+        fs_store.path_for(unit).write_text("{ not json")
+        with pytest.raises(RunStoreError, match="corrupt run-store document"):
+            client.load(unit)
+
+    def test_corrupt_remote_archive_raises(self, served, unit):
+        fs_store, client, _ = served
+        client.save(unit, unit.execute(keep_ensemble=True))
+        fs_store.ensemble_path_for(unit).write_bytes(b"PK\x03\x04 truncated")
+        with pytest.raises(RunStoreError, match="corrupt run-store ensemble"):
+            client.load(unit)
+
+
+class TestOpenStore:
+    def test_path_spec_opens_a_filesystem_store(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        assert isinstance(store, RunStore)
+
+    def test_url_spec_opens_an_http_store(self, served):
+        _, _, server = served
+        store = open_store(server.url)
+        assert isinstance(store, HTTPRunStore)
+
+    def test_unreachable_url_raises_immediately(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        with pytest.raises(RunStoreError, match="unreachable"):
+            open_store(f"http://127.0.0.1:{dead_port}")
+
+    def test_create_false_still_guards_filesystem_paths(self, tmp_path):
+        with pytest.raises(RunStoreError, match="does not exist"):
+            open_store(tmp_path / "nope", create=False)

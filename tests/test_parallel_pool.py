@@ -9,7 +9,13 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.parallel.pool import chunk_indices, effective_n_jobs, parallel_map, parallel_starmap
+from repro.parallel.pool import (
+    available_cpu_count,
+    chunk_indices,
+    effective_n_jobs,
+    parallel_map,
+    parallel_starmap,
+)
 
 
 def _square(x: int) -> int:
@@ -40,11 +46,11 @@ class TestEffectiveNJobs:
     def test_none_is_serial(self):
         assert effective_n_jobs(None) == 1
 
-    def test_minus_one_uses_all_cores(self):
-        assert effective_n_jobs(-1) == (os.cpu_count() or 1)
+    def test_minus_one_uses_all_available_cores(self):
+        assert effective_n_jobs(-1) == available_cpu_count()
 
-    def test_clipped_to_cpu_count(self):
-        assert effective_n_jobs(10_000) <= (os.cpu_count() or 1)
+    def test_clipped_to_available_cpu_count(self):
+        assert effective_n_jobs(10_000) <= available_cpu_count()
 
     def test_zero_rejected(self):
         with pytest.raises(ValueError):
@@ -53,6 +59,44 @@ class TestEffectiveNJobs:
     def test_negative_other_than_minus_one_rejected(self):
         with pytest.raises(ValueError):
             effective_n_jobs(-2)
+
+
+class TestAvailableCpuCount:
+    """The pool must size itself to the CPUs it may *use*, not those that exist.
+
+    In a cgroup-limited CI container (or under ``taskset``) ``os.cpu_count()``
+    reports the whole machine while the scheduler affinity mask holds the
+    real allocation — resolving ``-1`` against the former oversubscribes the
+    pool.  The affinity mask wins wherever the platform exposes it.
+    """
+
+    def test_affinity_mask_wins_over_cpu_count(self, monkeypatch):
+        import repro.parallel.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 64)
+        assert pool_mod.available_cpu_count() == 2
+        assert pool_mod.effective_n_jobs(-1) == 2
+        assert pool_mod.effective_n_jobs(8) == 2
+
+    def test_falls_back_to_cpu_count_without_affinity_support(self, monkeypatch):
+        import repro.parallel.pool as pool_mod
+
+        monkeypatch.delattr(pool_mod.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 7)
+        assert pool_mod.available_cpu_count() == 7
+
+    def test_never_returns_zero(self, monkeypatch):
+        import repro.parallel.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "sched_getaffinity", lambda pid: set(), raising=False)
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: None)
+        assert pool_mod.available_cpu_count() == 1
+
+    def test_matches_the_platform_affinity_mask_when_available(self):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        assert available_cpu_count() == len(os.sched_getaffinity(0))
 
 
 class TestChunkIndices:
@@ -200,7 +244,7 @@ class TestErrorPropagation:
         # A single-CPU box would clip n_jobs=2 to serial and bypass the pool
         # entirely; the race needs a real pool, and sleeping tasks don't
         # contend for the core.
-        monkeypatch.setattr("repro.parallel.pool.os.cpu_count", lambda: 2)
+        monkeypatch.setattr("repro.parallel.pool.available_cpu_count", lambda: 2)
 
     SLOW = 2.5  # seconds each slow task sleeps
     PROMPT = 1.5  # generous bound; the old code path needed >= SLOW
