@@ -19,7 +19,10 @@ A lagged-MI sweep records the same comparison for the cheaper screening
 matrix, a ``n_jobs=2`` kdtree fan-out times the pooled row dispatch, and a
 KSG2 multi-information pair (``multi_ksg2_dense`` / ``multi_ksg2_kdtree``)
 times the rectangle estimator's tree backend on the pooled two-particle
-clouds.  Correctness is asserted alongside the timings: the shared matrices
+clouds.  A streaming pair (``streaming_mi_window`` / ``streaming_te_window``)
+replays the live-monitoring path (:mod:`repro.monitor`) over the recorded
+trajectory — a windowed monitor re-emitting both metrics on a stride — and
+asserts every emission equals the post-hoc estimator on the same window.  Correctness is asserted alongside the timings: the shared matrices
 must be *bit-identical* to the naive loop per backend (the pooled fan-out
 bit-identical to serial), and the backends must agree to tight tolerance.
 The full sweep (not ``--bench-quick``) additionally enforces the headlines:
@@ -51,6 +54,12 @@ from repro.analysis.information_dynamics import (
 )
 from repro.infotheory.ksg import ksg_multi_information
 from repro.infotheory.transfer import time_lagged_mutual_information, transfer_entropy
+from repro.monitor import (
+    StreamingMultiInformation,
+    StreamingTransferEntropy,
+    posthoc_window_value,
+    replay_ensemble,
+)
 from repro.particles.trajectory import EnsembleTrajectory
 from repro.viz import save_json
 
@@ -159,6 +168,27 @@ def run_infodynamics_scaling(case: dict, seed: int = 0, repeats: int = 1) -> dic
         lambda: ksg_multi_information(blocks, k=K, variant="ksg2", backend="kdtree"), repeats
     )
 
+    # The streaming monitor replayed over the recorded trajectory — the live
+    # `repro watch` path.  Pairwise scope (the 0 -> 1 driven pair) so the
+    # series times the per-emission estimator rebuild, not an all-particle
+    # sweep; stride 2 halves the emissions the way a real watch would.
+    stream_window = max(HISTORY + 2, ensemble.n_steps // 2)
+    stream_mi = StreamingMultiInformation((0, 1), k=K, backend="dense")
+    stream_te = StreamingTransferEntropy(0, 1, history=HISTORY, k=K, backend="dense")
+    stream_mi_seconds, mi_rows = _timed(
+        lambda: replay_ensemble(ensemble, [stream_mi], window=stream_window, stride=2).rows,
+        repeats,
+    )
+    stream_te_seconds, te_rows = _timed(
+        lambda: replay_ensemble(ensemble, [stream_te], window=stream_window, stride=2).rows,
+        repeats,
+    )
+    streaming_matches_posthoc = all(
+        row.value == posthoc_window_value(estimator, ensemble.positions, row.step, stream_window)
+        for estimator, rows in ((stream_mi, mi_rows), (stream_te, te_rows))
+        for row in rows
+    )
+
     return {
         "n_particles": ensemble.n_particles,
         "n_samples": ensemble.n_samples,
@@ -176,7 +206,12 @@ def run_infodynamics_scaling(case: dict, seed: int = 0, repeats: int = 1) -> dic
             "lagged_mi_shared_kdtree": mi_kdtree_seconds,
             "multi_ksg2_dense": multi_dense_seconds,
             "multi_ksg2_kdtree": multi_kdtree_seconds,
+            "streaming_mi_window": stream_mi_seconds,
+            "streaming_te_window": stream_te_seconds,
         },
+        "streaming_window": stream_window,
+        "streaming_emissions": len(mi_rows),
+        "streaming_matches_posthoc": bool(streaming_matches_posthoc),
         "shared_dense_matches_naive": bool(np.array_equal(te_dense, te_naive)),
         "fanout_matches_serial": bool(np.array_equal(te_fanout, te_kdtree)),
         "backend_max_abs_diff_bits": float(np.abs(te_dense - te_kdtree).max()),
@@ -213,6 +248,10 @@ def _check(row: dict, smoke: bool) -> None:
     # per-pair strict counts can flip by ±1 (see the equivalence suite).
     assert row["shared_dense_matches_naive"], row
     assert row["fanout_matches_serial"], row
+    # The streaming monitor is pure windowing over the same estimators, so
+    # every emission reproduces the post-hoc value bitwise (dense backend).
+    assert row["streaming_emissions"] > 0, row
+    assert row["streaming_matches_posthoc"], row
     assert row["backend_max_abs_diff_bits"] < 1e-2, row
     assert row["lagged_mi_backend_max_abs_diff_bits"] < 1e-2, row
     assert row["multi_ksg2_backend_abs_diff_bits"] < 1e-2, row

@@ -335,6 +335,7 @@ class ComparisonReport:
     headline_noise_floor: float = DEFAULT_HEADLINE_NOISE_FLOOR
     headline_baseline: dict[str, Any] | None = None
     headline_entries: list[HeadlineComparison] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[SeriesComparison]:
@@ -372,6 +373,8 @@ class ComparisonReport:
                 f"  gate ADVISORY: baseline machine differs from current "
                 f"({self.machine}); wall-time ratios reported but not enforced"
             )
+        for note in self.notes:
+            lines.append(f"  ADVISORY: {note}")
         name_width = max((len(entry.name) for entry in self.entries), default=0)
         for entry in self.entries:
             if entry.status == "new":
@@ -492,7 +495,17 @@ def compare_run(
         headline_noise_floor=headline_noise_floor,
     )
     if baseline is not None:
-        base_series = baseline.get("series", {})
+        base_series = baseline.get("series")
+        if not isinstance(base_series, Mapping) or not base_series:
+            # A hand-edited (or truncated) trajectory can carry a run with an
+            # empty series block; record_run refuses to write one, but the
+            # compare path must still say clearly that nothing was gated.
+            report.notes.append(
+                f"baseline run (commit {baseline.get('commit')}, {baseline.get('date')}) "
+                "carries no series — every current series is reported as new and "
+                "nothing was gated; re-record with --bench-record to repair the trajectory"
+            )
+            base_series = {}
         for name in sorted(set(base_series) | set(current)):
             base = base_series.get(name)
             now = current.get(name)

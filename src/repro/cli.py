@@ -13,6 +13,7 @@ without writing Python::
     python -m repro.cli query fig9 --store http://sweep-host:8750
     python -m repro.cli curves                     # Fig. 2 force-scaling curves
     python -m repro.cli analyze fig5               # §7.3 pairwise transfer entropy
+    python -m repro.cli watch fig4 --window 8      # live streaming metrics
 
 ``run`` prints the multi-information series as an ASCII plot and writes the
 measurement JSON (plus a CSV of the series) into the output directory; it is
@@ -37,6 +38,11 @@ against one shared store — lease-based dispatch in the plan executor keeps
 them from duplicating work.  ``serve-store`` runs that service over a local
 store directory, and ``query`` answers "figure X at these params" cache-first
 from a store without ever simulating (exit code 1 when units are missing).
+``watch`` runs a figure spec with a live monitor attached
+(:mod:`repro.monitor`): a sliding-window streaming estimator emits metric
+lines and sparklines while the simulation runs, optionally appending the
+stream as JSON Lines (``--emit``) and persisting it next to the run's unit in
+any run store (``--store``), where ``query`` reports it as ``[metrics]``.
 """
 
 from __future__ import annotations
@@ -220,6 +226,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port (default: 8750; 0 picks a free port, printed at startup)",
     )
     serve_parser.add_argument("--verbose", action="store_true", help="log one line per request")
+
+    watch_parser = subparsers.add_parser(
+        "watch",
+        help="run a figure spec with a live monitor attached and stream windowed metrics",
+    )
+    watch_parser.add_argument(
+        "figure", help="figure id whose first spec is simulated, e.g. fig4, fig5"
+    )
+    watch_parser.add_argument("--full", action="store_true", help="use the paper's scale")
+    watch_parser.add_argument(
+        "--window", type=int, default=8,
+        help="sliding window length in recorded steps (default: 8)",
+    )
+    watch_parser.add_argument(
+        "--stride", type=int, default=1,
+        help="emit every this-many steps once the window has filled (default: 1)",
+    )
+    watch_parser.add_argument(
+        "--metrics", type=str, default="multi_information,transfer_entropy",
+        help="comma-separated streaming metrics: 'multi_information' and/or "
+        "'transfer_entropy' (default: both)",
+    )
+    watch_parser.add_argument(
+        "--particles", type=str, default=None, metavar="I,J,...",
+        help="particles pooled for multi-information; the first two are the "
+        "transfer-entropy source and target (default: all particles / 0,1)",
+    )
+    watch_parser.add_argument(
+        "--history", type=int, default=1, help="target own-history length for streaming TE"
+    )
+    watch_parser.add_argument("--k", type=int, default=4, help="neighbour order of the kNN estimators")
+    watch_parser.add_argument(
+        "--backend", choices=("dense", "kdtree"), default="dense",
+        help="estimator backend for the streaming recomputation; each emission "
+        "equals the post-hoc estimator on the same window (default: dense)",
+    )
+    watch_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="thread count for the tree backend's cKDTree queries (-1 = all cores)",
+    )
+    watch_parser.add_argument(
+        "--emit", type=Path, default=None, metavar="PATH",
+        help="append every emitted row as JSON Lines to PATH while streaming",
+    )
+    watch_parser.add_argument(
+        "--store", type=str, default=None,
+        help="persist the finished stream next to this run's unit in a run "
+        "store (directory or http(s):// URL); 'query' reports it as [metrics]",
+    )
+    watch_parser.add_argument(
+        "--samples", type=int, default=None, help="override the spec's sample count"
+    )
+    watch_parser.add_argument(
+        "--steps", type=int, default=None, help="override the spec's recorded step count"
+    )
+    watch_parser.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    add_engine_flags(watch_parser)
+    watch_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-emission lines"
+    )
 
     curves_parser = subparsers.add_parser("curves", help="print the Fig. 2 force-scaling curves")
     curves_parser.add_argument("--output", type=Path, default=None, help="optional CSV output path")
@@ -433,7 +499,9 @@ def _open_store(args: argparse.Namespace, stream, *, create: bool) -> RunStoreBa
         return open_store(args.store, create=create)
     except RunStoreError as exc:
         stream.write(f"{exc}\n")
-        if not create:
+        # "Start the sweep" is the fix for a missing *directory*; an
+        # unreachable or non-store URL needs the service fixed instead.
+        if not create and not str(args.store).startswith(("http://", "https://")):
             stream.write("start the sweep first: repro sweep "
                          f"{args.figure} --store {args.store}\n")
         return None
@@ -545,6 +613,10 @@ def _command_query(args: argparse.Namespace, stream) -> int:
     deltas: list[float] = []
     try:
         for unit in plan.status(None).units:  # deduplicated, plan order
+            # 'watch --store' leaves an auxiliary metrics stream next to the
+            # unit; report it so the cached artifacts are fully enumerated.
+            has_metrics = store.has_metrics(unit.content_hash)
+            metrics_note = " [metrics]" if has_metrics else ""
             if store.has(unit.content_hash):
                 result = store.load(unit.content_hash, with_ensemble=False)
                 delta = float(result.delta_multi_information)
@@ -555,11 +627,12 @@ def _command_query(args: argparse.Namespace, stream) -> int:
                         "content_hash": unit.content_hash,
                         "cached": True,
                         "delta_multi_information_bits": delta,
+                        "has_metrics": has_metrics,
                     }
                 )
                 stream.write(
                     f"  cached   {unit.name} ({unit.content_hash[:12]}): "
-                    f"delta I = {delta:+.3f} bits\n"
+                    f"delta I = {delta:+.3f} bits{metrics_note}\n"
                 )
             else:
                 rows.append(
@@ -568,9 +641,12 @@ def _command_query(args: argparse.Namespace, stream) -> int:
                         "content_hash": unit.content_hash,
                         "cached": False,
                         "delta_multi_information_bits": None,
+                        "has_metrics": has_metrics,
                     }
                 )
-                stream.write(f"  missing  {unit.name} ({unit.content_hash[:12]})\n")
+                stream.write(
+                    f"  missing  {unit.name} ({unit.content_hash[:12]}){metrics_note}\n"
+                )
     except RunStoreError as exc:
         stream.write(f"{exc}\n")
         return 2
@@ -604,11 +680,29 @@ def _command_serve_store(args: argparse.Namespace, stream) -> int:
         stream.write(f"cannot bind {args.host}:{args.port}: {exc}\n")
         return 2
     stream.write(f"serving run store {args.store} at {server.url} (Ctrl-C to stop)\n")
+    if hasattr(stream, "flush"):
+        stream.flush()  # supervisors parse the bound URL before any request
+    # A supervisor stop (docker stop, systemd, CI teardown) arrives as
+    # SIGTERM, not Ctrl-C; fold it into the same clean shutdown so the
+    # socket is released and in-flight PUTs finish (server_close joins the
+    # per-connection handler threads).  Signal handlers only install on the
+    # main thread; embedders driving this from a worker thread keep their
+    # own handling.
+    import signal
+    import threading
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    on_main = threading.current_thread() is threading.main_thread()
+    previous = signal.signal(signal.SIGTERM, _terminate) if on_main else None
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         stream.write("stopped\n")
     finally:
+        if on_main:
+            signal.signal(signal.SIGTERM, previous)
         server.server_close()
     return 0
 
@@ -740,6 +834,155 @@ def _command_analyze(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def _command_watch(args: argparse.Namespace, stream) -> int:
+    """Run a figure spec with a live monitor attached and stream its metrics.
+
+    The monitor observes every recorded ensemble frame without perturbing the
+    run (the trajectory stays bit-identical to an unobserved one) and each
+    emitted value equals the post-hoc estimator on the same window.
+    """
+    from repro.core.plan import RunUnit
+    from repro.monitor import (
+        InformationMonitor,
+        MetricsStream,
+        StreamingMultiInformation,
+        StreamingTransferEntropy,
+    )
+    from repro.particles.ensemble import EnsembleSimulator
+    from repro.viz import sparkline
+
+    registry = all_figure_specs(full=args.full)
+    figure = args.figure.lower()
+    if figure not in registry:
+        stream.write(f"unknown figure {args.figure!r}; available: {', '.join(registry)}\n")
+        return 2
+    spec = registry[figure][0]
+    try:
+        simulation = _apply_engine_overrides(spec.simulation, args)
+        if args.steps is not None:
+            simulation = simulation.with_updates(n_steps=args.steps)
+    except (KeyError, ValueError) as exc:
+        stream.write(f"invalid engine/domain override: {exc}\n")
+        return 2
+    overrides: dict = {"simulation": simulation}
+    if args.samples is not None:
+        overrides["n_samples"] = args.samples
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    spec = spec.with_updates(**overrides)
+
+    if args.window < 2:
+        stream.write(f"--window must be >= 2, got {args.window}\n")
+        return 2
+    if args.stride < 1:
+        stream.write(f"--stride must be >= 1, got {args.stride}\n")
+        return 2
+    if args.window > simulation.n_steps + 1:
+        stream.write(
+            f"--window {args.window} never fills: this run records "
+            f"{simulation.n_steps + 1} frame(s); lower --window or raise --steps\n"
+        )
+        return 2
+
+    particles = None
+    if args.particles is not None:
+        particles = _parse_particles(args.particles, simulation.n_particles, 1)
+    names = [token.strip() for token in args.metrics.split(",") if token.strip()]
+    if not names:
+        stream.write("watch: --metrics named no metric\n")
+        return 2
+    estimators = []
+    for name in names:
+        if name == "multi_information":
+            estimators.append(
+                StreamingMultiInformation(
+                    particles, k=args.k, backend=args.backend, workers=args.workers
+                )
+            )
+        elif name == "transfer_entropy":
+            pair = particles[:2] if particles is not None else [0, 1]
+            if len(pair) < 2 or simulation.n_particles < 2:
+                stream.write(
+                    "watch: transfer_entropy needs two particles; pass "
+                    "--particles I,J or drop it from --metrics\n"
+                )
+                return 2
+            if args.window <= args.history:
+                stream.write(
+                    f"watch: --window {args.window} leaves no transitions for "
+                    f"--history {args.history}; widen the window\n"
+                )
+                return 2
+            estimators.append(
+                StreamingTransferEntropy(
+                    pair[0], pair[1], history=args.history, k=args.k,
+                    backend=args.backend, workers=args.workers,
+                )
+            )
+        else:
+            stream.write(
+                f"watch: unknown metric {name!r}; expected 'multi_information' "
+                "or 'transfer_entropy'\n"
+            )
+            return 2
+
+    store = None
+    if args.store is not None:
+        # Open before simulating so a bad store spec fails in milliseconds,
+        # not after the run.
+        store = _open_store(args, stream, create=True)
+        if store is None:
+            return 2
+
+    metrics = MetricsStream(path=args.emit)
+
+    def _echo(row) -> None:
+        if args.quiet:
+            return
+        spark = sparkline(metrics.values(row.metric), width=32)
+        stream.write(
+            f"step {row.step:>4d}  {row.metric:<18s}{row.value:+9.4f} bits  "
+            f"{row.wall_ms:7.2f} ms  |{spark}|\n"
+        )
+        if hasattr(stream, "flush"):
+            stream.flush()
+
+    monitor = InformationMonitor(
+        estimators, window=args.window, stride=args.stride, stream=metrics, on_emit=_echo
+    )
+    simulator = EnsembleSimulator(spec.simulation, spec.n_samples, seed=spec.seed)
+    simulator.add_observer(monitor)
+    try:
+        simulator.run()
+    except ValueError as exc:
+        # e.g. an ensemble too large for one observer batch, or a k too
+        # large for this window's sample count.
+        stream.write(f"watch: {exc}\n")
+        return 2
+    finally:
+        metrics.close()
+
+    for name in metrics.metrics():
+        values = metrics.values(name)
+        stream.write(
+            f"{figure}: {name}: {len(values)} emission(s), last {values[-1]:+.4f} "
+            f"bits  |{sparkline(values, width=48)}|\n"
+        )
+    if args.emit is not None:
+        stream.write(f"metrics stream written to {args.emit}\n")
+    if store is not None:
+        unit = RunUnit(spec)
+        try:
+            store.save_metrics(unit.content_hash, metrics.to_jsonl())
+        except RunStoreError as exc:
+            stream.write(f"{exc}\n")
+            return 2
+        stream.write(
+            f"metrics stream persisted for unit {unit.content_hash[:12]} in {args.store}\n"
+        )
+    return 0
+
+
 def _command_curves(args: argparse.Namespace, stream) -> int:
     curves = fig2_force_curves()
     stream.write(
@@ -777,6 +1020,8 @@ def main(argv: list[str] | None = None, stream=None) -> int:
         return _command_query(args, stream)
     if args.command == "serve-store":
         return _command_serve_store(args, stream)
+    if args.command == "watch":
+        return _command_watch(args, stream)
     if args.command == "curves":
         return _command_curves(args, stream)
     if args.command == "analyze":

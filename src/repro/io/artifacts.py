@@ -72,6 +72,7 @@ __all__ = [
     "DEFAULT_LEASE_TTL_SECONDS",
     "build_document",
     "encode_document",
+    "metrics_artifact_name",
 ]
 
 _HASH_LENGTH = 64  # sha256 hexdigest
@@ -121,6 +122,17 @@ def build_document(unit: "RunUnit", result: ExperimentResult) -> dict[str, Any]:
 def encode_document(document: dict[str, Any]) -> str:
     """Canonical text encoding of a store document (shared by all backends)."""
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def metrics_artifact_name(unit_or_hash: "RunUnit | str") -> str:
+    """Name of a unit's auxiliary live-metrics artifact (JSONL).
+
+    The ``.metrics.jsonl`` suffix keeps the artifact out of :meth:`RunStore
+    .keys` (which globs ``*.json``) and out of the orphan sweep — it is pure
+    sidecar data ``repro watch`` attaches next to a unit and ``repro query``
+    reports.
+    """
+    return f"{_as_hash(unit_or_hash)}.metrics.jsonl"
 
 
 class RunStoreBackend(abc.ABC):
@@ -194,6 +206,24 @@ class RunStoreBackend(abc.ABC):
         written — the existing bytes are guaranteed identical by the
         deterministic-document contract.
         """
+
+    # auxiliary metrics artifacts ---------------------------------------- #
+    @abc.abstractmethod
+    def save_metrics(self, unit_or_hash: "RunUnit | str", payload: str, *, overwrite: bool = True):
+        """Persist a unit's live-monitor metric stream (JSONL text).
+
+        Metric rows carry volatile wall times, so unlike documents they are
+        rewritten by default — each ``repro watch`` of a unit replaces the
+        previous stream.  ``overwrite=False`` keeps an existing stream.
+        """
+
+    @abc.abstractmethod
+    def load_metrics(self, unit_or_hash: "RunUnit | str") -> str:
+        """The persisted JSONL metric stream (:class:`RunStoreError` when absent)."""
+
+    @abc.abstractmethod
+    def has_metrics(self, unit_or_hash: "RunUnit | str") -> bool:
+        """Whether a live-metrics artifact is attached to this unit."""
 
     # reconstruction ----------------------------------------------------- #
     def load(self, unit_or_hash: "RunUnit | str", *, with_ensemble: bool = True) -> ExperimentResult:
@@ -317,6 +347,10 @@ class RunStore(RunStoreBackend):
         """Path of the unit's advisory lease file (whether or not it exists)."""
         return self.leases_dir / f"{_as_hash(unit_or_hash)}.json"
 
+    def metrics_path_for(self, unit_or_hash: "RunUnit | str") -> Path:
+        """Path of the unit's optional live-metrics artifact (JSONL)."""
+        return self.units_dir / metrics_artifact_name(unit_or_hash)
+
     def _document_label(self, unit_or_hash: "RunUnit | str") -> str:
         return str(self.path_for(unit_or_hash))
 
@@ -367,6 +401,33 @@ class RunStore(RunStoreBackend):
         # result carries), the rewrite is a deliberate upgrade.
         _atomic_write(path, encode_document(document), exclusive=not overwrite and not self.has(unit))
         return path
+
+    # auxiliary metrics artifacts ---------------------------------------- #
+    def save_metrics(self, unit_or_hash: "RunUnit | str", payload: str, *, overwrite: bool = True) -> Path:
+        """Persist a unit's live-metrics JSONL stream; returns its path."""
+        path = self.metrics_path_for(unit_or_hash)
+        if not overwrite and path.is_file():
+            return path
+        try:
+            self.units_dir.mkdir(parents=True, exist_ok=True)
+            _atomic_write(path, payload)
+        except OSError as exc:
+            raise RunStoreError(f"cannot write metrics artifact {path}: {exc}") from exc
+        return path
+
+    def load_metrics(self, unit_or_hash: "RunUnit | str") -> str:
+        path = self.metrics_path_for(unit_or_hash)
+        if not path.is_file():
+            raise RunStoreError(
+                f"no metrics artifact for {_as_hash(unit_or_hash)[:12]}… in {self.root}"
+            )
+        try:
+            return path.read_text(encoding="utf8")
+        except OSError as exc:
+            raise RunStoreError(f"cannot read metrics artifact {path}: {exc}") from exc
+
+    def has_metrics(self, unit_or_hash: "RunUnit | str") -> bool:
+        return self.metrics_path_for(unit_or_hash).is_file()
 
     # maintenance -------------------------------------------------------- #
     def orphaned_files(self, min_age_seconds: float = ORPHAN_MIN_AGE_SECONDS) -> list[Path]:

@@ -43,6 +43,7 @@ from repro.io.artifacts import (
     _as_hash,
     build_document,
     encode_document,
+    metrics_artifact_name,
 )
 from repro.particles.trajectory import EnsembleTrajectory
 
@@ -237,6 +238,28 @@ class HTTPRunStore(RunStoreBackend):
     def _artifact_exists(self, name: str) -> bool:
         status, _ = self._request("HEAD", f"/units/{name}", allow=(404,))
         return status == 200
+
+    # auxiliary metrics artifacts ---------------------------------------- #
+    def save_metrics(self, unit_or_hash: "RunUnit | str", payload: str, *, overwrite: bool = True) -> None:
+        """Persist a unit's live-metrics JSONL stream through the service."""
+        self._put(metrics_artifact_name(unit_or_hash), payload.encode("utf8"), overwrite=overwrite)
+
+    def load_metrics(self, unit_or_hash: "RunUnit | str") -> str:
+        name = metrics_artifact_name(unit_or_hash)
+        status, raw = self._request("GET", f"/units/{name}", allow=(404,))
+        if status == 404:
+            raise RunStoreError(
+                f"no metrics artifact for {_as_hash(unit_or_hash)[:12]}… in {self.url}"
+            )
+        try:
+            return raw.decode("utf8")
+        except UnicodeDecodeError as exc:
+            raise RunStoreError(
+                f"corrupt metrics artifact {self.url}/units/{name}: {exc}"
+            ) from exc
+
+    def has_metrics(self, unit_or_hash: "RunUnit | str") -> bool:
+        return self._artifact_exists(metrics_artifact_name(unit_or_hash))
 
     def _put(self, name: str, payload: bytes, *, overwrite: bool) -> None:
         query = "?overwrite=1" if overwrite else ""

@@ -12,7 +12,9 @@ GET         ``/``                          store marker + unit count (reachabili
 GET         ``/units``                     ``{"keys": [...]}`` — sorted content hashes
 HEAD/GET    ``/units/<hash>.json``         a unit's document, byte-for-byte
 HEAD/GET    ``/units/<hash>.npz``          a unit's raw-ensemble archive
+HEAD/GET    ``/units/<hash>.metrics.jsonl``  a unit's live-metrics stream
 PUT         ``/units/<hash>.{json,npz}``   commit an artifact (conditional, see below)
+PUT         ``/units/<hash>.metrics.jsonl``  commit a metrics stream (usually ``?overwrite=1``)
 GET         ``/orphans``                   orphan report (``?min_age=`` seconds)
 POST        ``/orphans/sweep``             delete aged orphans
 POST        ``/leases/<hash>/acquire``     body ``{"owner", "ttl_seconds"}`` → 200/409
@@ -61,7 +63,7 @@ from repro.io.artifacts import (
 
 __all__ = ["StoreServer", "serve_store"]
 
-_UNIT_PATH = re.compile(r"^/units/([0-9a-f]{64})\.(json|npz)$")
+_UNIT_PATH = re.compile(r"^/units/([0-9a-f]{64})\.(json|npz|metrics\.jsonl)$")
 _LEASE_PATH = re.compile(r"^/leases/([0-9a-f]{64})/(acquire|renew|release)$")
 
 

@@ -1,0 +1,74 @@
+"""Sliding-window ring buffer over per-step simulation snapshots.
+
+The buffer backs the streaming estimators: every recorded step pushes one
+frame, and once ``window`` frames have arrived, :meth:`WindowBuffer.view`
+exposes the current window as one contiguous chronological array.
+
+The storage is the classic amortised sliding layout — a block of
+``2 × window`` slots written left to right.  While the write position moves
+through the block, a slide reuses the unchanged window prefix *in place*
+(zero copies; only the new frame is written); only when the block runs out
+is the live window compacted back to the front, i.e. each frame is copied at
+most once over its whole lifetime.  ``view`` is therefore always a zero-copy
+slice, which is what lets the streaming estimators hand the exact window
+bytes to the post-hoc estimator kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WindowBuffer"]
+
+
+class WindowBuffer:
+    """Fixed-width sliding window of equally shaped snapshot arrays."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._storage: np.ndarray | None = None
+        self._pos = 0  # one past the most recent frame in storage
+        self._count = 0  # total frames ever pushed
+
+    @property
+    def n_seen(self) -> int:
+        """Total number of frames pushed so far."""
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        """Whether a complete window is available."""
+        return self._count >= self.window
+
+    def push(self, frame: np.ndarray) -> None:
+        """Append one snapshot (any fixed shape; float64 storage)."""
+        frame = np.asarray(frame, dtype=float)
+        if self._storage is None:
+            self._storage = np.empty((2 * self.window, *frame.shape))
+        elif frame.shape != self._storage.shape[1:]:
+            raise ValueError(
+                f"frame shape {frame.shape} does not match the buffer's "
+                f"{self._storage.shape[1:]}"
+            )
+        if self._pos == self._storage.shape[0]:
+            # Out of slots: compact the live window's trailing frames to the
+            # front (the single copy a frame ever experiences).
+            keep = self.window - 1
+            self._storage[:keep] = self._storage[self._pos - keep : self._pos]
+            self._pos = keep
+        self._storage[self._pos] = frame
+        self._pos += 1
+        self._count += 1
+
+    def view(self) -> np.ndarray:
+        """The current window, oldest frame first — a zero-copy slice.
+
+        The returned array is only valid until the next :meth:`push`.  Before
+        the buffer is full it holds the frames seen so far.
+        """
+        if self._storage is None:
+            raise ValueError("the buffer is empty")
+        size = min(self._count, self.window)
+        return self._storage[self._pos - size : self._pos]

@@ -93,6 +93,7 @@ class EnsembleSimulator:
         self.types = config.types
         self._engine = engine_for_config(config)
         self._last_stats: EnsembleRunStats | None = None
+        self._observers: list = []
 
     # ------------------------------------------------------------------ #
     @property
@@ -104,6 +105,32 @@ class EnsembleSimulator:
     def last_stats(self) -> EnsembleRunStats | None:
         """Diagnostics of the most recent :meth:`run` call (None before any run)."""
         return self._last_stats
+
+    def add_observer(self, observer) -> None:
+        """Attach a step observer (see :class:`repro.monitor.observer.StepObserver`).
+
+        Observers are notified with every recorded ensemble frame — a
+        read-only ``(m, n, 2)`` view, after the frame has been stored — so
+        they can stream metrics from a live run without perturbing it: the
+        produced trajectory stays bit-identical to an unobserved run, and an
+        empty observer list costs nothing.
+
+        Observed runs execute in-process (no process pool) and require the
+        ensemble to fit one memory batch, so each notification carries the
+        *full* ensemble snapshot; :meth:`run` raises otherwise (raise
+        ``bytes_budget`` or lower ``n_samples``).
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Detach a previously attached step observer."""
+        self._observers.remove(observer)
+
+    def _notify_observers(self, step: int, frame: np.ndarray) -> None:
+        view = frame.view()
+        view.flags.writeable = False
+        for observer in self._observers:
+            observer.on_step(step, view)
 
     def initial_snapshot(self, rng: np.random.Generator) -> np.ndarray:
         """Draw the ensemble's initial configurations, shape ``(m, n, 2)``."""
@@ -131,6 +158,8 @@ class EnsembleSimulator:
         positions = np.asarray(initial, dtype=float).copy()
         frames = [positions.copy()] if record_initial else []
         force_norms = [net_force_norms(self._drift(positions)).sum(axis=-1)]
+        if record_initial and self._observers:
+            self._notify_observers(0, frames[0])
         cadence = config.auto_reresolve_every
         adaptive = cadence and isinstance(self._engine, AdaptiveDriftEngine)
         for step in range(1, config.n_steps + 1):
@@ -138,6 +167,8 @@ class EnsembleSimulator:
                 positions = integrator.step(positions, self._drift, config.dt, rng, domain)
             frames.append(positions.copy())
             force_norms.append(net_force_norms(self._drift(positions)).sum(axis=-1))
+            if self._observers:
+                self._notify_observers(step, frames[-1])
             if adaptive and step % cadence == 0:
                 # Bit-identical kernels make this switch invisible in the
                 # trajectory; it only tracks the contracting bounding box.
@@ -169,8 +200,30 @@ class EnsembleSimulator:
             for index, sl in enumerate(slices)
         ]
 
-        jobs = effective_n_jobs(n_jobs)
-        results = parallel_map(_run_batch_task, tasks, n_jobs=jobs)
+        if self._observers:
+            # Observed runs execute in-process: the pooled path rebuilds the
+            # simulator inside each worker, which would silently drop the
+            # observer hooks.  One batch is required so every notification
+            # carries the full ensemble snapshot.  The same seed streams are
+            # consumed, so the result is bit-identical to the pooled path.
+            if len(tasks) > 1:
+                raise ValueError(
+                    f"step observers need the whole ensemble in one batch, but "
+                    f"{self.n_samples} sample(s) split into {len(tasks)} batches "
+                    f"under bytes_budget={self.bytes_budget}; raise bytes_budget "
+                    f"or lower n_samples"
+                )
+            # Mirror _run_batch_task exactly (fresh worker simulator, fresh
+            # engine state) so observed and unobserved runs stay bit-identical
+            # even across repeated .run() calls of one simulator.
+            task = tasks[0]
+            worker = EnsembleSimulator(task.config, task.n_batch_samples)
+            worker._observers = self._observers
+            initial = initial_ensemble_for(task.config, task.n_batch_samples, task.init_rng)
+            results = [worker._run_batch(initial, task.dyn_rng)]
+        else:
+            jobs = effective_n_jobs(n_jobs)
+            results = parallel_map(_run_batch_task, tasks, n_jobs=jobs)
 
         frames = np.concatenate([frames for frames, _ in results], axis=1)
         force_norms = np.concatenate([norms for _, norms in results], axis=1)

@@ -336,6 +336,7 @@ class ParticleSystem:
             # canonical coordinates (identity on the free plane).
             self.positions = self._domain.wrap(initial_positions.copy())
         self._step_count = 0
+        self._observers: list = []
 
     # ------------------------------------------------------------------ #
     @property
@@ -361,6 +362,27 @@ class ParticleSystem:
     def engine(self):
         """The resolved :class:`~repro.particles.engine.DriftEngine` of this run."""
         return self._engine
+
+    def add_observer(self, observer) -> None:
+        """Attach a step observer (see :class:`repro.monitor.observer.StepObserver`).
+
+        Observers are notified with every *recorded* frame during
+        :meth:`run` — a read-only view, after the frame has been stored — so
+        they can watch the trajectory without perturbing it: an attached
+        observer leaves the produced trajectory bit-identical to an
+        unobserved run, and an empty observer list costs nothing.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Detach a previously attached step observer."""
+        self._observers.remove(observer)
+
+    def _notify_observers(self, step: int, frame: np.ndarray) -> None:
+        view = frame.view()
+        view.flags.writeable = False
+        for observer in self._observers:
+            observer.on_step(step, view)
 
     def drift(self, positions: np.ndarray | None = None) -> np.ndarray:
         """Deterministic drift at the given (default: current) positions."""
@@ -412,10 +434,14 @@ class ParticleSystem:
         if total < 0:
             raise ValueError("n_steps must be non-negative")
         frames = [self.positions.copy()]
+        if record and self._observers:
+            self._notify_observers(self._step_count, frames[0])
         for _ in range(total):
             self.step()
             if record:
                 frames.append(self.positions.copy())
+                if self._observers:
+                    self._notify_observers(self._step_count, frames[-1])
             if stop_at_equilibrium and self.at_equilibrium:
                 break
         if not record:

@@ -1,6 +1,6 @@
 """Text-based visualisation and series export (no plotting backend required)."""
 
-from repro.viz.ascii_plots import bar_chart, line_plot, scatter_plot, series_table
+from repro.viz.ascii_plots import bar_chart, line_plot, scatter_plot, series_table, sparkline
 from repro.viz.export import load_series_csv, save_json, save_series_csv
 
 __all__ = [
@@ -8,6 +8,7 @@ __all__ = [
     "scatter_plot",
     "bar_chart",
     "series_table",
+    "sparkline",
     "save_series_csv",
     "load_series_csv",
     "save_json",

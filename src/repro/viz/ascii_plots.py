@@ -12,9 +12,49 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["line_plot", "scatter_plot", "bar_chart", "series_table"]
+__all__ = ["line_plot", "scatter_plot", "bar_chart", "series_table", "sparkline"]
 
 _TYPE_GLYPHS = "ox+*#@%&"
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[float] | np.ndarray,
+    *,
+    width: int | None = None,
+    glyphs: str = _SPARK_GLYPHS,
+) -> str:
+    """One-line ASCII sparkline of a series (used by ``repro watch``).
+
+    Values are binned onto the glyph ramp between the series' finite min and
+    max; non-finite values render as a space.  When ``width`` is given and
+    the series is longer, only the trailing ``width`` values are shown — the
+    natural view for a live metric stream.
+    """
+    if len(glyphs) < 2:
+        raise ValueError("glyphs needs at least two levels")
+    arr = np.asarray(values, dtype=float).ravel()
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        arr = arr[-width:]
+    if arr.size == 0:
+        return ""
+    finite = arr[np.isfinite(arr)]
+    low = float(finite.min()) if finite.size else 0.0
+    high = float(finite.max()) if finite.size else 1.0
+    span = high - low
+    chars = []
+    for value in arr:
+        if not np.isfinite(value):
+            chars.append(" ")
+            continue
+        if span <= 0.0:
+            level = 0
+        else:
+            level = int((value - low) / span * (len(glyphs) - 1))
+        chars.append(glyphs[min(level, len(glyphs) - 1)])
+    return "".join(chars)
 
 
 def line_plot(

@@ -188,6 +188,33 @@ class TestCompare:
         assert report.gated and report.ok
         assert report.baseline["machine"] == MACHINE
 
+    def test_empty_baseline_series_reports_an_advisory_instead_of_crashing(self, tmp_path):
+        # record_run refuses to write an empty series, but a hand-edited or
+        # truncated trajectory can still carry one; compare must survive it
+        # and say plainly that nothing was gated.
+        document = {
+            "format": "repro-bench-trajectory",
+            "version": 1,
+            "area": "engine",
+            "runs": [
+                {
+                    "commit": "deadbeef",
+                    "date": "2026-08-07T00:00:00Z",
+                    "machine": MACHINE,
+                    "mode": "quick",
+                    "series": {},
+                    "headline": {},
+                }
+            ],
+        }
+        trajectory_path("engine", tmp_path).write_text(json.dumps(document))
+        report = compare_run("engine", SERIES, mode="quick", root=tmp_path, machine=MACHINE)
+        assert report.ok  # nothing comparable, so nothing can regress ...
+        assert {entry.status for entry in report.entries} == {"new"}
+        text = report.format()
+        assert "ADVISORY" in text and "carries no series" in text  # ... but it is loud
+        assert "--bench-record" in text  # and says how to repair the trajectory
+
     def test_machine_fingerprint_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_MACHINE", "pinned-label")
         assert trajectory.machine_fingerprint() == "pinned-label"

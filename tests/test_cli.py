@@ -23,7 +23,10 @@ class TestParser:
 
     def test_help_text_lists_every_command(self):
         help_text = build_parser().format_help()
-        for command in ("list", "run", "sweep", "status", "resume", "curves", "analyze"):
+        for command in (
+            "list", "run", "sweep", "status", "resume", "query",
+            "serve-store", "curves", "analyze", "watch",
+        ):
             assert command in help_text
 
     def test_sweep_defaults(self):

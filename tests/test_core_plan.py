@@ -419,3 +419,77 @@ class TestSharedStoreExecution:
             plan.execute(store, observer=InterruptingObserver())
         leftover = list(store.leases_dir.glob("*.json")) if store.leases_dir.is_dir() else []
         assert leftover == []
+
+
+class TestObserverFaultInjection:
+    """A PlanObserver raising mid-execute corrupts nothing, on either backend.
+
+    Observers run application code inside the executor's lease window; if one
+    raises, the ``finally`` cleanup must still release every tracked lease and
+    the store must hold only complete, loadable documents — so the very next
+    execution (possibly by another worker) picks up exactly where this one
+    crashed.
+    """
+
+    class Boom(Exception):
+        pass
+
+    @pytest.fixture
+    def plan(self, spec) -> ExperimentPlan:
+        return grid(spec, **{"simulation.cutoff": [None, 3.0]})
+
+    @pytest.fixture(params=["filesystem", "http"])
+    def backend(self, request, tmp_path):
+        """(client, filesystem store) pairs for both run-store backends."""
+        fs_store = RunStore(tmp_path / "store")
+        if request.param == "filesystem":
+            yield fs_store, fs_store
+            return
+        from repro.io.remote import open_store
+        from repro.io.service import serve_store
+
+        server = serve_store(tmp_path / "store", port=0)
+        thread = server.serve_in_background()
+        yield open_store(server.url), fs_store
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+    def _assert_clean(self, fs_store: RunStore) -> None:
+        assert list(fs_store.leases_dir.glob("*.json")) == []  # no leaked leases
+        assert fs_store.orphaned_files(min_age_seconds=0.0) == []  # no stray temps
+        for content_hash in fs_store.keys():  # every document reconstructs
+            fs_store.load(content_hash, with_ensemble=False)
+
+    def test_raise_in_on_unit_start_releases_the_lease(self, plan, backend):
+        client, fs_store = backend
+
+        class Saboteur(PlanObserver):
+            def on_unit_start(self, unit, index, total):
+                raise TestObserverFaultInjection.Boom
+
+        with pytest.raises(self.Boom):
+            plan.execute(client, observer=Saboteur())
+        # on_unit_start fires before any compute: nothing persisted, nothing leased.
+        assert fs_store.keys() == []
+        self._assert_clean(fs_store)
+        recovered = plan.execute(client)
+        assert recovered.n_computed == len(plan)
+        self._assert_clean(fs_store)
+
+    def test_raise_in_on_unit_complete_keeps_the_committed_unit(self, plan, backend):
+        client, fs_store = backend
+
+        class Saboteur(PlanObserver):
+            def on_unit_complete(self, unit, result, cached):
+                raise TestObserverFaultInjection.Boom
+
+        with pytest.raises(self.Boom):
+            plan.execute(client, observer=Saboteur())
+        # on_unit_complete fires after save + lease release: the finished
+        # unit survives the crash and the resume computes only the rest.
+        assert len(fs_store.keys()) == 1
+        self._assert_clean(fs_store)
+        resumed = plan.execute(client)
+        assert resumed.n_cached == 1 and resumed.n_computed == len(plan) - 1
+        self._assert_clean(fs_store)

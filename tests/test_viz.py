@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.viz.ascii_plots import bar_chart, line_plot, scatter_plot, series_table
+from repro.viz.ascii_plots import bar_chart, line_plot, scatter_plot, series_table, sparkline
 from repro.viz.export import load_series_csv, save_json, save_series_csv
 
 
@@ -74,6 +74,33 @@ class TestSeriesTable:
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ValueError):
             series_table({"a": np.arange(3), "b": np.arange(4)})
+
+
+class TestSparkline:
+    def test_monotone_series_uses_the_full_ramp(self):
+        text = sparkline([0.0, 1.0, 2.0, 3.0], glyphs=" .:#")
+        assert text == " .:#"
+
+    def test_empty_series_is_an_empty_string(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_renders_the_lowest_glyph(self):
+        assert sparkline([2.5, 2.5, 2.5], glyphs=".#") == "..."
+
+    def test_non_finite_values_render_as_spaces(self):
+        text = sparkline([0.0, np.nan, 1.0], glyphs=".#")
+        assert text == ". #"
+
+    def test_width_keeps_the_trailing_values(self):
+        # The live-stream view: only the most recent `width` values matter.
+        text = sparkline([0.0, 0.0, 0.0, 1.0, 2.0], width=2, glyphs=".#")
+        assert text == ".#"  # scaled to the tail's own min/max
+
+    def test_bad_arguments_are_rejected(self):
+        with pytest.raises(ValueError, match="two levels"):
+            sparkline([1.0], glyphs="#")
+        with pytest.raises(ValueError, match="width"):
+            sparkline([1.0], width=0)
 
 
 class TestExport:
