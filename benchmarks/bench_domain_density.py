@@ -28,7 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.particles.domain import PeriodicDomain
+from repro.particles.domain import PeriodicDomain, get_domain
 from repro.particles.engine import make_engine, resolve_engine
 from repro.particles.init_conditions import uniform_box_ensemble
 from repro.particles.types import InteractionParams
@@ -106,6 +106,98 @@ def run_density_sweep(
     return rows
 
 
+#: Anisotropic/mixed-boundary domains for the additive ``mixed/…`` series.
+#: Labels are stable trajectory keys — extend, never rename.
+FULL_MIXED_DOMAINS = (
+    ("periodic-75x25", "periodic:75,25"),
+    ("channel-75x25", "channel:75,25"),
+    ("reflecting-75x25", "reflecting:75,25"),
+)
+QUICK_MIXED_DOMAINS = (
+    ("periodic-30x10", "periodic:30,10"),
+    ("channel-30x10", "channel:30,10"),
+)
+
+
+def run_mixed_domain_sweep(
+    domains=FULL_MIXED_DOMAINS,
+    n: int = N_PARTICLES,
+    n_samples: int = BATCH_SAMPLES,
+    repeats: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Time ``drift_batch`` on anisotropic and mixed-boundary domains.
+
+    Same contract as the torus density sweep: the modular/padded per-axis
+    cell list, the per-axis periodic kdtree and (when affordable) the dense
+    minimum-image broadcast must agree bit-for-bit; the timings land in the
+    additive ``mixed/<label>/<engine>`` trajectory series.
+    """
+    rng = np.random.default_rng(seed)
+    params = InteractionParams.clustering(2, self_distance=1.0, cross_distance=2.5, k=2.0)
+    types = np.repeat([0, 1], [n - n // 2, n // 2])
+    rows = []
+    for label, spec in domains:
+        domain = get_domain(spec)
+        batch = domain.wrap(uniform_box_ensemble(n_samples, n, domain.extents, rng))
+        common = dict(types=types, params=params, scaling="F1", cutoff=CUTOFF, domain=domain)
+
+        cell = make_engine("sparse", neighbors="cell", **common)
+        kdtree = make_engine("sparse", neighbors="kdtree", **common)
+        timings = {
+            "sparse-cell": _best_of(lambda: cell.drift_batch(batch), repeats),
+            "sparse-kdtree": _best_of(lambda: kdtree.drift_batch(batch), repeats),
+        }
+        reference = kdtree.drift_batch(batch)
+        bit_identical = bool(np.array_equal(cell.drift_batch(batch), reference))
+        if n <= DENSE_BATCH_MAX_N:
+            dense = make_engine("dense", **common)
+            timings["dense"] = _best_of(lambda: dense.drift_batch(batch), repeats)
+            bit_identical &= bool(np.array_equal(dense.drift_batch(batch), reference))
+        area = domain.extents[0] * domain.extents[1]
+        rows.append(
+            {
+                "label": label,
+                "domain": domain.spec,
+                "n": n,
+                "n_samples": n_samples,
+                "density": n / area,
+                "cutoff": CUTOFF,
+                "timings_seconds": timings,
+                "bit_identical": bit_identical,
+                "speedup_cell_vs_dense": (
+                    timings["dense"] / timings["sparse-cell"] if "dense" in timings else None
+                ),
+            }
+        )
+    return rows
+
+
+def _format_mixed_rows(rows: list[dict]) -> str:
+    lines = []
+    for row in rows:
+        timings = "  ".join(
+            f"{name} {seconds * 1e3:8.2f} ms" for name, seconds in row["timings_seconds"].items()
+        )
+        speedup = row["speedup_cell_vs_dense"]
+        speedup_text = f"cell vs dense ×{speedup:.1f}" if speedup else "dense skipped"
+        lines.append(
+            f"  {row['domain']:>18s} (density {row['density']:7.4f}): {timings}  "
+            f"| {speedup_text}, bit-identical: {row['bit_identical']}"
+        )
+    return "\n".join(lines)
+
+
+def _check_mixed(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["bit_identical"], row
+
+
+def mixed_trajectory_series(rows: list[dict]) -> dict[str, float]:
+    """Additive ``mixed/…`` series keys (never rename the existing density/… keys)."""
+    return timings_series(rows, lambda row: f"mixed/{row['label']}")
+
+
 def _format_rows(rows: list[dict]) -> str:
     lines = []
     for row in rows:
@@ -147,13 +239,26 @@ def test_domain_density(benchmark, output_dir, bench_quick, perf_trajectory):
     # recorded trajectory series (see bench_engine_scaling).
     repeats = 2 if bench_quick else 3
 
-    rows = benchmark.pedantic(
-        lambda: run_density_sweep(boxes=boxes, n=n, n_samples=n_samples, repeats=repeats),
-        rounds=1,
-        iterations=1,
+    mixed_domains = QUICK_MIXED_DOMAINS if bench_quick else FULL_MIXED_DOMAINS
+
+    def sweep():
+        return (
+            run_density_sweep(boxes=boxes, n=n, n_samples=n_samples, repeats=repeats),
+            run_mixed_domain_sweep(
+                domains=mixed_domains, n=n, n_samples=n_samples, repeats=repeats
+            ),
+        )
+
+    rows, mixed_rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_json(
+        output_dir / "domain_density.json",
+        {"cutoff": CUTOFF, "rows": rows, "mixed_rows": mixed_rows},
     )
-    save_json(output_dir / "domain_density.json", {"cutoff": CUTOFF, "rows": rows})
     announce("Torus density sweep — wrapped dense vs sparse drift_batch", _format_rows(rows))
+    announce(
+        "Anisotropic/mixed-boundary sweep — per-axis engines, drift_batch",
+        _format_mixed_rows(mixed_rows),
+    )
     benchmark.extra_info.update(
         {
             f"L{int(row['box'])}_cell_speedup": round(row["speedup_cell_vs_dense"], 2)
@@ -161,9 +266,19 @@ def test_domain_density(benchmark, output_dir, bench_quick, perf_trajectory):
             if row["speedup_cell_vs_dense"]
         }
     )
+    benchmark.extra_info.update(
+        {
+            f"{row['label']}_cell_speedup": round(row["speedup_cell_vs_dense"], 2)
+            for row in mixed_rows
+            if row["speedup_cell_vs_dense"]
+        }
+    )
     _check(rows)
+    _check_mixed(mixed_rows)
     perf_trajectory.submit(
-        "domain", trajectory_series(rows), headline=dict(benchmark.extra_info)
+        "domain",
+        {**trajectory_series(rows), **mixed_trajectory_series(mixed_rows)},
+        headline=dict(benchmark.extra_info),
     )
 
 
@@ -177,16 +292,26 @@ def main(argv: list[str] | None = None) -> int:
         help="JSON output path",
     )
     args = parser.parse_args(argv)
+    n = N_PARTICLES_QUICK if args.quick else N_PARTICLES
+    n_samples = BATCH_SAMPLES_QUICK if args.quick else BATCH_SAMPLES
+    repeats = 2 if args.quick else 3
     rows = run_density_sweep(
         boxes=QUICK_BOXES if args.quick else FULL_BOXES,
-        n=N_PARTICLES_QUICK if args.quick else N_PARTICLES,
-        n_samples=BATCH_SAMPLES_QUICK if args.quick else BATCH_SAMPLES,
-        repeats=2 if args.quick else 3,
+        n=n, n_samples=n_samples, repeats=repeats,
     )
-    save_json(args.output, {"cutoff": CUTOFF, "rows": rows})
+    mixed_rows = run_mixed_domain_sweep(
+        domains=QUICK_MIXED_DOMAINS if args.quick else FULL_MIXED_DOMAINS,
+        n=n, n_samples=n_samples, repeats=repeats,
+    )
+    save_json(args.output, {"cutoff": CUTOFF, "rows": rows, "mixed_rows": mixed_rows})
     announce("Torus density sweep — wrapped dense vs sparse drift_batch", _format_rows(rows))
+    announce(
+        "Anisotropic/mixed-boundary sweep — per-axis engines, drift_batch",
+        _format_mixed_rows(mixed_rows),
+    )
     print(f"results written to {args.output}")
     _check(rows)
+    _check_mixed(mixed_rows)
     return 0
 
 

@@ -1,0 +1,88 @@
+"""Collectives in a channel: mixed boundaries and torus-aware alignment.
+
+The channel domain ``channel:Lx,Ly`` wraps the ``x`` axis (periodic seam,
+minimum-image interactions) while bounding ``y`` with reflecting walls — the
+geometry of transport scenarios where a collective circulates along a
+periodic direction between hard walls.  It exercises both halves of the
+per-axis domain model at once: modular neighbour search along ``x``, padded
+search along ``y``, no interaction ever crossing a wall.
+
+The second act is the ΔI pipeline's symmetry reduction.  On the free plane
+ensembles are aligned with Procrustes/ICP under ``ISO+(2)``; on a wrapped
+domain that group is wrong — a sample rigidly translated across the seam
+looks like a large deformation to Kabsch.  The torus-aware aligner
+(``repro.alignment.torus``) registers samples by translation mod L along
+periodic axes plus the admissible per-axis flips, so a wrapped ensemble of
+rigid symmetry images collapses to near-zero residual where the free-space
+path cannot.
+
+Run with ``PYTHONPATH=src python examples/channel_collectives.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EnsembleSimulator, InteractionParams, SimulationConfig
+from repro.alignment import align_snapshot
+from repro.particles.domain import get_domain
+
+
+def make_config(engine: str = "auto") -> SimulationConfig:
+    params = InteractionParams.clustering(2, self_distance=0.8, cross_distance=1.6, k=2.0)
+    return SimulationConfig(
+        type_counts=(60, 60),
+        params=params,
+        force="F2",
+        cutoff=2.0,
+        domain="channel:30,8",
+        dt=0.05,
+        n_steps=25,
+        noise_variance=0.01,
+        engine=engine,
+        neighbor_backend="cell",
+    )
+
+
+def main() -> None:
+    config = make_config()
+    domain = config.resolved_domain
+    print(f"channel run: {config.n_particles} particles on {config.domain} "
+          f"(periodic x, reflecting walls in y)")
+    trajectory = EnsembleSimulator(config, 8, seed=5).run()
+    final = trajectory.positions[-1]
+    assert np.all(final[..., 0] >= 0.0) and np.all(final[..., 0] < 30.0)
+    assert np.all(final[..., 1] >= 0.0) and np.all(final[..., 1] <= 8.0)
+    print(f"  final frame confined: x in [0, 30), y in [0, 8]  "
+          f"(x spread {np.ptp(final[..., 0]):.1f}, y spread {np.ptp(final[..., 1]):.1f})")
+
+    print("\nengine contract in the channel (identical seed):")
+    dense = EnsembleSimulator(make_config("dense"), 8, seed=5).run().positions
+    sparse = EnsembleSimulator(make_config("sparse"), 8, seed=5).run().positions
+    print(f"  dense vs sparse bit-identical: {np.array_equal(dense, sparse)}")
+
+    # --- Torus-aware alignment vs free-space Procrustes -------------------
+    # Build an ensemble whose samples are rigid symmetry images of one base
+    # configuration: translations mod Lx (the wall pins y) plus a flip.
+    rng = np.random.default_rng(11)
+    types = np.repeat([0, 1], 10)
+    base = np.column_stack(
+        [rng.uniform(0.0, 30.0, size=types.size), rng.uniform(0.0, 8.0, size=types.size)]
+    )
+    snapshot = np.empty((6, types.size, 2))
+    for m in range(6):
+        image = base.copy()
+        if m % 2:
+            image[:, 0] = 30.0 - image[:, 0]  # the x-flip every box admits
+        snapshot[m] = domain.wrap(image + np.array([rng.uniform(0.0, 30.0), 0.0]))
+
+    wrapped = align_snapshot(snapshot, types, domain=domain)
+    free = align_snapshot(snapshot, types)
+    print("\nsymmetry reduction of 6 rigid mod-L images of one shape:")
+    print(f"  torus-aware residuals: max rmse = {wrapped.rmse.max():.2e}  (collapses)")
+    print(f"  free-space Procrustes: max rmse = {free.rmse.max():.2f}  (seam looks like deformation)")
+    assert wrapped.rmse.max() < 1e-6 < free.rmse.max()
+
+
+if __name__ == "__main__":
+    main()

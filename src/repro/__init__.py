@@ -32,6 +32,7 @@ Quickstart
 from repro.version import __version__
 
 from repro.particles import (
+    ChannelDomain,
     Domain,
     EnsembleSimulator,
     EnsembleTrajectory,
@@ -77,6 +78,7 @@ __all__ = [
     "__version__",
     "InteractionParams",
     "SimulationConfig",
+    "ChannelDomain",
     "Domain",
     "FreeDomain",
     "PeriodicDomain",

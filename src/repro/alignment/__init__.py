@@ -3,7 +3,10 @@
 Implements §4.2/§5.2 of Harder & Polani (2012): particle configurations are
 mapped to representatives of their orbit under ``F = ISO+(2) × S*_n`` so that
 multi-information is measured between *shape* observers rather than raw
-coordinates.
+coordinates.  On wrapped domains (periodic torus, channel) the group is
+different — translations mod L on the periodic axes plus per-axis flips —
+and the same entry points dispatch to the torus-aware reduction when a
+``domain`` is passed (see :mod:`repro.alignment.torus`).
 """
 
 from repro.alignment.procrustes import RigidTransform, alignment_error, apply_rigid, kabsch_2d
@@ -14,6 +17,7 @@ from repro.alignment.correspondences import (
     nearest_neighbor_correspondence,
 )
 from repro.alignment.icp import ICPResult, TypeAwareICP, lift_with_types
+from repro.alignment.torus import TorusAligner, TorusICPResult, TorusTransform
 from repro.alignment.symmetry import (
     ReducedEnsemble,
     SnapshotAlignment,
@@ -21,6 +25,7 @@ from repro.alignment.symmetry import (
     center_configurations,
     reduce_ensemble,
     select_reference,
+    select_reference_wrapped,
 )
 
 __all__ = [
@@ -35,8 +40,12 @@ __all__ = [
     "TypeAwareICP",
     "ICPResult",
     "lift_with_types",
+    "TorusAligner",
+    "TorusICPResult",
+    "TorusTransform",
     "center_configurations",
     "select_reference",
+    "select_reference_wrapped",
     "align_snapshot",
     "SnapshotAlignment",
     "reduce_ensemble",

@@ -15,6 +15,15 @@ representative ``w`` (§5.2):
 
 The correspondence is established *across samples at a fixed time step*;
 identity of a particle across time is deliberately lost (§5.2).
+
+On a wrapped domain (any periodic axis: torus or channel) the free-space
+group is the wrong one — there are no continuous rotations, translations act
+modulo L on the periodic axes only, and centroids are not well defined mod L
+— so passing ``domain=`` to :func:`align_snapshot` / :func:`reduce_ensemble`
+dispatches to the :class:`~repro.alignment.torus.TorusAligner`: samples stay
+in wrapped box coordinates and are registered by mod-L translation plus the
+admissible per-axis flips.  Free and reflecting domains keep the free-space
+path unchanged.
 """
 
 from __future__ import annotations
@@ -24,11 +33,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.alignment.icp import TypeAwareICP
+from repro.alignment.torus import TorusAligner
+from repro.particles.domain import Domain, get_domain
 from repro.particles.trajectory import EnsembleTrajectory
 
 __all__ = [
     "center_configurations",
     "select_reference",
+    "select_reference_wrapped",
     "align_snapshot",
     "SnapshotAlignment",
     "reduce_ensemble",
@@ -74,6 +86,43 @@ def select_reference(snapshot: np.ndarray, strategy: str = "medoid") -> int:
     return int(pairwise.sum(axis=1).argmin())
 
 
+def select_reference_wrapped(
+    snapshot: np.ndarray, domain: Domain, strategy: str = "medoid"
+) -> int:
+    """Reference selection on a wrapped domain (the mod-L medoid proxy).
+
+    The free-space medoid compares sorted distance-to-centroid profiles, but
+    a centroid is not well defined modulo L.  The wrapped analogue uses the
+    per-axis *circular* mean on periodic axes (plain mean on reflecting
+    ones) and measures radii with the domain's minimum-image metric — the
+    profiles are invariant under the symmetries the torus aligner factors
+    out, so the choice is as transformation-insensitive as the free-space
+    one.
+    """
+    snapshot = np.asarray(snapshot, dtype=float)
+    if snapshot.ndim != 3 or snapshot.shape[-1] != 2:
+        raise ValueError("snapshot must have shape (n_samples, n_particles, 2)")
+    if strategy == "first":
+        return 0
+    if strategy != "medoid":
+        raise ValueError(f"unknown reference strategy {strategy!r}")
+    wrapped = domain.wrap(snapshot)
+    centroids = np.empty((snapshot.shape[0], 2))
+    for axis in range(2):
+        column = wrapped[:, :, axis]
+        side = domain.extents[axis]
+        if domain.periodic_axes[axis]:
+            angle = column * (2.0 * np.pi / side)
+            mean_angle = np.arctan2(np.sin(angle).mean(axis=1), np.cos(angle).mean(axis=1))
+            centroids[:, axis] = np.mod(mean_angle, 2.0 * np.pi) * (side / (2.0 * np.pi))
+        else:
+            centroids[:, axis] = column.mean(axis=1)
+    delta = domain.displacement(wrapped, centroids[:, None, :])
+    radii = np.sort(np.sqrt(np.einsum("mik,mik->mi", delta, delta)), axis=1)
+    pairwise = np.abs(radii[:, None, :] - radii[None, :, :]).sum(axis=-1)
+    return int(pairwise.sum(axis=1).argmin())
+
+
 @dataclass(frozen=True)
 class SnapshotAlignment:
     """Symmetry-reduced ensemble snapshot at one time step.
@@ -101,6 +150,7 @@ def align_snapshot(
     icp: TypeAwareICP | None = None,
     reference: int | np.ndarray | None = None,
     reference_strategy: str = "medoid",
+    domain: "Domain | str | None" = None,
 ) -> SnapshotAlignment:
     """Reduce one ensemble snapshot to its symmetry-factored representation.
 
@@ -111,11 +161,18 @@ def align_snapshot(
     types:
         ``(n_particles,)`` shared type assignment.
     icp:
-        Registration engine (defaults to :class:`TypeAwareICP` defaults).
+        Registration engine (defaults to :class:`TypeAwareICP` defaults).  On
+        a wrapped domain its ``max_iterations``/``tolerance`` parameterise
+        the torus aligner instead.
     reference:
         Either the index of the reference sample, an explicit reference
         configuration of shape ``(n_particles, 2)``, or ``None`` to pick one
         with ``reference_strategy``.
+    domain:
+        The simulation domain the snapshot was produced on.  Any domain with
+        a periodic axis dispatches to the mod-L torus reduction (samples stay
+        in wrapped box coordinates); free/reflecting domains — and the
+        default ``None`` — keep the free-space ``ISO+(2)`` path unchanged.
     """
     snapshot = np.asarray(snapshot, dtype=float)
     types = np.asarray(types, dtype=int)
@@ -123,6 +180,16 @@ def align_snapshot(
         raise ValueError("snapshot must have shape (n_samples, n_particles, 2)")
     if types.shape != (snapshot.shape[1],):
         raise ValueError("types must have shape (n_particles,)")
+    resolved_domain = get_domain(domain)
+    if resolved_domain.bounded and any(resolved_domain.periodic_axes):
+        return _align_snapshot_wrapped(
+            snapshot,
+            types,
+            resolved_domain,
+            icp=icp,
+            reference=reference,
+            reference_strategy=reference_strategy,
+        )
     icp = icp or TypeAwareICP()
 
     centered = center_configurations(snapshot)
@@ -148,6 +215,54 @@ def align_snapshot(
         # Reorder so that slot i of every reduced sample corresponds to
         # reference particle i: particle j of the aligned sample is stored at
         # slot correspondence[j].
+        reordered = np.empty_like(result.aligned)
+        reordered[result.correspondence] = result.aligned
+        reduced[m] = reordered
+        rmse[m] = result.rmse
+    return SnapshotAlignment(reduced=reduced, reference_index=reference_index, rmse=rmse)
+
+
+def _align_snapshot_wrapped(
+    snapshot: np.ndarray,
+    types: np.ndarray,
+    domain: Domain,
+    *,
+    icp: TypeAwareICP | None = None,
+    reference: "int | np.ndarray | None" = None,
+    reference_strategy: str = "medoid",
+) -> SnapshotAlignment:
+    """Torus-path snapshot reduction: mod-L registration in wrapped coordinates.
+
+    No centring happens here — centroids are not well defined modulo L; the
+    reduced coordinates are wrapped box coordinates registered to the
+    reference by per-axis mod-L translation, the admissible flips and the
+    wrapped-metric type-preserving permutation.
+    """
+    aligner = TorusAligner(
+        domain=domain,
+        max_iterations=icp.max_iterations if icp is not None else 50,
+        tolerance=icp.tolerance if icp is not None else 1e-6,
+    )
+    wrapped = domain.wrap(snapshot)
+    if reference is None:
+        reference_index = select_reference_wrapped(wrapped, domain, reference_strategy)
+        reference_config = wrapped[reference_index]
+    elif isinstance(reference, (int, np.integer)):
+        reference_index = int(reference)
+        reference_config = wrapped[reference_index]
+    else:
+        reference_index = -1
+        reference_config = domain.wrap(np.asarray(reference, dtype=float))
+
+    n_samples = snapshot.shape[0]
+    reduced = np.empty_like(wrapped)
+    rmse = np.empty(n_samples)
+    for m in range(n_samples):
+        if m == reference_index:
+            reduced[m] = reference_config
+            rmse[m] = 0.0
+            continue
+        result = aligner.align(wrapped[m], reference_config, types)
         reordered = np.empty_like(result.aligned)
         reordered[result.correspondence] = result.aligned
         reduced[m] = reordered
@@ -204,12 +319,15 @@ def reduce_ensemble(
     icp: TypeAwareICP | None = None,
     reference_strategy: str = "medoid",
     steps: np.ndarray | list[int] | None = None,
+    domain: "Domain | str | None" = None,
 ) -> ReducedEnsemble:
     """Symmetry-reduce every (or selected) time step of an ensemble trajectory.
 
     ``steps`` restricts the reduction to a subset of frames (e.g. every 10th
     step) — the estimation cost is dominated by the per-step alignment, so
-    thinning here is the main lever for large experiments.
+    thinning here is the main lever for large experiments.  ``domain`` is the
+    geometry the trajectory was simulated on: any periodic axis switches
+    every step to the mod-L torus reduction (see :func:`align_snapshot`).
     """
     icp = icp or TypeAwareICP()
     if steps is None:
@@ -225,6 +343,7 @@ def reduce_ensemble(
             ensemble.types,
             icp=icp,
             reference_strategy=reference_strategy,
+            domain=domain,
         )
         reduced[out_index] = alignment.reduced
         references[out_index] = alignment.reference_index

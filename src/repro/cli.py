@@ -87,8 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--domain", default=None, metavar="SPEC",
             help="override the simulation domain: 'free' (the paper's plane), "
-            "'periodic:L' (torus [0,L)^2, minimum-image interactions) or "
-            "'reflecting:L' (closed box with reflecting walls)",
+            "'periodic:L' / 'periodic:Lx,Ly' (torus, minimum-image interactions), "
+            "'reflecting:L' / 'reflecting:Lx,Ly' (closed box, reflecting walls) or "
+            "'channel:Lx,Ly' (periodic in x, reflecting walls in y)",
         )
         sub.add_argument(
             "--neighbor-backend", choices=sorted(NEIGHBOR_BACKENDS), default=None,

@@ -134,7 +134,9 @@ def run_experiment(
         simulation_config, n_samples, seed=seed, n_jobs=n_jobs
     )
     t1 = time.perf_counter()
-    measurement = SelfOrganizationAnalysis(analysis_config).analyze(ensemble)
+    measurement = SelfOrganizationAnalysis(analysis_config).analyze(
+        ensemble, domain=simulation_config.resolved_domain
+    )
     t2 = time.perf_counter()
 
     stats = simulator.last_stats

@@ -292,11 +292,13 @@ class SelfOrganizationAnalysis:
         return np.asarray(steps, dtype=int)
 
     def observers_at_step(
-        self, ensemble: EnsembleTrajectory, step: int
+        self, ensemble: EnsembleTrajectory, step: int, *, domain=None
     ) -> tuple[ObserverSet, np.ndarray]:
         """Symmetry-reduce one frame and build its observers.
 
         Returns the observer set and the per-sample alignment residuals.
+        When ``domain`` names a bounded domain with periodic axes, the
+        reduction uses the torus-aware aligner instead of free-space ICP.
         """
         config = self.config
         alignment = align_snapshot(
@@ -304,6 +306,7 @@ class SelfOrganizationAnalysis:
             ensemble.types,
             icp=config.icp(),
             reference_strategy=config.reference_strategy,
+            domain=domain,
         )
         observers = build_observers(
             alignment.reduced,
@@ -314,8 +317,14 @@ class SelfOrganizationAnalysis:
         )
         return observers, alignment.rmse
 
-    def analyze(self, ensemble: EnsembleTrajectory) -> SelfOrganizationResult:
-        """Run the measurement pipeline over an ensemble trajectory."""
+    def analyze(self, ensemble: EnsembleTrajectory, *, domain=None) -> SelfOrganizationResult:
+        """Run the measurement pipeline over an ensemble trajectory.
+
+        ``domain`` (a :class:`~repro.particles.domain.Domain` or spec string)
+        selects the symmetry group for the reduction step: wrapped domains
+        align under translations mod L and per-axis flips rather than the
+        free-plane ``ISO+(2)``.
+        """
         config = self.config
         steps = self.analysis_steps(ensemble.n_steps)
         n_analysis = steps.size
@@ -331,7 +340,7 @@ class SelfOrganizationAnalysis:
         n_observers = 0
 
         for index, step in enumerate(steps):
-            observers, step_rmse = self.observers_at_step(ensemble, int(step))
+            observers, step_rmse = self.observers_at_step(ensemble, int(step), domain=domain)
             observer_mode = observers.mode
             n_observers = observers.n_observers
             rmse[index] = float(step_rmse.mean())
@@ -402,6 +411,7 @@ def measure_self_organization(
     ensemble: EnsembleTrajectory,
     *,
     config: AnalysisConfig | None = None,
+    domain=None,
     **config_overrides: Any,
 ) -> SelfOrganizationResult:
     """Convenience wrapper: analyse an ensemble with (optionally tweaked) defaults."""
@@ -409,4 +419,4 @@ def measure_self_organization(
         config = AnalysisConfig(**config_overrides)
     elif config_overrides:
         raise TypeError("pass either a config object or keyword overrides, not both")
-    return SelfOrganizationAnalysis(config).analyze(ensemble)
+    return SelfOrganizationAnalysis(config).analyze(ensemble, domain=domain)

@@ -8,6 +8,7 @@ measured.  The public surface is re-exported here.
 from repro.particles.types import InteractionParams, random_symmetric_matrix, type_counts_to_assignment
 from repro.particles.domain import (
     DOMAINS,
+    ChannelDomain,
     Domain,
     FreeDomain,
     PeriodicDomain,
@@ -81,6 +82,7 @@ __all__ = [
     "InteractionParams",
     "random_symmetric_matrix",
     "type_counts_to_assignment",
+    "ChannelDomain",
     "Domain",
     "FreeDomain",
     "PeriodicDomain",

@@ -156,16 +156,18 @@ def resolve_engine(
 def heuristic_domain_radius(domain: Domain, fallback: float | None) -> float | None:
     """Characteristic radius the ``"auto"`` heuristic compares the cut-off to.
 
-    On bounded domains (periodic torus, reflecting box) it is the fixed
-    ``box / 2`` — wrapped coordinates always span the box, so neither an
-    initial disc radius nor the live bounding box carries any signal there.
-    Unbounded domains keep the caller's ``fallback`` (the initial disc
-    radius, or :func:`collective_radius` of the current snapshot).  This is
-    the single definition of the bounded-domain rule; every heuristic call
-    site routes through it.
+    On bounded domains (periodic torus, reflecting box, channel) it is the
+    fixed ``min(Lx, Ly) / 2`` — wrapped coordinates always span the box, so
+    neither an initial disc radius nor the live bounding box carries any
+    signal there, and on anisotropic boxes the *shorter* extent is the one
+    that decides whether the cut-off disc still prunes pairs.  Unbounded
+    domains keep the caller's ``fallback`` (the initial disc radius, or
+    :func:`collective_radius` of the current snapshot).  This is the single
+    definition of the bounded-domain rule; every heuristic call site routes
+    through it.
     """
     if domain.bounded:
-        return domain.box / 2.0
+        return min(domain.extents) / 2.0
     return fallback
 
 

@@ -29,8 +29,10 @@ bit-compatibility contract and the "Choosing an engine/backend" guide in
 :mod:`repro.particles.engine`).
 
 Both kernels take an optional :class:`~repro.particles.domain.Domain`: the
-displacement ``Δz_ij`` goes through ``domain.displacement()``, which is the
-minimum image on a periodic torus and plain subtraction on the free plane
+displacement ``Δz_ij`` goes through ``domain.displacement()``, which applies
+the minimum image *per periodic axis* (every axis on a torus, only ``x`` in
+a channel, with per-axis lengths on anisotropic boxes) and plain
+subtraction on the free plane
 and in a reflecting box.
 """
 

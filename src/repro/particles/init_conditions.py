@@ -82,41 +82,62 @@ def uniform_disc_ensemble(
     return points + np.asarray(center, dtype=float)
 
 
+def _box_extents(box) -> tuple[float, float]:
+    """Normalise a scalar box side or an ``(Lx, Ly)`` pair."""
+    if isinstance(box, (tuple, list, np.ndarray)):
+        if len(box) != 2:
+            raise ValueError(f"box must be a scalar side or an (Lx, Ly) pair, got {box!r}")
+        side_x, side_y = float(box[0]), float(box[1])
+    else:
+        side_x = side_y = float(box)
+    if side_x <= 0 or side_y <= 0:
+        raise ValueError("box must be positive")
+    return side_x, side_y
+
+
 def uniform_box(
     n_particles: int,
-    box: float,
+    box,
     rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
-    """Sample ``n_particles`` points uniformly in the square box ``[0, box)²``.
+    """Sample ``n_particles`` points uniformly in the box ``[0, Lx) × [0, Ly)``.
 
-    The natural initial condition for bounded domains (periodic torus or
-    reflecting box): it is invariant under the torus translations the wrapped
-    dynamics preserve, and the box side — not the particle count — fixes the
-    density.  Returns an ``(n_particles, 2)`` array.
+    ``box`` is a scalar side (square box) or an ``(Lx, Ly)`` pair.  The
+    natural initial condition for bounded domains (periodic torus, reflecting
+    box, channel): it is invariant under the translations the wrapped
+    dynamics preserve, and the box sides — not the particle count — fix the
+    density.  Returns an ``(n_particles, 2)`` array.  Square boxes keep the
+    exact scalar draw of the pre-anisotropy code, so their RNG streams (and
+    every downstream trajectory) stay bit-identical.
     """
     if n_particles < 0:
         raise ValueError("n_particles must be non-negative")
-    if box <= 0:
-        raise ValueError("box must be positive")
+    side_x, side_y = _box_extents(box)
     rng = as_generator(rng)
-    return rng.uniform(0.0, box, size=(n_particles, 2))
+    if side_x == side_y:
+        return rng.uniform(0.0, side_x, size=(n_particles, 2))
+    return rng.uniform(0.0, (side_x, side_y), size=(n_particles, 2))
 
 
 def uniform_box_ensemble(
     n_samples: int,
     n_particles: int,
-    box: float,
+    box,
     rng: np.random.Generator | int | None = None,
 ) -> np.ndarray:
-    """Sample an ensemble of box configurations, shape ``(n_samples, n_particles, 2)``."""
+    """Sample an ensemble of box configurations, shape ``(n_samples, n_particles, 2)``.
+
+    ``box`` is a scalar side or an ``(Lx, Ly)`` pair, as in :func:`uniform_box`.
+    """
     if n_samples < 0:
         raise ValueError("n_samples must be non-negative")
     if n_particles < 0:
         raise ValueError("n_particles must be non-negative")
-    if box <= 0:
-        raise ValueError("box must be positive")
+    side_x, side_y = _box_extents(box)
     rng = as_generator(rng)
-    return rng.uniform(0.0, box, size=(n_samples, n_particles, 2))
+    if side_x == side_y:
+        return rng.uniform(0.0, side_x, size=(n_samples, n_particles, 2))
+    return rng.uniform(0.0, (side_x, side_y), size=(n_samples, n_particles, 2))
 
 
 def grid_layout(n_particles: int, spacing: float = 1.0) -> np.ndarray:

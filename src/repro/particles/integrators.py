@@ -71,7 +71,9 @@ class Integrator(abc.ABC):
 
         When a :class:`~repro.particles.domain.Domain` is given, the updated
         positions are mapped back onto the domain's canonical coordinates
-        (wrapped on a torus, reflected in a closed box) after every stage of
+        (wrapped on a torus, reflected in a closed box, per axis on mixed
+        boundaries — a channel wraps ``x`` and reflects ``y``) after every
+        stage of
         the scheme — intermediate states such as Heun's predictor included.
         ``None`` (or the free domain) leaves positions untouched.
         """

@@ -275,8 +275,8 @@ def initial_positions_for(
     """Draw one initial configuration for this config's domain.
 
     The free plane keeps the paper's uniform disc; bounded domains (periodic
-    torus, reflecting box) draw uniformly in the box — the box side, not the
-    particle count, then controls the density.
+    torus, reflecting box, channel — square or anisotropic) draw uniformly in
+    the box — the box sides, not the particle count, then control the density.
     """
     rng = as_generator(rng)
     domain = config.resolved_domain

@@ -32,15 +32,18 @@ Domains
 -------
 Every query takes an optional :class:`~repro.particles.domain.Domain`.  On
 the default free plane (and in a reflecting box, whose displacements are the
-free-space ones) the geometry is Euclidean; on a :class:`PeriodicDomain`
-distances follow the minimum-image convention and each backend adapts its
-candidate search: the brute force evaluates minimum-image distances
-directly, the kdtree builds a torus tree (``cKDTree(boxsize=L)``), and the
-cell list switches from ghost-padded cells to *modular* cell hashing — the
-3×3 neighbourhood wraps around the box instead of being padded — including
+free-space ones) the geometry is Euclidean; on any domain with a periodic
+axis — the torus (both axes wrap, possibly anisotropic ``Lx ≠ Ly``) or the
+mixed channel (periodic in x, reflecting in y) — distances follow the
+per-axis minimum-image convention and each backend adapts its candidate
+search: the brute force evaluates minimum-image distances directly, the
+kdtree builds a per-axis periodic tree (``cKDTree(boxsize=[Lx, Ly])`` with a
+0 entry on non-periodic axes), and the cell list switches to per-axis
+*modular* cell hashing — the 3×3 neighbourhood wraps around the seam on
+periodic axes and steps into ghost padding on reflecting ones — including
 the batched query.  Degenerate wrapped geometries (fewer than three cells
-per axis, a cut-off beyond ``L/2``) fall back to the minimum-image brute
-force so the backends always agree.
+along a periodic axis, a cut-off beyond half a periodic extent) fall back to
+the minimum-image brute force so the backends always agree.
 
 All backends return the same representation: ordered ``int64`` index pairs
 ``(i_idx, j_idx)`` with ``i != j`` and ``dist(i, j) <= radius`` (both
@@ -59,7 +62,7 @@ import abc
 import numpy as np
 from scipy.spatial import cKDTree
 
-from repro.particles.domain import Domain, PeriodicDomain, get_domain
+from repro.particles.domain import Domain, get_domain
 
 __all__ = [
     "NeighborSearch",
@@ -242,38 +245,81 @@ def _grid_ids(
     return ids, stride
 
 
-def _wrapped_grid_cells(box: float, radius: float, n_blocks: int = 1) -> int | None:
-    """Cells per axis of the modular (torus) grid, or ``None`` if unusable.
+class _BoxedGrid:
+    """Per-axis cell grid of a bounded domain with at least one periodic axis.
 
-    The wrapped 3×3 shell visits each unordered cell pair exactly once only
-    when there are at least three cells per axis (with fewer, a forward
-    offset and its wrap-around alias land on the same cell and candidates
-    duplicate), so tiny boxes fall back to the minimum-image brute force.
-    The cell side is held a hair *above* the radius — ``L / nc >= r_c (1 +
-    1e-9)`` — so a pair exactly at the cut-off straddling the seam can never
-    round out of the wrapped shell.
+    Each axis is independently *modular* (periodic: cell ids taken modulo the
+    axis cell count, the 3×3 shell wraps around the seam, exact distances use
+    the minimum image) or *padded* (reflecting: one ghost cell on each side,
+    plain forward offsets, free-space distances).  The square torus is the
+    special case where both axes are modular with equal cell counts — its ids,
+    targets and filters reduce to exactly the arithmetic of the scalar-box
+    era, keeping those pair sets bit-identical.
     """
-    ratio = box / (radius * (1.0 + 1e-9))
-    if not np.isfinite(ratio) or ratio >= 2**31:
-        return None  # astronomically fine grid: id space would overflow
-    nc = int(ratio)
-    if nc < 3:
-        return None
-    if n_blocks * nc * nc >= np.iinfo(np.int64).max // 2:
-        return None
-    return nc
+
+    __slots__ = ("nx", "ny", "mod_x", "mod_y", "side_x", "side_y", "image_x", "image_y")
+
+    def __init__(self, nx, ny, mod_x, mod_y, side_x, side_y, image_x, image_y):
+        self.nx, self.ny = nx, ny
+        self.mod_x, self.mod_y = mod_x, mod_y
+        self.side_x, self.side_y = side_x, side_y
+        #: Minimum-image modulus per axis (``None`` on non-periodic axes).
+        self.image_x, self.image_y = image_x, image_y
 
 
-def _wrapped_cell_ids(
-    wrapped: np.ndarray, box: float, nc: int, sample: np.ndarray | None = None
+def _boxed_grid(domain: Domain, radius: float, n_blocks: int = 1) -> "_BoxedGrid | None":
+    """Build the per-axis grid for a wrapping domain, or ``None`` if unusable.
+
+    On periodic axes the wrapped 3×3 shell visits each unordered cell pair
+    exactly once only when there are at least three cells along the axis
+    (with fewer, a forward offset and its wrap-around alias land on the same
+    cell and candidates duplicate), so tiny extents fall back to the
+    minimum-image brute force.  The modular cell side is held a hair *above*
+    the radius — ``L / nc >= r_c (1 + 1e-9)`` — so a pair exactly at the
+    cut-off straddling the seam can never round out of the wrapped shell.
+    Reflecting axes get a padded grid with cell side ``r_c`` over the wrapped
+    coordinate range ``[0, L]`` (no seam, no constraint on the cell count).
+    """
+    axes = []
+    for side_len, periodic in zip(domain.extents, domain.periodic_axes):
+        if periodic:
+            ratio = side_len / (radius * (1.0 + 1e-9))
+            if not np.isfinite(ratio) or ratio >= 2**31:
+                return None  # astronomically fine grid: id space would overflow
+            n_cells = int(ratio)
+            if n_cells < 3:
+                return None
+            axes.append((n_cells, True, side_len / n_cells, side_len))
+        else:
+            ratio = side_len / radius
+            if not np.isfinite(ratio) or ratio >= 2**31:
+                return None
+            # floor(L / r_c) + 1 occupied cells plus one ghost on each side.
+            axes.append((int(ratio) + 3, False, radius, None))
+    (nx, mod_x, side_x, image_x), (ny, mod_y, side_y, image_y) = axes
+    if n_blocks * nx * ny >= np.iinfo(np.int64).max // 2:
+        return None
+    return _BoxedGrid(nx, ny, mod_x, mod_y, side_x, side_y, image_x, image_y)
+
+
+def _boxed_cell_ids(
+    wrapped: np.ndarray, grid: _BoxedGrid, sample: np.ndarray | None = None
 ) -> np.ndarray:
-    """Flattened modular cell id per (wrapped) particle position."""
-    cells = np.floor(wrapped / (box / nc)).astype(np.int64)
-    # Positions within an ulp of the box edge can round into cell nc.
-    np.minimum(cells, nc - 1, out=cells)
-    ids = cells[:, 0] * nc + cells[:, 1]
+    """Flattened per-axis cell id per (wrapped) particle position."""
+    cells_x = np.floor(wrapped[:, 0] / grid.side_x).astype(np.int64)
+    cells_y = np.floor(wrapped[:, 1] / grid.side_y).astype(np.int64)
+    if grid.mod_x:
+        # Positions within an ulp of the box edge can round into cell nx.
+        np.minimum(cells_x, grid.nx - 1, out=cells_x)
+    else:
+        cells_x += 1  # ghost-padding shift
+    if grid.mod_y:
+        np.minimum(cells_y, grid.ny - 1, out=cells_y)
+    else:
+        cells_y += 1
+    ids = cells_x * grid.ny + cells_y
     if sample is not None:
-        ids += sample * (nc * nc)
+        ids += sample * (grid.nx * grid.ny)
     return ids
 
 
@@ -289,7 +335,7 @@ def _hashed_pairs(
     ids: np.ndarray,
     stride: int,
     radius: float,
-    wrap: tuple[float, int] | None = None,
+    grid: _BoxedGrid | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exact ordered pairs from flattened cell ids — no Python loop over anything.
 
@@ -302,13 +348,14 @@ def _hashed_pairs(
     exact distance, then mirrored and lex-sorted into the canonical
     ``(i, j)`` order.
 
-    ``wrap`` switches the grid to the modular torus layout: a ``(box, nc)``
-    pair makes the half-shell targets wrap modulo ``nc`` per spatial axis
-    (the sample block of batched ids is preserved) and the exact distance
-    filter use minimum-image displacements — the same arithmetic as
-    :meth:`repro.particles.domain.PeriodicDomain.displacement` on wrapped
-    coordinates, so the filter agrees bit-for-bit with the brute-force
-    reference and the drift kernels.
+    ``grid`` switches to the per-axis boxed layout of a wrapping domain:
+    half-shell targets wrap modulo the axis cell count on modular (periodic)
+    axes and step plainly into ghost padding on reflecting ones (the sample
+    block of batched ids is preserved either way), and the exact distance
+    filter uses minimum-image displacements on the periodic axes only — the
+    same arithmetic as :meth:`repro.particles.domain.Domain.displacement` on
+    wrapped coordinates, so the filter agrees bit-for-bit with the
+    brute-force reference and the drift kernels.
     """
     n_total = positions.shape[0]
     order = np.argsort(ids, kind="stable")
@@ -327,10 +374,9 @@ def _hashed_pairs(
     positions_idx = np.arange(n_total)
     rank = positions_idx - starts[cell_of]
 
-    if wrap is not None:
-        _, nc = wrap
-        block, rem = np.divmod(unique_ids, nc * nc)
-        cell_x, cell_y = np.divmod(rem, nc)
+    if grid is not None:
+        block, rem = np.divmod(unique_ids, grid.nx * grid.ny)
+        cell_x, cell_y = np.divmod(rem, grid.ny)
 
     # Candidate block per (shell entry, sorted particle): within-cell pairs
     # (strictly later ranks of the same bucket) plus the four forward
@@ -338,10 +384,12 @@ def _hashed_pairs(
     cand_counts = [counts[cell_of] - rank - 1]
     cand_starts = [positions_idx + 1]
     for dx, dy in _HALF_SHELL:
-        if wrap is None:
+        if grid is None:
             target = unique_ids + (dx * stride + dy)
         else:
-            target = block * (nc * nc) + ((cell_x + dx) % nc) * nc + ((cell_y + dy) % nc)
+            target_x = (cell_x + dx) % grid.nx if grid.mod_x else cell_x + dx
+            target_y = (cell_y + dy) % grid.ny if grid.mod_y else cell_y + dy
+            target = block * (grid.nx * grid.ny) + target_x * grid.ny + target_y
         slot = np.minimum(np.searchsorted(unique_ids, target), unique_ids.size - 1)
         occupied = unique_ids[slot] == target
         block_count = np.where(occupied, counts[slot], 0)
@@ -361,10 +409,11 @@ def _hashed_pairs(
 
     dx_ = xs.take(i_s) - xs.take(j_s)
     dy_ = ys.take(i_s) - ys.take(j_s)
-    if wrap is not None:
-        box = wrap[0]
-        dx_ -= box * np.round(dx_ / box)
-        dy_ -= box * np.round(dy_ / box)
+    if grid is not None:
+        if grid.image_x is not None:
+            dx_ -= grid.image_x * np.round(dx_ / grid.image_x)
+        if grid.image_y is not None:
+            dy_ -= grid.image_y * np.round(dy_ / grid.image_y)
     dist_sq = dx_ * dx_ + dy_ * dy_
     # Cheap squared-distance pre-filter (slightly loose), then the exact
     # sqrt-based comparison on the survivors: for pairs exactly at the
@@ -409,16 +458,18 @@ class CellListNeighbors(NeighborSearch):
     expansion); there is no Python loop over particles, pairs, cells or
     samples.
 
-    On a periodic domain the grid becomes *modular*: positions are wrapped
-    into the box, cell ids are taken modulo the per-axis cell count and the
-    3×3 shell wraps around the seam instead of reaching into ghost padding —
-    the same pure array program, including the batched sample-id variant.
+    On a domain with periodic axes the grid becomes *per-axis modular*:
+    positions are wrapped into the box, cell ids are taken modulo the axis
+    cell count on each periodic axis (where the 3×3 shell wraps around the
+    seam) while reflecting axes keep ghost padding — the same pure array
+    program, including the batched sample-id variant, covering the square
+    torus, anisotropic tori and mixed channel geometries alike.
 
     Degenerate geometries fall out of the same code path: a radius larger
     than the bounding box (or all particles in one cell) degrades to the
-    brute-force candidate set, wrapped grids with fewer than three cells per
-    axis fall back to the minimum-image brute force, and single-particle or
-    empty systems return empty pair arrays.
+    brute-force candidate set, wrapped grids with fewer than three cells
+    along a periodic axis fall back to the minimum-image brute force, and
+    single-particle or empty systems return empty pair arrays.
     """
 
     name = "cell"
@@ -433,13 +484,13 @@ class CellListNeighbors(NeighborSearch):
         if positions.shape[0] < 2:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        if isinstance(domain, PeriodicDomain):
-            nc = _wrapped_grid_cells(domain.box, radius)
-            if nc is None:  # box too small (or grid too fine) for the wrapped shell
+        if any(domain.periodic_axes):
+            grid = _boxed_grid(domain, radius)
+            if grid is None:  # box too small (or grid too fine) for the wrapped shell
                 return BruteForceNeighbors().pairs(positions, radius, domain)
             wrapped = domain.wrap(positions)
-            ids = _wrapped_cell_ids(wrapped, domain.box, nc)
-            pairs = _hashed_pairs(wrapped, ids, nc, radius, wrap=(domain.box, nc))
+            ids = _boxed_cell_ids(wrapped, grid)
+            pairs = _hashed_pairs(wrapped, ids, 0, radius, grid=grid)
             return _lex_sorted(*pairs, positions.shape[0])
         grid = _grid_ids(positions, radius)
         if grid is None:  # astronomically wide bounding box: id space overflow
@@ -465,14 +516,14 @@ class CellListNeighbors(NeighborSearch):
         m, n, _ = positions.shape
         if m * n == 0 or not np.isfinite(radius):
             return super().pairs_batch(positions, radius, domain)
-        if isinstance(domain, PeriodicDomain):
-            nc = _wrapped_grid_cells(domain.box, radius, n_blocks=m)
-            if nc is None:
+        if any(domain.periodic_axes):
+            grid = _boxed_grid(domain, radius, n_blocks=m)
+            if grid is None:
                 return super().pairs_batch(positions, radius, domain)
             flat = domain.wrap(positions.reshape(m * n, 2))
             sample = np.repeat(np.arange(m, dtype=np.int64), n)
-            ids = _wrapped_cell_ids(flat, domain.box, nc, sample=sample)
-            pairs = _hashed_pairs(flat, ids, nc, radius, wrap=(domain.box, nc))
+            ids = _boxed_cell_ids(flat, grid, sample=sample)
+            pairs = _hashed_pairs(flat, ids, 0, radius, grid=grid)
             return _lex_sorted(*pairs, m * n)
         flat = positions.reshape(m * n, 2)
         sample = np.repeat(np.arange(m, dtype=np.int64), n)
@@ -487,10 +538,11 @@ class CellListNeighbors(NeighborSearch):
 class KDTreeNeighbors(NeighborSearch):
     """SciPy cKDTree radius query (good for large n with moderate density).
 
-    On a periodic domain the tree itself is periodic
-    (``cKDTree(boxsize=L)`` over wrapped coordinates); candidate pairs are
-    re-filtered with the exact minimum-image distance so the pair set
-    matches the brute-force reference bit-for-bit.
+    On a domain with periodic axes the tree itself is periodic per axis
+    (``cKDTree(boxsize=[Lx, Ly])`` over wrapped coordinates, a 0 entry
+    marking reflecting axes as non-periodic); candidate pairs are re-filtered
+    with the exact minimum-image distance so the pair set matches the
+    brute-force reference bit-for-bit.
     """
 
     name = "kdtree"
@@ -510,12 +562,23 @@ class KDTreeNeighbors(NeighborSearch):
         # dense kernel includes.  Query a few ulps wide, then apply the same
         # displacement-based sqrt filter as BruteForceNeighbors.
         query_radius = radius * (1.0 + 1e-12)
-        if isinstance(domain, PeriodicDomain):
-            if 2.0 * query_radius >= domain.box:
-                # A periodic tree cannot search past half the box; the
-                # minimum-image brute force handles the tiny-box regime.
+        if domain.bounded and any(domain.periodic_axes):
+            if any(
+                periodic and 2.0 * query_radius >= side
+                for side, periodic in zip(domain.extents, domain.periodic_axes)
+            ):
+                # A periodic tree cannot search past half the box on a
+                # wrapping axis; the minimum-image brute force handles the
+                # tiny-box regime.
                 return BruteForceNeighbors().pairs(positions, radius, domain)
-            tree = cKDTree(domain.wrap(positions), boxsize=domain.box)
+            # Per-axis topology: a boxsize entry of 0 marks the axis as
+            # non-periodic, which is how the mixed channel geometry rides
+            # the same periodic tree.
+            boxsize = [
+                side if periodic else 0.0
+                for side, periodic in zip(domain.extents, domain.periodic_axes)
+            ]
+            tree = cKDTree(domain.wrap(positions), boxsize=boxsize)
         else:
             tree = cKDTree(positions)
         unordered = tree.query_pairs(r=query_radius, output_type="ndarray")

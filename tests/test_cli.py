@@ -551,6 +551,42 @@ class TestDomainFlag:
         assert code == 2
         assert "invalid engine/domain/estimator override" in stream.getvalue()
 
+    def test_anisotropic_and_channel_specs_are_parsed_on_every_command(self):
+        from repro.cli import _apply_engine_overrides
+        from repro.core.experiments import all_figure_specs
+
+        spec = all_figure_specs(full=False)["fig5"][0]
+        for raw, canonical in (
+            ("periodic:8,4", "periodic:8.0,4.0"),
+            ("channel:8,4", "channel:8.0,4.0"),
+            ("reflecting:9,3", "reflecting:9.0,3.0"),
+            # A square pair canonicalises to the legacy scalar spelling.
+            ("periodic:8,8", "periodic:8.0"),
+        ):
+            args = build_parser().parse_args(["run", "fig5", "--domain", raw])
+            assert _apply_engine_overrides(spec.simulation, args).domain == canonical
+
+    @pytest.mark.parametrize(
+        "bad_spec",
+        ["periodic:8,-1", "channel:", "periodic:1,2,3", "periodic:8,,4", "channel:4,nan"],
+    )
+    def test_malformed_per_axis_specs_exit_2_on_run_sweep_and_watch(
+        self, tmp_path, tiny_scale, bad_spec
+    ):
+        # Satellite contract: every malformed spec is a one-line message and
+        # exit code 2 on each simulation-running command, never a traceback.
+        commands = (
+            ["run", "fig5", "--domain", bad_spec, "--output", str(tmp_path)],
+            ["sweep", "fig5", "--domain", bad_spec, "--store", str(tmp_path / "s")],
+            ["watch", "fig5", "--domain", bad_spec],
+        )
+        for argv in commands:
+            stream = io.StringIO()
+            assert main(argv, stream=stream) == 2, argv
+            output = stream.getvalue()
+            assert len(output.strip().splitlines()) == 1, argv
+            assert "invalid engine/domain" in output, argv
+
     def test_incompatible_periodic_cutoff_is_a_clean_error(self, tmp_path, tiny_scale):
         # fig4 has cutoff 5.0; a periodic box of side 6 allows at most 3.0.
         stream = io.StringIO()

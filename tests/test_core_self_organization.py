@@ -162,3 +162,44 @@ class TestMeasureSelfOrganizationWrapper:
             measure_self_organization(
                 organized_ensemble, config=AnalysisConfig(), step_stride=5
             )
+
+
+class TestWrappedDomainAnalysis:
+    def test_domain_threads_to_the_torus_alignment(self, rng):
+        # An ensemble whose samples are rigid mod-L translations of one base
+        # shape: the wrapped reduction collapses it (near-zero residuals);
+        # the free-space path on the same data cannot.
+        from repro.particles.domain import get_domain
+
+        domain = get_domain("periodic:8,4")
+        types = np.repeat([0, 1], 6)
+        base = np.column_stack(
+            [rng.uniform(0.0, 8.0, size=12), rng.uniform(0.0, 4.0, size=12)]
+        )
+        n_steps, n_samples = 2, 8
+        positions = np.empty((n_steps, n_samples, 12, 2))
+        for t in range(n_steps):
+            for m in range(n_samples):
+                shift = np.array([rng.uniform(0.0, 8.0), rng.uniform(0.0, 4.0)])
+                positions[t, m] = domain.wrap(base + shift)
+        ensemble = EnsembleTrajectory(positions=positions, types=types, dt=1.0)
+        config = AnalysisConfig(compute_entropies=False, compute_decomposition=False)
+        wrapped = SelfOrganizationAnalysis(config).analyze(ensemble, domain=domain)
+        assert np.all(wrapped.alignment_rmse < 1e-6)
+        free = SelfOrganizationAnalysis(config).analyze(ensemble)
+        assert np.max(free.alignment_rmse) > 0.1
+
+    def test_wrapper_accepts_domain(self, rng):
+        from repro.particles.domain import get_domain
+
+        domain = get_domain("channel:8,4")
+        positions = domain.wrap(rng.uniform(0.0, 4.0, size=(2, 6, 8, 2)))
+        ensemble = EnsembleTrajectory(
+            positions=positions, types=np.repeat([0, 1], 4), dt=1.0
+        )
+        result = measure_self_organization(
+            ensemble, compute_entropies=False, compute_decomposition=False, domain=domain
+        )
+        assert result.steps.size == 2
+        # Reduced-domain coordinates stay wrapped, so residuals are finite.
+        assert np.all(np.isfinite(result.alignment_rmse))

@@ -17,7 +17,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.particles.domain import PeriodicDomain, ReflectingDomain, get_domain
+from repro.particles.domain import ChannelDomain, PeriodicDomain, ReflectingDomain, get_domain
 from repro.particles.engine import DenseDriftEngine, SparseDriftEngine
 from repro.particles.neighbors import (
     NEIGHBOR_BACKENDS,
@@ -230,6 +230,205 @@ def test_drift_bit_identical_through_both_engines_on_wrapped_domains(seed, m, n,
                 sparse.drift(batch[0]), reference_single,
                 err_msg=f"backend {name} on {domain.spec}",
             )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    n=st.integers(min_value=1, max_value=40),
+    box_x=st.floats(min_value=0.4, max_value=40.0),
+    aspect=st.floats(min_value=0.1, max_value=1.0),
+    radius_fraction=st.floats(min_value=0.01, max_value=1.4),
+    kind=st.sampled_from(["periodic", "channel", "reflecting"]),
+)
+def test_all_backends_agree_on_anisotropic_and_mixed_domains(
+    seed, n, box_x, aspect, radius_fraction, kind
+):
+    # Anisotropic boxes and the mixed-boundary channel: the pair-set contract
+    # holds per axis — modular images on periodic axes, none across the
+    # reflecting walls.  radius_fraction > 1/2 of the smallest axis exercises
+    # the per-axis tiny-box fallbacks.
+    box_y = max(aspect * box_x, 0.05)
+    radius = radius_fraction * min(box_x, box_y) / 2.0
+    domain = get_domain(f"{kind}:{box_x!r},{box_y!r}")
+    rng = np.random.default_rng(seed)
+    positions = np.column_stack(
+        [
+            rng.uniform(-box_x, 2.0 * box_x, size=n),
+            rng.uniform(-box_y, 2.0 * box_y, size=n),
+        ]
+    )
+    # Seam-hugging points at exactly the cut-off from a corner anchor.
+    n_snap = n // 3
+    for k in range(1, n_snap):
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        corner = rng.uniform(0.0, 0.05, size=2) * np.array([box_x, box_y])
+        positions[k] = corner + radius * np.array([np.cos(angle), np.sin(angle)])
+    positions = domain.wrap(positions)
+    reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+    for name in BACKEND_NAMES:
+        result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+        np.testing.assert_array_equal(
+            result, reference, err_msg=f"backend {name} on {domain.spec}"
+        )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    m=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=1, max_value=25),
+    box_x=st.floats(min_value=0.5, max_value=25.0),
+    aspect=st.floats(min_value=0.15, max_value=1.0),
+    radius_fraction=st.floats(min_value=0.02, max_value=1.2),
+    kind=st.sampled_from(["periodic", "channel"]),
+)
+def test_pairs_batch_equals_per_sample_pairs_on_mixed_domains(
+    seed, m, n, box_x, aspect, radius_fraction, kind
+):
+    box_y = max(aspect * box_x, 0.08)
+    radius = radius_fraction * min(box_x, box_y) / 2.0
+    domain = get_domain(f"{kind}:{box_x!r},{box_y!r}")
+    rng = np.random.default_rng(seed)
+    batch = domain.wrap(
+        np.stack(
+            [
+                np.column_stack(
+                    [
+                        rng.uniform(-box_x, 2.0 * box_x, size=n),
+                        rng.uniform(-box_y, 2.0 * box_y, size=n),
+                    ]
+                )
+                for _ in range(m)
+            ]
+        )
+    )
+    expected_parts = []
+    for s in range(m):
+        si, sj = BruteForceNeighbors().pairs(batch[s], radius, domain)
+        expected_parts.append(_canonical(si, sj) + s * n)
+    expected = np.concatenate(expected_parts) if expected_parts else np.empty((0, 2), int)
+    for name in BACKEND_NAMES:
+        i_idx, j_idx = get_neighbor_search(name).pairs_batch(batch, radius, domain)
+        result = np.column_stack([i_idx, j_idx])
+        np.testing.assert_array_equal(
+            result, expected, err_msg=f"backend {name} on {domain.spec}"
+        )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    m=st.integers(min_value=1, max_value=3),
+    n=st.integers(min_value=2, max_value=20),
+    box_x=st.floats(min_value=2.0, max_value=12.0),
+    aspect=st.floats(min_value=0.25, max_value=1.0),
+    force=st.sampled_from(["F1", "F2"]),
+)
+def test_drift_bit_identical_through_both_engines_on_mixed_domains(
+    seed, m, n, box_x, aspect, force
+):
+    rng = np.random.default_rng(seed)
+    params = InteractionParams.random(2, rng=rng)
+    types = rng.integers(0, 2, size=n)
+    box_y = max(aspect * box_x, 0.5)
+    radius = float(rng.uniform(0.1, min(box_x, box_y) / 2.0))
+    for domain in (
+        PeriodicDomain(box=(box_x, box_y)),
+        ChannelDomain(box=(box_x, box_y)),
+        ReflectingDomain(box=(box_x, box_y)),
+    ):
+        batch = domain.wrap(
+            np.stack(
+                [
+                    np.column_stack(
+                        [
+                            rng.uniform(0.0, box_x, size=n),
+                            rng.uniform(0.0, box_y, size=n),
+                        ]
+                    )
+                    for _ in range(m)
+                ]
+            )
+        )
+        dense = DenseDriftEngine(types, params, force, radius, domain=domain)
+        reference_batch = dense.drift_batch(batch)
+        reference_single = dense.drift(batch[0])
+        for name in BACKEND_NAMES:
+            sparse = SparseDriftEngine(
+                types, params, force, radius, neighbors=name, domain=domain
+            )
+            np.testing.assert_array_equal(
+                sparse.drift_batch(batch), reference_batch,
+                err_msg=f"backend {name} on {domain.spec}",
+            )
+            np.testing.assert_array_equal(
+                sparse.drift(batch[0]), reference_single,
+                err_msg=f"backend {name} on {domain.spec}",
+            )
+
+
+class TestMixedBoundaryExactCutoff:
+    """Deterministic per-axis seam semantics for anisotropic/mixed domains."""
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_channel_wraps_x_but_never_the_reflecting_walls(self, name):
+        domain = ChannelDomain(box=(10.0, 4.0))
+        radius = 2.0
+        # [0] <-> [1]: through the x seam at distance exactly 0.5+1.5 = 2.0.
+        # [2] <-> [3]: 0.25 above the bottom wall and 0.25 below the top one —
+        # 'through the wall' would be 0.5, but y does not wrap, and the direct
+        # distance 3.5 is out of range: this pair must NOT appear.
+        positions = np.array(
+            [[0.5, 2.0], [8.5, 2.0], [5.0, 0.25], [5.0, 3.75], [2.0, 1.0]]
+        )
+        reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+        result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+        np.testing.assert_array_equal(result, reference)
+        listed = result.tolist()
+        assert [0, 1] in listed
+        assert [2, 3] not in listed
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_anisotropic_seam_at_exact_cutoff_per_axis(self, name):
+        domain = PeriodicDomain(box=(12.0, 4.0))
+        # x-seam pair exactly at the cut-off: 0.5 + (12 - 11.0) = 1.5.
+        # y-seam pair exactly at the cut-off: 0.25 + (4 - 2.75) = 1.5.
+        radius = 1.5
+        positions = np.array(
+            [[0.5, 2.0], [11.0, 2.0], [6.0, 0.25], [6.0, 2.75], [3.0, 1.0]]
+        )
+        reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+        result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+        np.testing.assert_array_equal(result, reference)
+        listed = result.tolist()
+        assert [0, 1] in listed and [2, 3] in listed
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_anisotropic_corner_straddling_image(self, name):
+        domain = PeriodicDomain(box=(8.0, 3.0))
+        # (0.1, 0.2) vs (7.9, 2.8): minimum image crosses both seams with
+        # per-axis lengths, distance hypot(0.2, 0.4) ≈ 0.447.
+        positions = np.array([[0.1, 0.2], [7.9, 2.8], [4.0, 1.5]])
+        for radius in (0.45, 0.44):
+            reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+            result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+            np.testing.assert_array_equal(result, reference, err_msg=f"radius {radius}")
+        included = _canonical(*get_neighbor_search(name).pairs(positions, 0.45, domain))
+        assert [0, 1] in included.tolist()
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_channel_tiny_periodic_axis_falls_back(self, name):
+        # Fewer than three wrapped cells along x: per-axis fallback must still
+        # agree with brute force while y stays a plain padded axis.
+        domain = ChannelDomain(box=(1.0, 6.0))
+        rng = np.random.default_rng(33)
+        positions = domain.wrap(
+            np.column_stack(
+                [rng.uniform(0.0, 1.0, size=16), rng.uniform(0.0, 6.0, size=16)]
+            )
+        )
+        for radius in (0.4, 0.5):
+            reference = _canonical(*BruteForceNeighbors().pairs(positions, radius, domain))
+            result = _canonical(*get_neighbor_search(name).pairs(positions, radius, domain))
+            np.testing.assert_array_equal(result, reference, err_msg=f"radius {radius}")
 
 
 class TestWrappedExactCutoff:

@@ -16,6 +16,7 @@ import pytest
 from repro.core.plan import unit_content_hash
 from repro.particles.domain import (
     DOMAINS,
+    ChannelDomain,
     FreeDomain,
     PeriodicDomain,
     ReflectingDomain,
@@ -78,7 +79,50 @@ class TestGetDomain:
             get_domain("reflecting:inf")
 
     def test_registry_names(self):
-        assert set(DOMAINS) == {"free", "periodic", "reflecting"}
+        assert set(DOMAINS) == {"free", "periodic", "reflecting", "channel"}
+
+    def test_parses_anisotropic_and_channel_specs(self):
+        periodic = get_domain("periodic:8,4")
+        assert isinstance(periodic, PeriodicDomain)
+        assert periodic.extents == (8.0, 4.0)
+        assert periodic.periodic_axes == (True, True)
+        assert periodic.spec == "periodic:8.0,4.0"
+        channel = get_domain("channel:8,4")
+        assert isinstance(channel, ChannelDomain)
+        assert channel.periodic_axes == (True, False)
+        assert channel.spec == "channel:8.0,4.0"
+        reflecting = get_domain("reflecting:9,3")
+        assert reflecting.extents == (9.0, 3.0)
+        assert reflecting.periodic_axes == (False, False)
+
+    def test_square_pair_canonicalises_to_scalar_spec(self):
+        # Satellite pin: 'periodic:L,L' and 'periodic:L' are the SAME domain
+        # with the SAME canonical spec, so they hash identically everywhere.
+        assert get_domain("periodic:8,8").spec == "periodic:8.0"
+        assert get_domain("periodic:8,8") == get_domain("periodic:8")
+        assert get_domain("channel:5,5").spec == "channel:5.0"
+        assert get_domain("reflecting:2.5,2.5") == get_domain("reflecting:2.5")
+
+    def test_square_boxes_keep_a_scalar_box_attribute(self):
+        # Existing call sites read `domain.box` as a float; the per-axis
+        # refactor must not change that for square boxes.
+        assert get_domain("periodic:8").box == 8.0
+        assert get_domain("periodic:8,8").box == 8.0
+        assert get_domain("periodic:8,4").box == (8.0, 4.0)
+
+    def test_rejects_bad_per_axis_specs(self):
+        with pytest.raises(ValueError, match="one box side or an Lx,Ly pair"):
+            get_domain("periodic:1,2,3")
+        with pytest.raises(ValueError, match="one box side or an Lx,Ly pair"):
+            get_domain("periodic:8,,4")
+        with pytest.raises(ValueError, match="needs a box side"):
+            get_domain("channel:")
+        with pytest.raises(ValueError, match="positive finite"):
+            get_domain("periodic:8,-1")
+        with pytest.raises(ValueError, match="positive finite"):
+            get_domain("channel:4,nan")
+        with pytest.raises(ValueError, match="invalid box side"):
+            get_domain("periodic:8,abc")
 
 
 class TestFreeDomain:
@@ -159,6 +203,55 @@ class TestReflectingDomain:
         ReflectingDomain(box=1.0).validate_cutoff(100.0)
 
 
+class TestAnisotropicGeometry:
+    def test_wrap_is_per_axis(self):
+        domain = get_domain("periodic:8,4")
+        wrapped = domain.wrap(np.array([[9.0, -1.0], [-0.5, 4.5]]))
+        np.testing.assert_allclose(wrapped, [[1.0, 3.0], [7.5, 0.5]])
+
+    def test_minimum_image_uses_each_axis_length(self):
+        domain = get_domain("periodic:8,4")
+        delta = domain.displacement(np.array([[7.5, 3.5]]), np.array([[0.5, 0.5]]))
+        np.testing.assert_allclose(delta, [[-1.0, -1.0]])
+
+    def test_square_pair_matches_scalar_bitwise(self):
+        # The legacy full-array arithmetic branch must be taken for L,L —
+        # identical code path, identical bits.
+        rng = np.random.default_rng(7)
+        points = rng.normal(scale=10.0, size=(64, 2))
+        scalar = get_domain("periodic:6")
+        pair = get_domain("periodic:6,6")
+        np.testing.assert_array_equal(scalar.wrap(points), pair.wrap(points))
+        a, b = rng.normal(scale=10.0, size=(2, 32, 2))
+        np.testing.assert_array_equal(scalar.displacement(a, b), pair.displacement(a, b))
+
+    def test_cutoff_validated_against_smallest_periodic_axis(self):
+        get_domain("periodic:8,4").validate_cutoff(2.0)  # == min(L)/2
+        with pytest.raises(ValueError, match="half the periodic box"):
+            get_domain("periodic:8,4").validate_cutoff(2.5)
+        # The reflecting axis of a channel never constrains the cutoff.
+        get_domain("channel:8,2").validate_cutoff(4.0)
+        with pytest.raises(ValueError, match="half the periodic box"):
+            get_domain("channel:8,2").validate_cutoff(4.5)
+
+
+class TestChannelDomain:
+    def test_wrap_mixes_modes_per_axis(self):
+        domain = get_domain("channel:8,4")
+        # x wraps mod 8; y reflects off the walls at 0 and 4.
+        wrapped = domain.wrap(np.array([[9.0, 4.5], [-1.0, -0.5], [3.0, 2.0]]))
+        np.testing.assert_allclose(wrapped, [[1.0, 3.5], [7.0, 0.5], [3.0, 2.0]])
+
+    def test_displacement_wraps_x_only(self):
+        domain = get_domain("channel:8,4")
+        delta = domain.displacement(np.array([[7.5, 3.5]]), np.array([[0.5, 0.5]]))
+        np.testing.assert_allclose(delta, [[-1.0, 3.0]])
+
+    def test_periodic_axes_flags(self):
+        assert get_domain("channel:8,4").periodic_axes == (True, False)
+        assert get_domain("channel:8,4").bounded
+
+
 class TestSimulationConfigIntegration:
     def test_domain_normalised_to_canonical_spec(self):
         assert _config(domain="periodic:8").domain == "periodic:8.0"
@@ -220,6 +313,32 @@ class TestHashCompatibility:
         hashes = {unit_content_hash(spec), unit_content_hash(wrapped), unit_content_hash(reflecting)}
         assert len(hashes) == 3
 
+    def test_square_pair_hashes_identically_to_scalar(self):
+        # Back-compat pin: a pre-refactor store keyed on 'periodic:12.0'
+        # keeps serving hits for configs now written as 'periodic:12,12'.
+        from repro.core.experiments import fig4_multi_information
+
+        spec = fig4_multi_information()
+        scalar = spec.with_updates(
+            simulation=spec.simulation.with_updates(domain="periodic:12")
+        )
+        pair = spec.with_updates(
+            simulation=spec.simulation.with_updates(domain="periodic:12,12")
+        )
+        assert unit_content_hash(scalar) == unit_content_hash(pair)
+        assert scalar.simulation.domain == pair.simulation.domain == "periodic:12.0"
+
+    def test_anisotropic_and_channel_domains_hash_distinctly(self):
+        from repro.core.experiments import fig4_multi_information
+
+        spec = fig4_multi_information()
+        variants = [
+            spec.with_updates(simulation=spec.simulation.with_updates(domain=d))
+            for d in ("periodic:12", "periodic:12,14", "channel:12,14", "reflecting:12,14")
+        ]
+        hashes = {unit_content_hash(v) for v in variants}
+        assert len(hashes) == 4
+
 
 class TestInitialConditions:
     def test_uniform_box_bounds_and_shape(self):
@@ -238,6 +357,33 @@ class TestInitialConditions:
         with pytest.raises(ValueError):
             uniform_box_ensemble(2, 3, -1.0)
 
+    def test_uniform_box_accepts_per_axis_extents(self):
+        points = uniform_box(400, (6.0, 2.0), rng=0)
+        assert points.shape == (400, 2)
+        assert np.all(points[:, 0] < 6.0) and np.all(points[:, 1] < 2.0)
+        assert np.all(points >= 0.0)
+        # The x spread should comfortably exceed y's for a 3:1 box.
+        assert points[:, 0].max() > 4.0 and points[:, 1].max() < 2.0
+        batch = uniform_box_ensemble(3, 40, (6.0, 2.0), rng=1)
+        assert np.all(batch[..., 0] < 6.0) and np.all(batch[..., 1] < 2.0)
+
+    def test_uniform_box_square_pair_matches_scalar_stream(self):
+        # (L, L) must consume the RNG exactly like the scalar L path so that
+        # square-box trajectories stay bit-identical across the refactor.
+        np.testing.assert_array_equal(
+            uniform_box(100, 3.0, rng=5), uniform_box(100, (3.0, 3.0), rng=5)
+        )
+        np.testing.assert_array_equal(
+            uniform_box_ensemble(4, 25, 3.0, rng=5),
+            uniform_box_ensemble(4, 25, (3.0, 3.0), rng=5),
+        )
+
+    def test_uniform_box_rejects_bad_extent_pairs(self):
+        with pytest.raises(ValueError):
+            uniform_box(3, (1.0, -1.0))
+        with pytest.raises(ValueError):
+            uniform_box(3, (1.0, 2.0, 3.0))
+
     def test_config_dispatch(self):
         bounded = _config(domain="periodic:3.0")
         points = initial_positions_for(bounded, rng=0)
@@ -250,19 +396,34 @@ class TestInitialConditions:
         assert np.all(np.hypot(disc[:, 0], disc[:, 1]) <= free.disc_radius + 1e-12)
 
 
-@pytest.mark.parametrize("spec", ["periodic:6.0", "reflecting:6.0"])
+def _assert_in_box(positions: np.ndarray, spec: str) -> None:
+    extents = get_domain(spec).extents
+    assert np.all(positions >= 0.0)
+    for axis in range(2):
+        assert np.all(positions[..., axis] <= extents[axis]), (spec, axis)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "periodic:6.0",
+        "reflecting:6.0",
+        "periodic:6.0,3.5",
+        "channel:6.0,3.5",
+        "reflecting:6.0,3.5",
+    ],
+)
 class TestSimulationOnBoundedDomains:
     def test_particle_system_stays_in_the_box(self, spec):
         system = ParticleSystem(_config(domain=spec, n_steps=6), rng=0)
         trajectory = system.run()
-        assert np.all(trajectory.positions >= 0.0)
-        assert np.all(trajectory.positions <= 6.0)
+        _assert_in_box(trajectory.positions, spec)
 
     def test_external_initial_positions_are_wrapped(self, spec):
         config = _config(domain=spec)
         raw = np.random.default_rng(1).uniform(-4.0, 10.0, size=(config.n_particles, 2))
         system = ParticleSystem(config, rng=0, initial_positions=raw)
-        assert np.all(system.positions >= 0.0) and np.all(system.positions <= 6.0)
+        _assert_in_box(system.positions, spec)
 
     def test_single_run_bit_identical_dense_vs_sparse(self, spec):
         config = _config(domain=spec, n_steps=5)
@@ -286,15 +447,27 @@ class TestSimulationOnBoundedDomains:
             np.testing.assert_array_equal(
                 sparse.positions, dense.positions, err_msg=backend
             )
-            assert np.all(sparse.positions >= 0.0) and np.all(sparse.positions <= 6.0)
+            _assert_in_box(sparse.positions, spec)
 
     def test_heun_integrator_also_confines(self, spec):
         config = _config(domain=spec, integrator="heun", n_steps=4)
         trajectory = ParticleSystem(config, rng=3).run()
-        assert np.all(trajectory.positions >= 0.0) and np.all(trajectory.positions <= 6.0)
+        _assert_in_box(trajectory.positions, spec)
 
 
 class TestBoundedAutoHeuristic:
+    def test_heuristic_radius_uses_smallest_extent(self):
+        # Satellite pin: the adaptive engine's characteristic radius on a
+        # bounded domain is min(Lx, Ly)/2 — the binding dimension — not a
+        # mean or the x side.
+        from repro.particles.engine import heuristic_domain_radius
+
+        assert heuristic_domain_radius(get_domain("periodic:8,4"), None) == 2.0
+        assert heuristic_domain_radius(get_domain("channel:8,4"), None) == 2.0
+        assert heuristic_domain_radius(get_domain("reflecting:3,9"), None) == 1.5
+        assert heuristic_domain_radius(get_domain("periodic:8"), None) == 4.0
+        assert heuristic_domain_radius(get_domain("free"), 7.5) == 7.5
+
     def test_auto_uses_box_not_live_bounding_box(self):
         params = InteractionParams.single_type()
         types = np.zeros(400, dtype=np.int64)
